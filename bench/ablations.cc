@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Ablation study over the design choices DESIGN.md calls out:
+ *
+ *  - bitmap cache present vs. absent (Section 4.5);
+ *  - copy-offload size threshold sweep;
+ *  - Scan&Push placement: central cube vs. data-local (Section 4.4);
+ *  - unified vs. distributed bitmap cache / TLB (Section 4.6);
+ *  - MAI depth (MLP) sweep (Section 4.1).
+ *
+ * Each ablation reports the resulting Charon GC speedup over the
+ * host + DDR4 baseline on one Spark-style and one GraphChi-style
+ * workload.
+ */
+
+#include "bench_common.hh"
+
+using namespace charon;
+using namespace charon::bench;
+
+namespace
+{
+
+double
+speedup(const WorkloadRun &run, const sim::SystemConfig &cfg,
+        double hit_rate_override = -1.0)
+{
+    auto ddr4 = replay(run, sim::PlatformKind::HostDdr4, cfg);
+    // Optionally neutralize the bitmap cache by zeroing the measured
+    // hit rate in a copy of the trace.
+    if (hit_rate_override >= 0) {
+        gc::RunTrace patched = run.trace();
+        for (auto &gc : patched.gcs) {
+            for (auto &phase : gc.phases)
+                phase.bitmapCacheHitRate = hit_rate_override;
+        }
+        platform::PlatformSim charon(sim::PlatformKind::CharonNmp, cfg,
+                                     run.mutator->cubeShift());
+        return ddr4.gcSeconds / charon.simulate(patched).gcSeconds;
+    }
+    auto charon = replay(run, sim::PlatformKind::CharonNmp, cfg);
+    return ddr4.gcSeconds / charon.gcSeconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    report::heading(std::cout,
+                    "Ablations: Charon GC speedup over host + DDR4 "
+                    "under design variations");
+
+    for (const std::string &name :
+         {std::string("KM"), std::string("CC")}) {
+        auto run = runWorkload(name);
+        sim::SystemConfig base;
+
+        report::Table table({"variant", "speedup"});
+        table.addRow({"baseline (paper configuration)",
+                      report::times(speedup(run, base))});
+
+        table.addRow({"no bitmap cache (hit rate forced to 0)",
+                      report::times(speedup(run, base, 0.0))});
+        table.addRow({"perfect bitmap cache (hit rate forced to 1)",
+                      report::times(speedup(run, base, 1.0))});
+
+        {
+            sim::SystemConfig cfg = base;
+            cfg.charon.scanPushLocal = true;
+            table.addRow({"Scan&Push on data-local cubes",
+                          report::times(speedup(run, cfg))});
+        }
+        {
+            sim::SystemConfig cfg = base;
+            cfg.charon.distributedStructures = true;
+            table.addRow({"distributed bitmap cache / TLB",
+                          report::times(speedup(run, cfg))});
+        }
+        for (int mai : {4, 8, 32, 128}) {
+            sim::SystemConfig cfg = base;
+            cfg.charon.maiEntries = mai;
+            table.addRow({"MAI depth " + std::to_string(mai),
+                          report::times(speedup(run, cfg))});
+        }
+        {
+            // Section 4.6: the architecture is not tied to the star.
+            sim::SystemConfig cfg = base;
+            cfg.hmc.topology = sim::HmcTopology::Chain;
+            table.addRow({"chain topology (4 cubes)",
+                          report::times(speedup(run, cfg))});
+        }
+        {
+            // Section 4.6: more cubes carry more units.  The trace is
+            // re-recorded with the heap interleaved over 8 cubes.
+            auto run8 = runWorkload(name, 0, 1, 8, /*num_cubes=*/8);
+            sim::SystemConfig cfg = base;
+            cfg.hmc.cubes = 8;
+            cfg.charon.copySearchUnits = 16;
+            cfg.charon.bitmapCountUnits = 16;
+            table.addRow({"8 cubes, 2x Copy/Search + BitmapCount units",
+                          report::times(speedup(run8, cfg))});
+        }
+
+        std::cout << "workload " << name << ":\n";
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // The copy-offload threshold is a trace-time decision; rebuild
+    // the trace per threshold on one workload.
+    report::Table thr({"copy offload threshold", "KM speedup"});
+    for (std::uint64_t threshold : {0ull, 256ull, 4096ull, ~0ull}) {
+        const auto &params = workload::findWorkload("KM");
+        workload::Mutator mut(params, params.heapBytes, 1);
+        mut.recorder().setCopyOffloadThreshold(threshold);
+        mut.run();
+        platform::PlatformSim ddr4(sim::PlatformKind::HostDdr4,
+                                   sim::SystemConfig{},
+                                   mut.cubeShift());
+        platform::PlatformSim charon(sim::PlatformKind::CharonNmp,
+                                     sim::SystemConfig{},
+                                     mut.cubeShift());
+        double s = ddr4.simulate(mut.recorder().run()).gcSeconds
+                   / charon.simulate(mut.recorder().run()).gcSeconds;
+        std::string label =
+            threshold == 0 ? "0 B (offload everything)"
+            : threshold == ~0ull
+                ? "infinite (never offload Copy)"
+                : std::to_string(threshold) + " B";
+        thr.addRow({label, report::times(s)});
+    }
+    thr.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries: run a workload
+ * functionally once, replay its trace on the requested platforms, and
+ * cache runs so a binary that needs several platforms pays the
+ * functional cost once.
+ */
+
+#ifndef CHARON_BENCH_COMMON_HH
+#define CHARON_BENCH_COMMON_HH
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/platform_sim.hh"
+#include "report/table.hh"
+#include "sim/logging.hh"
+#include "workload/mutator.hh"
+
+namespace charon::bench
+{
+
+/** A completed functional run plus its trace. */
+struct WorkloadRun
+{
+    std::unique_ptr<workload::Mutator> mutator;
+    workload::Mutator::RunResult result;
+
+    const gc::RunTrace &trace() const
+    {
+        return mutator->recorder().run();
+    }
+};
+
+/** Execute @p name at @p heap_bytes (0 = catalog default). */
+inline WorkloadRun
+runWorkload(const std::string &name, std::uint64_t heap_bytes = 0,
+            std::uint64_t seed = 1, int gc_threads = 8,
+            int num_cubes = 4)
+{
+    const auto &params = workload::findWorkload(name);
+    if (heap_bytes == 0)
+        heap_bytes = params.heapBytes;
+    WorkloadRun run;
+    run.mutator = std::make_unique<workload::Mutator>(
+        params, heap_bytes, seed, gc_threads, num_cubes);
+    run.result = run.mutator->run();
+    if (run.result.oom) {
+        sim::warn("workload %s hit OOM at %llu MiB", name.c_str(),
+                  static_cast<unsigned long long>(heap_bytes >> 20));
+    }
+    return run;
+}
+
+/** Replay @p run on @p kind with optional config overrides. */
+inline platform::RunTiming
+replay(const WorkloadRun &run, sim::PlatformKind kind,
+       const sim::SystemConfig &cfg = sim::SystemConfig{})
+{
+    platform::PlatformSim sim_(kind, cfg, run.mutator->cubeShift());
+    return sim_.simulate(run.trace());
+}
+
+/** All six workload names in catalog (Table 3) order. */
+inline std::vector<std::string>
+allWorkloads()
+{
+    std::vector<std::string> names;
+    for (const auto &w : workload::workloadCatalog())
+        names.push_back(w.name);
+    return names;
+}
+
+} // namespace charon::bench
+
+#endif // CHARON_BENCH_COMMON_HH

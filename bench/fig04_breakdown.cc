@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 4: runtime breakdown of MinorGC (a) and MajorGC (b) by
+ * operation on the host + DDR4 baseline.
+ *
+ * Paper shape: Search + Scan&Push + Copy cover 71.4% (Spark) / 78.2%
+ * (GraphChi) of MinorGC; Scan&Push + Bitmap Count + Copy cover 74.1% /
+ * 79.1% of MajorGC.  Spark leans on Copy (+Search); GraphChi leans on
+ * Scan&Push and Bitmap Count; ALS is Copy-heavy despite being a
+ * GraphChi workload (one huge matrix object).
+ */
+
+#include "bench_common.hh"
+
+using namespace charon;
+using namespace charon::bench;
+
+namespace
+{
+
+void
+breakdownTable(const char *title, bool major)
+{
+    report::heading(std::cout, title);
+    report::Table table({"workload", "Copy", "Search", "Scan&Push",
+                         "BitmapCount", "Other", "primitives total"});
+    double spark_sum = 0, graphchi_sum = 0;
+    int spark_n = 0, graphchi_n = 0;
+    for (const auto &name : allWorkloads()) {
+        auto run = runWorkload(name);
+        auto timing = replay(run, sim::PlatformKind::HostDdr4);
+        auto bd = major ? timing.majorBreakdown : timing.minorBreakdown;
+        double total = bd.total();
+        double prim = bd.offloadable();
+        table.addRow({name, report::percent(bd.copy, total),
+                      report::percent(bd.search, total),
+                      report::percent(bd.scanPush, total),
+                      report::percent(bd.bitmapCount, total),
+                      report::percent(bd.glue, total),
+                      report::percent(prim, total)});
+        const auto &params = workload::findWorkload(name);
+        if (params.framework == "Spark") {
+            spark_sum += prim / total;
+            ++spark_n;
+        } else {
+            graphchi_sum += prim / total;
+            ++graphchi_n;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nframework averages of the primitive share: Spark "
+              << report::num(100 * spark_sum / spark_n, 1)
+              << "% (paper: " << (major ? "74.1" : "71.4")
+              << "%), GraphChi "
+              << report::num(100 * graphchi_sum / graphchi_n, 1)
+              << "% (paper: " << (major ? "79.1" : "78.2") << "%)\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    breakdownTable("Figure 4(a): MinorGC runtime breakdown "
+                   "(host + DDR4)",
+                   /*major=*/false);
+    breakdownTable("Figure 4(b): MajorGC runtime breakdown "
+                   "(host + DDR4)",
+                   /*major=*/true);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 12: GC performance across the four platforms, normalized to
+ * the host + DDR4 baseline.
+ *
+ * Paper shape: HMC alone buys 1.21x (geomean); Charon reaches 3.29x
+ * over DDR4 (2.70x over HMC); the Ideal zero-cycle device bounds it
+ * from above.
+ */
+
+#include "bench_common.hh"
+
+#include "sim/stats.hh"
+
+using namespace charon;
+using namespace charon::bench;
+
+int
+main()
+{
+    report::heading(std::cout,
+                    "Figure 12: normalized GC performance "
+                    "(higher is better, DDR4 = 1)");
+
+    report::Table table(
+        {"workload", "DDR4", "HMC", "Charon", "Ideal", "Charon/HMC"});
+    std::vector<double> hmc_s, charon_s, ideal_s, vs_hmc;
+
+    for (const auto &name : allWorkloads()) {
+        auto run = runWorkload(name);
+        auto ddr4 = replay(run, sim::PlatformKind::HostDdr4);
+        auto hmc = replay(run, sim::PlatformKind::HostHmc);
+        auto charon = replay(run, sim::PlatformKind::CharonNmp);
+        auto ideal = replay(run, sim::PlatformKind::Ideal);
+
+        double base = ddr4.gcSeconds;
+        hmc_s.push_back(base / hmc.gcSeconds);
+        charon_s.push_back(base / charon.gcSeconds);
+        ideal_s.push_back(base / ideal.gcSeconds);
+        vs_hmc.push_back(hmc.gcSeconds / charon.gcSeconds);
+        table.addRow({name, "1.00x", report::times(hmc_s.back()),
+                      report::times(charon_s.back()),
+                      report::times(ideal_s.back()),
+                      report::times(vs_hmc.back())});
+    }
+    table.addRow({"geomean", "1.00x",
+                  report::times(sim::geomean(hmc_s)),
+                  report::times(sim::geomean(charon_s)),
+                  report::times(sim::geomean(ideal_s)),
+                  report::times(sim::geomean(vs_hmc))});
+    table.print(std::cout);
+    std::cout << "\npaper geomeans: HMC 1.21x, Charon 3.29x over DDR4 "
+                 "and 2.70x over HMC\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 13: memory bandwidth utilized during GC on each platform,
+ * and the fraction of Charon's accesses serviced by the local cube.
+ *
+ * Paper shape: the host platforms are capped by off-chip bandwidth
+ * (34 GB/s DDR4 / 80 GB/s HMC links); Charon exploits the internal
+ * TSV bandwidth well beyond that; over 70% of its requests are
+ * local for most workloads, with LR and CC closer to half.
+ */
+
+#include "bench_common.hh"
+
+using namespace charon;
+using namespace charon::bench;
+
+int
+main()
+{
+    report::heading(std::cout,
+                    "Figure 13: bandwidth utilized during GC and "
+                    "Charon's local-access ratio");
+
+    report::Table table({"workload", "DDR4 GB/s", "HMC GB/s",
+                         "Charon GB/s", "local", "remote"});
+    for (const auto &name : allWorkloads()) {
+        auto run = runWorkload(name);
+        auto ddr4 = replay(run, sim::PlatformKind::HostDdr4);
+        auto hmc = replay(run, sim::PlatformKind::HostHmc);
+        auto charon = replay(run, sim::PlatformKind::CharonNmp);
+        table.addRow(
+            {name, report::num(ddr4.avgGcBandwidthGBs, 1),
+             report::num(hmc.avgGcBandwidthGBs, 1),
+             report::num(charon.avgGcBandwidthGBs, 1),
+             report::num(100 * charon.localAccessFraction, 0) + "%",
+             report::num(100 * (1 - charon.localAccessFraction), 0)
+                 + "%"});
+    }
+    table.print(std::cout);
+    std::cout << "\noff-chip limits: DDR4 34 GB/s, HMC links 80 GB/s; "
+                 "Charon internal peak 4 x 320 GB/s\n"
+              << "paper: >70% local for most workloads; LR and CC "
+                 "closer to ~50%\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 17 + Section 5.3: GC energy consumption of Charon relative
+ * to the host-only platforms, with the component split and average
+ * accelerator power.
+ *
+ * Paper shape: Charon saves 60.7% of GC energy versus the DDR4 host
+ * and 51.6% versus the HMC host; the accelerator's own structures
+ * contribute a negligible share; average Charon power is ~3 W
+ * (max 4.51 W on ALS), far under passive-cooling limits.
+ */
+
+#include "bench_common.hh"
+
+#include "accel/area_energy.hh"
+#include "sim/stats.hh"
+
+using namespace charon;
+using namespace charon::bench;
+
+int
+main()
+{
+    report::heading(std::cout,
+                    "Figure 17: GC energy, normalized to the "
+                    "host + DDR4 baseline");
+
+    report::Table table({"workload", "vs DDR4", "vs HMC", "host J",
+                         "DRAM J", "units J", "unit share",
+                         "avg unit W"});
+    std::vector<double> vs_ddr4, vs_hmc;
+    double max_power = 0;
+    std::string max_power_wl;
+    for (const auto &name : allWorkloads()) {
+        auto run = runWorkload(name);
+        auto ddr4 = replay(run, sim::PlatformKind::HostDdr4);
+        auto hmc = replay(run, sim::PlatformKind::HostHmc);
+        auto charon = replay(run, sim::PlatformKind::CharonNmp);
+
+        vs_ddr4.push_back(charon.totalEnergyJ() / ddr4.totalEnergyJ());
+        vs_hmc.push_back(charon.totalEnergyJ() / hmc.totalEnergyJ());
+        double unit_power =
+            charon.gcSeconds > 0 ? charon.unitEnergyJ / charon.gcSeconds
+                                 : 0;
+        if (unit_power > max_power) {
+            max_power = unit_power;
+            max_power_wl = name;
+        }
+        table.addRow(
+            {name, report::num(100 * vs_ddr4.back(), 1) + "%",
+             report::num(100 * vs_hmc.back(), 1) + "%",
+             report::num(charon.hostEnergyJ, 2),
+             report::num(charon.dramEnergyJ, 2),
+             report::num(charon.unitEnergyJ, 3),
+             report::percent(charon.unitEnergyJ,
+                             charon.totalEnergyJ()),
+             report::num(unit_power, 2)});
+    }
+    table.addRow({"geomean",
+                  report::num(100 * sim::geomean(vs_ddr4), 1) + "%",
+                  report::num(100 * sim::geomean(vs_hmc), 1) + "%", "-",
+                  "-", "-", "-", "-"});
+    table.print(std::cout);
+
+    std::cout << "\nsavings: "
+              << report::num(100 * (1 - sim::geomean(vs_ddr4)), 1)
+              << "% vs DDR4 (paper: 60.7%), "
+              << report::num(100 * (1 - sim::geomean(vs_hmc)), 1)
+              << "% vs HMC (paper: 51.6%)\n";
+    std::cout << "max accelerator power: " << report::num(max_power, 2)
+              << " W on " << max_power_wl
+              << " (paper: 4.51 W on ALS); power density "
+              << report::num(
+                     accel::PowerModel::powerDensityMwPerMm2(max_power),
+                     1)
+              << " mW/mm^2, passive-heatsink limit "
+              << report::num(accel::PowerModel::kPassiveHeatsinkMwPerMm2,
+                             0)
+              << " mW/mm^2\n";
+    return 0;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Table 1: applicability of the Charon primitives to the HotSpot
+ * collector families — demonstrated by actually running each
+ * collector in this repository and checking which primitives its
+ * trace contains.
+ *
+ *  - ParallelScavenge (our Scavenge + MarkCompact): all three.
+ *  - G1 (our region-based G1Heap + G1Collector): Copy and Scan&Push
+ *    in evacuation, Bitmap Count in the per-region liveness pass
+ *    after marking.
+ *  - CMS-style mark-sweep (our MarkSweep + a young scavenge): Copy
+ *    and Scan&Push, but never Bitmap Count (no compaction).
+ */
+
+#include <deque>
+#include <iostream>
+
+#include "gc/collector.hh"
+#include "gc/g1_collector.hh"
+#include "gc/mark_sweep.hh"
+#include "gc/recorder.hh"
+#include "gc/scavenge.hh"
+#include "report/table.hh"
+#include "sim/rng.hh"
+#include "workload/mutator.hh"
+
+using namespace charon;
+using gc::PrimKind;
+
+namespace
+{
+
+struct Usage
+{
+    bool copy = false;
+    bool search = false;
+    bool scanPush = false;
+    bool bitmapCount = false;
+};
+
+Usage
+scan(const gc::RunTrace &trace)
+{
+    Usage u;
+    for (const auto &gc : trace.gcs) {
+        u.copy |= gc.totalInvocations(PrimKind::Copy) > 0;
+        u.search |= gc.totalInvocations(PrimKind::Search) > 0;
+        u.scanPush |= gc.totalInvocations(PrimKind::ScanPush) > 0;
+        u.bitmapCount |= gc.totalInvocations(PrimKind::BitmapCount) > 0;
+    }
+    return u;
+}
+
+const char *
+mark(bool used)
+{
+    return used ? "yes" : "no";
+}
+
+} // namespace
+
+int
+main()
+{
+    report::heading(std::cout,
+                    "Table 1: primitive applicability, demonstrated "
+                    "by running each collector");
+
+    // ParallelScavenge: the full generational workload run.
+    auto ps_run = [] {
+        const auto &params = workload::findWorkload("KM");
+        workload::Mutator mut(params, params.heapBytes, 1);
+        mut.run();
+        return scan(mut.recorder().run());
+    }();
+
+    // G1: run the region-based collector through young, mark, and
+    // mixed cycles on a graph workload.
+    auto g1_run = [] {
+        heap::KlassTable klasses;
+        auto node = klasses.defineInstance("Node", 2, 2);
+        heap::G1Config cfg;
+        cfg.heapBytes = 32 * sim::kMiB;
+        cfg.regionBytes = 512 * 1024;
+        heap::G1Heap heap(cfg, klasses);
+        gc::TraceRecorder rec(8, workload::chooseCubeShift(
+                                     heap.vaLimit()));
+        gc::G1Collector g1(heap, rec);
+        sim::Rng rng(5);
+        std::deque<std::size_t> window;
+        for (int i = 0; i < 400000; ++i) {
+            mem::Addr obj = heap.allocate(node);
+            if (obj == 0) {
+                if (g1.onAllocationFailure()
+                    == gc::G1Outcome::OutOfMemory) {
+                    break;
+                }
+                obj = heap.allocate(node);
+            }
+            if (obj != 0 && rng.chance(0.4)) {
+                heap.roots().push_back(obj);
+                window.push_back(heap.roots().size() - 1);
+                if (window.size() > 60000) {
+                    heap.roots()[window.front()] = 0;
+                    window.pop_front();
+                }
+            }
+        }
+        // Complete the G1 cycle explicitly (System.gc()-style):
+        // marking computes per-region liveness with Bitmap Count,
+        // then a mixed collection evacuates the sparse old regions.
+        g1.concurrentMark();
+        g1.mixedCollect();
+        return scan(rec.run());
+    }();
+
+    // CMS-style: young scavenges plus old-generation mark-sweep,
+    // never a compactor.
+    auto cms_run = [] {
+        const auto &params = workload::findWorkload("KM");
+        workload::Mutator mut(params, params.heapBytes, 1);
+        // Build some state with the normal mutator, then run the
+        // non-moving old-generation collector on top.
+        mut.run();
+        gc::MarkSweep ms(mut.heap(), mut.recorder());
+        ms.collect();
+        // Only inspect the mark-sweep GC (the last trace entry) plus
+        // one scavenge for the young generation.
+        gc::RunTrace cms;
+        cms.gcs.push_back(mut.recorder().run().gcs.back());
+        gc::Scavenge sc(mut.heap(), mut.recorder());
+        sc.collect();
+        cms.gcs.push_back(mut.recorder().run().gcs.back());
+        return scan(cms);
+    }();
+
+    report::Table table({"collector", "Copy/Search", "Scan&Push",
+                         "Bitmap Count", "remarks"});
+    table.addRow({"ParallelScavenge",
+                  mark(ps_run.copy && ps_run.search),
+                  mark(ps_run.scanPush), mark(ps_run.bitmapCount),
+                  "high throughput"});
+    table.addRow({"G1", mark(g1_run.copy), mark(g1_run.scanPush),
+                  mark(g1_run.bitmapCount), "low latency"});
+    table.addRow({"CMS (mark-sweep)", mark(cms_run.copy),
+                  mark(cms_run.scanPush), mark(cms_run.bitmapCount),
+                  "no compaction"});
+    table.print(std::cout);
+
+    std::cout << "\npaper Table 1: ParallelScavenge uses all three; "
+                 "G1 uses all three (Bitmap Count with a minor fix); "
+                 "CMS uses Copy/Search and Scan&Push but not Bitmap "
+                 "Count\n";
+    // The load-bearing check: a compactor-free collector never calls
+    // Bitmap Count.
+    if (cms_run.bitmapCount) {
+        std::cerr << "ERROR: mark-sweep produced Bitmap Count calls\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table 4: area of every Charon hardware component and the aggregates
+ * the paper derives (total, per-cube average, fraction of the HMC
+ * logic die).
+ */
+
+#include <iostream>
+
+#include "accel/area_energy.hh"
+#include "report/table.hh"
+
+using namespace charon;
+
+int
+main()
+{
+    report::heading(std::cout, "Table 4: Charon area usage");
+
+    accel::AreaModel area{sim::CharonConfig{}};
+    report::Table table({"component", "per-unit mm^2", "units",
+                         "total mm^2", "class"});
+    for (const auto &c : area.components()) {
+        table.addRow({c.name, report::num(c.perUnitMm2, 4),
+                      std::to_string(c.units),
+                      report::num(c.totalMm2(), 4),
+                      c.isProcessingUnit ? "processing unit"
+                                         : "general"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\ntotal area: " << report::num(area.totalMm2(), 4)
+              << " mm^2 (paper: 1.9470)\n"
+              << "average per cube: "
+              << report::num(area.perCubeMm2(), 4)
+              << " mm^2 (paper: 0.4868)\n"
+              << "fraction of the "
+              << report::num(accel::AreaModel::kLogicDieMm2, 0)
+              << " mm^2 logic die: "
+              << report::num(100 * area.logicLayerFraction(), 2)
+              << "% (paper: ~0.49%)\n";
+    return 0;
+}

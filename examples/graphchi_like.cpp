@@ -1,0 +1,93 @@
+/**
+ * @file
+ * GraphChi-like scenario with a *custom* workload definition: builds
+ * a vertex graph whose demography you control (node count, degree,
+ * update rate), runs it, and dissects the recorded primitive trace —
+ * which primitives each GC phase executed, how many references were
+ * chased, and what the Charon bitmap cache saw.
+ *
+ * Build & run:
+ *   ./build/examples/graphchi_like
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "report/table.hh"
+#include "workload/mutator.hh"
+
+using namespace charon;
+
+int
+main()
+{
+    // A custom workload, not from the catalog: denser graph, heavier
+    // update traffic than CC.
+    workload::WorkloadParams params;
+    params.name = "CUSTOM";
+    params.framework = "GraphChi";
+    params.description = "custom dense-graph analytics";
+    params.heapBytes = 48 * sim::kMiB;
+    params.minHeapBytes = 36 * sim::kMiB;
+    params.iterations = 20;
+    params.graphNodes = 50000;
+    params.graphDegree = 12;
+    params.updatesPerIter = 120000;
+    params.updateStoreProb = 0.30;
+    params.shardsPerIter = 1;
+    params.shardElems = 96 * 1024;
+    params.smallPerIter = 2000;
+
+    workload::Mutator mut(params, params.heapBytes);
+    auto result = mut.run();
+    std::printf("ran %d iterations over a %d-vertex degree-%d graph: "
+                "%llu minor + %llu major GCs\n",
+                params.iterations, params.graphNodes, params.graphDegree,
+                static_cast<unsigned long long>(result.minorGcs),
+                static_cast<unsigned long long>(result.majorGcs));
+
+    // Dissect the trace: primitive invocations per phase kind.
+    struct PhaseAgg
+    {
+        std::uint64_t copy = 0, search = 0, scan = 0, bitmap = 0;
+        std::uint64_t refs = 0;
+        int phases = 0;
+        double hit = 0;
+    };
+    std::map<std::string, PhaseAgg> agg;
+    for (const auto &gc : mut.recorder().run().gcs) {
+        for (const auto &phase : gc.phases) {
+            auto &a = agg[phaseKindName(phase.kind)];
+            a.copy += phase.totalInvocations(gc::PrimKind::Copy);
+            a.search += phase.totalInvocations(gc::PrimKind::Search);
+            a.scan += phase.totalInvocations(gc::PrimKind::ScanPush);
+            a.bitmap +=
+                phase.totalInvocations(gc::PrimKind::BitmapCount);
+            for (const auto &t : phase.threads) {
+                for (const auto &b : t.buckets)
+                    a.refs += b.refsVisited;
+            }
+            a.hit += phase.bitmapCacheHitRate;
+            a.phases += 1;
+        }
+    }
+    report::Table table({"phase", "Copy", "Search", "Scan&Push",
+                         "BitmapCount", "refs chased",
+                         "bitmap cache hit"});
+    for (const auto &[name, a] : agg) {
+        table.addRow({name, std::to_string(a.copy),
+                      std::to_string(a.search), std::to_string(a.scan),
+                      std::to_string(a.bitmap),
+                      std::to_string(a.refs),
+                      a.bitmap + a.scan > 0 && a.hit > 0
+                          ? report::num(100 * a.hit / a.phases, 0) + "%"
+                          : "-"});
+    }
+    table.print(std::cout);
+    std::printf("\nthe long-lived graph makes marking (Scan&Push) and "
+                "compaction (BitmapCount) dominate — exactly why "
+                "GraphChi-style workloads profit least from Copy "
+                "acceleration and most from the bitmap units\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+#include "area_energy.hh"
+
+namespace charon::accel
+{
+
+AreaModel::AreaModel(const sim::CharonConfig &cfg) : cfg_(cfg)
+{
+    // Table 4 of the paper.  Per-unit areas are synthesis results
+    // (TSMC 40 nm) for the processing units and CACTI 45 nm estimates
+    // for the storage structures; unit counts follow the Table 2
+    // configuration (4 cubes: queues/metadata/TLB per cube, one
+    // shared bitmap cache at the central cube).
+    components_ = {
+        {"Command Queue", 0.0049, 4, false},
+        {"Request Queue(R)", 0.0015, 4, false},
+        {"Request Queue(W)", 0.0162, 4, false},
+        {"Metadata Array", 0.0805, 4, false},
+        {"Bitmap Cache", 0.1562, 1, false},
+        {"TLB", 0.0706, 4, false},
+        {"Copy/Search", 0.0223, cfg_.copySearchUnits, true},
+        {"Bitmap Count", 0.0427, cfg_.bitmapCountUnits, true},
+        {"Scan&Push", 0.0720, cfg_.scanPushUnits, true},
+    };
+}
+
+double
+AreaModel::totalMm2() const
+{
+    double total = 0;
+    for (const auto &c : components_)
+        total += c.totalMm2();
+    return total;
+}
+
+double
+AreaModel::perCubeMm2() const
+{
+    return totalMm2() / 4.0;
+}
+
+double
+AreaModel::logicLayerFraction() const
+{
+    return perCubeMm2() / kLogicDieMm2;
+}
+
+} // namespace charon::accel

@@ -1,0 +1,102 @@
+#include "bitmap_count_alg.hh"
+
+#include <bit>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace charon::accel
+{
+
+std::uint64_t
+optimizedWordCycles(std::uint64_t start_bit, std::uint64_t end_bit)
+{
+    if (end_bit <= start_bit)
+        return 0;
+    std::uint64_t first_word = start_bit >> 6;
+    std::uint64_t last_word = (end_bit - 1) >> 6;
+    return 2 * (last_word - first_word + 1); // begin map + end map
+}
+
+std::uint64_t
+optimizedLiveWords(const heap::MarkBitmap &beg,
+                   const heap::MarkBitmap &end, std::uint64_t start_bit,
+                   std::uint64_t end_bit)
+{
+    if (end_bit <= start_bit)
+        return 0;
+    CHARON_ASSERT(end_bit <= beg.numBits(), "range beyond bitmap");
+
+    // Extract the masked words of the range; word 0 holds the range's
+    // least-significant (lowest-address) bits.
+    const std::uint64_t first_word = start_bit >> 6;
+    const std::uint64_t last_word = (end_bit - 1) >> 6;
+    const std::size_t n = static_cast<std::size_t>(
+        last_word - first_word + 1);
+    std::vector<std::uint64_t> b(n), e(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        b[i] = beg.word(first_word + i);
+        e[i] = end.word(first_word + i);
+    }
+    // Mask bits below start_bit in the first word and at/after
+    // end_bit in the last word.
+    const int lo = static_cast<int>(start_bit & 63);
+    if (lo) {
+        b[0] &= ~0ull << lo;
+        e[0] &= ~0ull << lo;
+    }
+    const int hi = static_cast<int>(end_bit & 63);
+    if (hi) {
+        b[n - 1] &= ~0ull >> (64 - hi);
+        e[n - 1] &= ~0ull >> (64 - hi);
+    }
+
+    // Corner case 1: the range starts inside an object — the lowest
+    // set bit overall belongs to the end map only.  Drop it: the
+    // reference algorithm never pairs it.
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t any = b[i] | e[i];
+        if (any == 0)
+            continue;
+        int bit = std::countr_zero(any);
+        if ((e[i] >> bit) & 1ull) {
+            if (!((b[i] >> bit) & 1ull))
+                e[i] &= ~(1ull << bit);
+        }
+        break;
+    }
+    // Corner case 2: an object starts in range but ends beyond it —
+    // the highest set bit overall belongs to the begin map only.
+    // Drop it: the reference counts such objects as zero words.
+    for (std::size_t i = n; i-- > 0;) {
+        std::uint64_t any = b[i] | e[i];
+        if (any == 0)
+            continue;
+        int bit = 63 - std::countl_zero(any);
+        if ((b[i] >> bit) & 1ull) {
+            if (!((e[i] >> bit) & 1ull))
+                b[i] &= ~(1ull << bit);
+        }
+        break;
+    }
+
+    // count = popcount(E - B) + popcount(B), computed word-wise with
+    // borrow propagation from the least-significant word upward —
+    // one (word-pair) per cycle in hardware.
+    std::uint64_t count = 0;
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t d1 = e[i] - b[i];
+        std::uint64_t borrow1 = e[i] < b[i] ? 1u : 0u;
+        std::uint64_t d = d1 - borrow;
+        std::uint64_t borrow2 = d1 < borrow ? 1u : 0u;
+        borrow = borrow1 | borrow2;
+        count += static_cast<std::uint64_t>(std::popcount(d));
+        count += static_cast<std::uint64_t>(std::popcount(b[i]));
+    }
+    CHARON_ASSERT(borrow == 0,
+                  "unbalanced begin/end bits after corner handling");
+    return count;
+}
+
+} // namespace charon::accel

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Timing model of the Charon processing units (Sections 4.1-4.5).
+ *
+ * Unit pools are modelled as shared issue-bandwidth resources
+ * (FluidChannels): a Copy/Search unit issues one 256 B request per
+ * logic-layer cycle, a Bitmap Count unit consumes one 64-bit word
+ * pair per cycle, a Scan&Push unit issues one (16 B minimum) request
+ * per cycle.  Each offloaded bucket concurrently occupies its unit
+ * pool and the HMC resources its memory traffic crosses; the slowest
+ * resource bounds the bucket, and the per-offload round trip (host ->
+ * command queue -> unit -> response packet, Section 4.1) serializes
+ * on the blocked host thread.
+ *
+ * Scheduling follows the paper: Copy/Search and Bitmap Count run on
+ * the cube that houses their source data; Scan&Push runs on the
+ * central cube (ablatably).  The "cpuSide" configuration (Figure 16)
+ * places every pool beside the host memory controller instead, so all
+ * traffic crosses the off-chip link.
+ */
+
+#ifndef CHARON_ACCEL_DEVICE_HH
+#define CHARON_ACCEL_DEVICE_HH
+
+#include <memory>
+#include <vector>
+
+#include "gc/trace.hh"
+#include "hmc/hmc.hh"
+#include "mem/fluid_channel.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+
+namespace charon::accel
+{
+
+/**
+ * The accelerator: executes trace buckets on behalf of blocked host
+ * threads.
+ */
+class CharonDevice
+{
+  public:
+    CharonDevice(sim::EventQueue &eq, hmc::HmcMemory &hmc,
+                 const sim::SystemConfig &cfg);
+
+    /**
+     * Execute one aggregated bucket.
+     * @param bucket the work (kind, cubes, bytes, invocation count)
+     * @param bitmap_hit_rate measured bitmap-cache hit rate of the
+     *        enclosing phase (Bitmap Count / Scan&Push mark RMWs)
+     * @param done completion callback (the host thread unblocks)
+     */
+    void execBucket(const gc::Bucket &bucket, double bitmap_hit_rate,
+                    mem::StreamCallback done);
+
+    /**
+     * Host-side cost of the bulk cache flush at GC start
+     * (Section 4.6 "Effect on Host Cache"): LLC size over the
+     * off-chip bandwidth.
+     */
+    sim::Tick gcPrologueTicks() const;
+
+    /** Round-trip offload overhead per invocation to @p cube. */
+    sim::Tick offloadOverhead(int cube) const;
+
+    /** Unit-seconds of processing-unit activity (for energy). */
+    double unitBusySeconds() const;
+
+    /** Offload request+response packet bytes issued so far. */
+    double packetBytes() const { return packetBytes_; }
+
+    const sim::CharonConfig &config() const { return cfg_.charon; }
+
+  private:
+    void execCopy(const gc::Bucket &b, mem::StreamCallback done);
+    void execSearch(const gc::Bucket &b, mem::StreamCallback done);
+    void execScanPush(const gc::Bucket &b, double hit_rate,
+                      mem::StreamCallback done);
+    void execBitmapCount(const gc::Bucket &b, double hit_rate,
+                         mem::StreamCallback done);
+
+    /** Origin the unit's memory traffic departs from. */
+    hmc::Origin unitOrigin(int cube) const;
+
+    /** Pool channel for a kind on a cube. */
+    mem::FluidChannel &pool(gc::PrimKind kind, int cube);
+
+    /** Join helper: completes when @p parts flows have drained. */
+    struct Join;
+
+    sim::EventQueue &eq_;
+    hmc::HmcMemory &hmc_;
+    sim::SystemConfig cfg_;
+
+    // Per-cube pools (index = cube); Scan&Push has one pool at the
+    // central cube unless placed locally.
+    std::vector<std::unique_ptr<mem::FluidChannel>> copySearchPools_;
+    std::vector<std::unique_ptr<mem::FluidChannel>> bitmapCountPools_;
+    std::vector<std::unique_ptr<mem::FluidChannel>> scanPushPools_;
+
+    double packetBytes_ = 0;
+};
+
+} // namespace charon::accel
+
+#endif // CHARON_ACCEL_DEVICE_HH

@@ -1,0 +1,185 @@
+#include "host_model.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace charon::cpu
+{
+
+using gc::PrimKind;
+using sim::Tick;
+
+HostModel::HostModel(sim::EventQueue &eq, const sim::HostConfig &cfg,
+                     mem::MemPort &port, const gc::GlueCosts &costs)
+    : eq_(eq), cfg_(cfg), port_(port), costs_(costs), clock_(cfg.freqHz)
+{
+}
+
+Tick
+HostModel::glueTicks(std::uint64_t instructions) const
+{
+    double cycles = static_cast<double>(instructions) / cfg_.gcGlueIpc;
+    return clock_.cyclesToTicks(cycles);
+}
+
+double
+HostModel::seqRate() const
+{
+    // Streams are prefetcher-friendly: the core keeps ~mshrsPerCore
+    // cache-line fills in flight against the (row-hit) latency.
+    Tick lat = port_.latency(mem::AccessPattern::Sequential);
+    return cfg_.mshrsPerCore * 64.0 / static_cast<double>(lat);
+}
+
+double
+HostModel::randomRate() const
+{
+    // Dependent probes: the instruction window holds IW/instrPerProbe
+    // loop iterations, each carrying one likely-missing load
+    // (Section 3.3's "indirect memory access ... clog the instruction
+    // window" argument), also bounded by the MSHRs.
+    double window_mlp = cfg_.instructionWindow / kInstrPerProbe;
+    double mlp = std::clamp(window_mlp, 1.0,
+                            static_cast<double>(cfg_.mshrsPerCore));
+    Tick lat = port_.latency(mem::AccessPattern::Random);
+    return mlp * 64.0 / static_cast<double>(lat);
+}
+
+Tick
+HostModel::invocationOverhead(PrimKind kind) const
+{
+    // Call setup, bounds checks, loop prologue per primitive call.
+    std::uint64_t cycles = 0;
+    switch (kind) {
+      case PrimKind::Copy:        cycles = 25; break;
+      case PrimKind::Search:      cycles = 15; break;
+      case PrimKind::ScanPush:    cycles = 10; break;
+      case PrimKind::BitmapCount: cycles = 20; break;
+    }
+    return clock_.cyclesToTicks(static_cast<double>(cycles));
+}
+
+void
+HostModel::execBucket(const gc::Bucket &bucket, mem::Addr synth_addr,
+                      mem::StreamCallback done)
+{
+    if (bucket.invocations == 0) {
+        Tick now = eq_.now();
+        eq_.schedule(now, [done, now] {
+            if (done)
+                done(now);
+        });
+        return;
+    }
+    const Tick overhead =
+        invocationOverhead(bucket.kind) * bucket.invocations;
+    auto wrapped = [this, overhead, done](Tick t) {
+        eq_.schedule(t + overhead, [done, t, overhead] {
+            if (done)
+                done(t + overhead);
+        });
+    };
+    switch (bucket.kind) {
+      case PrimKind::Copy:
+      case PrimKind::Search:
+        execCopySearch(bucket, synth_addr, wrapped);
+        break;
+      case PrimKind::ScanPush:
+        execScanPush(bucket, synth_addr, wrapped);
+        break;
+      case PrimKind::BitmapCount:
+        execBitmapCount(bucket, wrapped);
+        break;
+    }
+}
+
+void
+HostModel::execCopySearch(const gc::Bucket &b, mem::Addr addr,
+                          mem::StreamCallback done)
+{
+    // One sequential stream covering the reads and (for Copy) the
+    // write-allocate + writeback traffic.
+    mem::StreamRequest req;
+    req.addr = addr;
+    req.bytes = b.seqReadBytes + b.writeBytes;
+    req.pattern = mem::AccessPattern::Sequential;
+    req.granularity = 64;
+    req.maxRate = seqRate();
+
+    if (b.kind == gc::PrimKind::Search) {
+        // The Figure 7 loop compares one block per iteration: the
+        // core, not DRAM, usually bounds the scan.  Completion is the
+        // later of the compute loop and the memory stream.
+        double cycles = static_cast<double>(b.seqReadBytes)
+                        * costs_.cpuCyclesPerCardByte;
+        Tick compute_done = eq_.now() + clock_.cyclesToTicks(cycles);
+        port_.stream(req, [this, compute_done, done](Tick t) {
+            Tick fin = std::max(t, compute_done);
+            eq_.schedule(fin, [done, fin] {
+                if (done)
+                    done(fin);
+            });
+        });
+        return;
+    }
+    port_.stream(req, std::move(done));
+}
+
+void
+HostModel::execScanPush(const gc::Bucket &b, mem::Addr addr,
+                        mem::StreamCallback done)
+{
+    // Two serial parts: the (strided) reads of the objects' reference
+    // blocks, then the dependent random probes.  Stack pushes and
+    // small metadata updates stay in the L1/L2 on the host and are
+    // not charged to DRAM (unlike Charon's units, which write through
+    // to memory) — but their instructions retire on the core, which
+    // is work the offloaded unit takes over (Figure 11 line 11).
+    const Tick push_ticks = glueTicks(b.stackPushes
+                                      * costs_.pushObject);
+    mem::StreamRequest seq;
+    seq.addr = addr;
+    seq.bytes = b.seqReadBytes;
+    seq.pattern = mem::AccessPattern::Strided;
+    seq.granularity = 64;
+    seq.maxRate = seqRate();
+
+    // Random probes fetch whole cache lines: 64 B of traffic per 16 B
+    // of useful data.
+    mem::StreamRequest rnd;
+    rnd.addr = addr;
+    rnd.bytes = (b.randomBytes / 16) * 64;
+    rnd.pattern = mem::AccessPattern::Random;
+    rnd.granularity = 64;
+    rnd.maxRate = randomRate();
+
+    auto self = this;
+    port_.stream(seq, [self, rnd, done, push_ticks](Tick) {
+        self->port_.stream(rnd, [self, done, push_ticks](Tick t) {
+            Tick fin = t + push_ticks;
+            self->eq_.schedule(fin, [done, fin] {
+                if (done)
+                    done(fin);
+            });
+        });
+    });
+}
+
+void
+HostModel::execBitmapCount(const gc::Bucket &b, mem::StreamCallback done)
+{
+    // The Figure 8 loop is compute-bound on the host: the touched
+    // bitmap range lives comfortably in the L2 (8 KB of bitmap covers
+    // 4 MB of heap), so time is cycles-per-bit over the walked range.
+    double cycles =
+        static_cast<double>(b.rangeBits) * costs_.cpuCyclesPerBitmapBit;
+    Tick t = eq_.now() + clock_.cyclesToTicks(cycles);
+    eq_.schedule(t, [done, t] {
+        if (done)
+            done(t);
+    });
+}
+
+} // namespace charon::cpu

@@ -1,0 +1,88 @@
+#include "collector.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace charon::gc
+{
+
+using heap::Space;
+
+const char *
+gcOutcomeName(GcOutcome outcome)
+{
+    switch (outcome) {
+      case GcOutcome::Minor:       return "minor";
+      case GcOutcome::Major:       return "major";
+      case GcOutcome::OutOfMemory: return "out-of-memory";
+    }
+    return "unknown";
+}
+
+Collector::Collector(heap::ManagedHeap &heap, TraceRecorder &recorder)
+    : heap_(heap), rec_(recorder)
+{
+}
+
+bool
+Collector::promotionGuaranteeHolds()
+{
+    Scavenge probe(heap_, rec_);
+    auto demand = probe.estimateDemand();
+    const auto &to = heap_.region(Space::To);
+    // Bytes that must land in Old: aged promotions plus survivor
+    // overflow, padded by one max-object of fragmentation slack.
+    std::uint64_t overflow =
+        demand.survivorBytes > to.capacity()
+            ? demand.survivorBytes - to.capacity()
+            : 0;
+    std::uint64_t need_old =
+        demand.promoteBytes + overflow + demand.largestObject;
+    return need_old <= heap_.region(Space::Old).free();
+}
+
+GcOutcome
+Collector::onAllocationFailure()
+{
+    if (promotionGuaranteeHolds()) {
+        minorCollect();
+        return GcOutcome::Minor;
+    }
+    auto result = fullCollect();
+    if (result.outOfMemory)
+        return GcOutcome::OutOfMemory;
+    return GcOutcome::Major;
+}
+
+MarkCompact::Result
+Collector::fullCollect()
+{
+    MarkCompact mc(heap_, rec_);
+    auto result = mc.collect();
+    if (!result.outOfMemory)
+        ++majors_;
+    return result;
+}
+
+Scavenge::Result
+Collector::minorCollect()
+{
+    if (threshold_ == 0)
+        threshold_ = heap_.config().tenuringThreshold;
+    Scavenge sc(heap_, rec_, threshold_);
+    auto result = sc.collect();
+    ++minors_;
+    if (adaptive_) {
+        const auto &from = heap_.region(Space::From);
+        if (result.bytesOverflowPromoted > from.capacity() / 10) {
+            threshold_ = std::max(1, threshold_ - 1);
+        } else if (from.used() < from.capacity() / 2
+                   && threshold_ < kMaxTenuringThreshold) {
+            ++threshold_;
+        }
+    }
+    return result;
+}
+
+} // namespace charon::gc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The collection driver: ties the two collectors to HotSpot-like
+ * triggering policy.
+ *
+ * A mutator allocates in Eden until allocation fails, then calls
+ * onAllocationFailure().  The driver evaluates the promotion
+ * guarantee (a pre-flight space estimate, standing in for HotSpot's
+ * adaptive policy): if a scavenge could not be guaranteed to fit its
+ * survivors and promotions, a full mark-compact collection runs
+ * instead; otherwise a minor collection runs.
+ */
+
+#ifndef CHARON_GC_COLLECTOR_HH
+#define CHARON_GC_COLLECTOR_HH
+
+#include "gc/mark_compact.hh"
+#include "gc/recorder.hh"
+#include "gc/scavenge.hh"
+#include "heap/heap.hh"
+
+namespace charon::gc
+{
+
+/** What the driver did on an allocation failure. */
+enum class GcOutcome
+{
+    Minor,       ///< scavenge ran
+    Major,       ///< full collection ran
+    OutOfMemory, ///< live set does not fit: allocation cannot proceed
+};
+
+const char *gcOutcomeName(GcOutcome outcome);
+
+/**
+ * Policy + dispatch for one heap.
+ */
+class Collector
+{
+  public:
+    Collector(heap::ManagedHeap &heap, TraceRecorder &recorder);
+
+    /**
+     * Collect in response to an Eden allocation failure.
+     * The failed allocation should be retried afterwards (unless
+     * OutOfMemory).
+     */
+    GcOutcome onAllocationFailure();
+
+    /** Force a full collection (System.gc()-style). */
+    MarkCompact::Result fullCollect();
+
+    /** Force a minor collection (testing / experiments). */
+    Scavenge::Result minorCollect();
+
+    std::uint64_t minorCount() const { return minors_; }
+    std::uint64_t majorCount() const { return majors_; }
+
+    /**
+     * HotSpot-style adaptive tenuring (-XX:+UseAdaptiveSizePolicy,
+     * simplified): after each scavenge, lower the threshold when the
+     * To space overflowed (promote sooner) and raise it when the
+     * survivors sit mostly empty (give objects more time to die).
+     * Off by default so experiments use the paper's fixed setup.
+     */
+    void setAdaptiveTenuring(bool enabled) { adaptive_ = enabled; }
+    int tenuringThreshold() const { return threshold_; }
+
+  private:
+    /** True when the promotion guarantee holds for a scavenge now. */
+    bool promotionGuaranteeHolds();
+
+    heap::ManagedHeap &heap_;
+    TraceRecorder &rec_;
+    bool adaptive_ = false;
+    int threshold_ = 0; ///< 0 until first collection (config value)
+    std::uint64_t minors_ = 0;
+    std::uint64_t majors_ = 0;
+
+    static constexpr int kMaxTenuringThreshold = 15;
+};
+
+} // namespace charon::gc
+
+#endif // CHARON_GC_COLLECTOR_HH

@@ -1,0 +1,289 @@
+#include "mark_compact.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace charon::gc
+{
+
+using heap::Space;
+using mem::Addr;
+
+MarkCompact::MarkCompact(heap::ManagedHeap &heap, TraceRecorder &recorder)
+    : heap_(heap), rec_(recorder)
+{
+}
+
+bool
+MarkCompact::isMarked(Addr obj) const
+{
+    return heap_.begBitmap().test(obj);
+}
+
+bool
+MarkCompact::markObject(Addr obj)
+{
+    auto &beg = heap_.begBitmap();
+    auto &end = heap_.endBitmap();
+    if (beg.test(obj))
+        return false;
+    std::uint64_t size_words = heap_.sizeWords(obj);
+    beg.set(obj);
+    end.set(obj + (size_words - 1) * 8);
+    // mark_obj performs atomic RMWs on both maps (through the bitmap
+    // cache in Charon, Section 4.5).
+    rec_.recordMarkObj(beg.storageAddrOfBit(beg.bitIndex(obj)));
+    rec_.recordMarkObj(
+        end.storageAddrOfBit(end.bitIndex(obj + (size_words - 1) * 8)));
+    return true;
+}
+
+void
+MarkCompact::markPhase()
+{
+    rec_.beginPhase(PhaseKind::MajorMark);
+    const auto &costs = rec_.costs();
+    heap_.begBitmap().clearAll();
+    heap_.endBitmap().clearAll();
+    // Bulk bitmap clear: host-side memset, charged as glue.
+    rec_.recordGlue(heap_.begBitmap().storageBytes() / 32,
+                    heap_.begBitmap().storageBytes() / 32);
+
+    std::vector<Addr> stack;
+    for (Addr root : heap_.roots()) {
+        rec_.recordGlue(costs.rootVisit, 1);
+        if (root != 0 && markObject(root)) {
+            stack.push_back(root);
+            rec_.recordGlue(costs.pushObject);
+        }
+        rec_.nextThread();
+    }
+
+    std::vector<Addr> weak_refs;
+    while (!stack.empty()) {
+        Addr obj = stack.back();
+        stack.pop_back();
+        rec_.recordGlue(costs.popObject + costs.typeDispatch, 2);
+        std::uint64_t n = heap_.refCount(obj);
+        std::uint64_t pushed = 0;
+        auto kind = heap_.klasses().get(heap_.klassOf(obj)).kind;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Addr target = heap_.refAt(obj, i);
+            if (target == 0)
+                continue;
+            if (heap::isWeakSlot(kind, i)) {
+                // Weak referents do not keep their target alive.
+                weak_refs.push_back(obj);
+                continue;
+            }
+            if (markObject(target)) {
+                stack.push_back(target);
+                ++pushed;
+            }
+        }
+        rec_.recordScanPush(obj, 16 + n * 8, n, pushed,
+                            heap_.klasses().get(heap_.klassOf(obj))
+                                .acceleratable());
+        live_.push_back(obj);
+        ++result_.liveObjects;
+        result_.liveBytes += heap_.sizeBytes(obj);
+        rec_.nextThread();
+    }
+    // Reference processing: clear weak referents the marking did not
+    // reach through a strong path.
+    for (Addr holder : weak_refs) {
+        rec_.recordGlue(costs.pointerAdjust, 2);
+        Addr target = heap_.refAt(holder, 0);
+        if (target != 0 && !heap_.begBitmap().test(target))
+            heap_.setRefRaw(holder, 0, 0);
+    }
+    rec_.endPhase();
+
+    std::sort(live_.begin(), live_.end());
+}
+
+std::uint64_t
+MarkCompact::regionOf(Addr addr) const
+{
+    return (addr - heap_.base()) / kRegionBytes;
+}
+
+void
+MarkCompact::summaryPhase()
+{
+    rec_.beginPhase(PhaseKind::MajorSummary);
+    const auto &costs = rec_.costs();
+
+    // Per-region live-word totals (objects straddling region borders
+    // split their words by location, as HotSpot's add_obj does), then
+    // the destination prefix.
+    const std::uint64_t num_regions =
+        mem::divCeil(heap_.heapBytes(), kRegionBytes);
+    std::vector<std::uint64_t> region_words(num_regions, 0);
+    for (Addr obj : live_) {
+        Addr end = obj + heap_.sizeBytes(obj);
+        Addr p = obj;
+        while (p < end) {
+            std::uint64_t r = regionOf(p);
+            Addr region_end = heap_.base() + (r + 1) * kRegionBytes;
+            Addr take_end = std::min(end, region_end);
+            region_words[r] += (take_end - p) / 8;
+            p = take_end;
+        }
+    }
+    regionDestWords_.assign(num_regions, 0);
+    std::uint64_t prefix = 0;
+    for (std::uint64_t r = 0; r < num_regions; ++r) {
+        regionDestWords_[r] = prefix;
+        prefix += region_words[r];
+        rec_.recordGlue(costs.regionSummary, 1);
+        rec_.nextThread();
+    }
+
+    // Exact destinations for every live object via a running prefix.
+    dest_.resize(live_.size());
+    std::uint64_t words_before = 0;
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+        dest_[i] = heap_.base() + words_before * 8;
+        words_before += heap_.sizeWords(live_[i]);
+    }
+    result_.outOfMemory =
+        words_before * 8 > heap_.region(Space::Old).capacity();
+    rec_.endPhase();
+}
+
+Addr
+MarkCompact::lookupNewAddr(Addr obj) const
+{
+    auto it = std::lower_bound(live_.begin(), live_.end(), obj);
+    CHARON_ASSERT(it != live_.end() && *it == obj,
+                  "new address of a non-live object 0x%llx",
+                  static_cast<unsigned long long>(obj));
+    return dest_[static_cast<std::size_t>(it - live_.begin())];
+}
+
+Addr
+MarkCompact::newAddrOf(Addr obj)
+{
+    // What HotSpot computes as
+    //   region_destination + live_words_in_range(region_start, obj):
+    // record the Bitmap Count over [region start bit, obj bit) and
+    // return the exact prefix-derived destination.
+    const auto &beg = heap_.begBitmap();
+    std::uint64_t obj_bit = beg.bitIndex(obj);
+    std::uint64_t region_start_bit =
+        regionOf(obj) * (kRegionBytes / 8);
+    rec_.recordBitmapCount(
+        beg.storageAddrOfBit(region_start_bit),
+        heap_.endBitmap().storageAddrOfBit(region_start_bit),
+        obj_bit - region_start_bit);
+    return lookupNewAddr(obj);
+}
+
+void
+MarkCompact::compactPhase()
+{
+    rec_.beginPhase(PhaseKind::MajorCompact);
+    const auto &costs = rec_.costs();
+
+    // Adjust: rewrite every reference (and root) to its target's
+    // destination.  One Bitmap Count per pointer.
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+        Addr obj = live_[i];
+        rec_.recordGlue(costs.typeDispatch, 1);
+        std::uint64_t n = heap_.refCount(obj);
+        for (std::uint64_t s = 0; s < n; ++s) {
+            Addr target = heap_.refAt(obj, s);
+            if (target == 0)
+                continue;
+            Addr moved = newAddrOf(target);
+            heap_.setRefRaw(obj, s, moved);
+            rec_.recordGlue(costs.pointerAdjust, 2);
+            ++result_.pointersAdjusted;
+        }
+        rec_.nextThread();
+    }
+    for (Addr &root : heap_.roots()) {
+        if (root != 0) {
+            root = newAddrOf(root);
+            rec_.recordGlue(costs.pointerAdjust, 1);
+            ++result_.pointersAdjusted;
+        }
+    }
+
+    // Move: ascending order guarantees dest <= src, so in-place
+    // sliding is safe.  One Bitmap Count (own destination) per
+    // object, but Copy at HotSpot's granularity: contiguous live runs
+    // move as single bulk copies (region filling), split where the
+    // run crosses a cube boundary so the Copy/Search units stay
+    // data-local.  Objects already at their destination form the
+    // dense prefix and are not copied at all.
+    Addr run_src = 0, run_dst = 0;
+    std::uint64_t run_len = 0;
+    auto flush_run = [&] {
+        if (run_len == 0)
+            return;
+        rec_.recordCopy(run_src, run_dst, run_len);
+        rec_.nextThread();
+        run_len = 0;
+    };
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+        Addr obj = live_[i];
+        Addr dst = newAddrOf(obj);
+        CHARON_ASSERT(dst == dest_[i], "destination mismatch");
+        CHARON_ASSERT(dst <= obj, "compaction must move left");
+        std::uint64_t bytes = heap_.sizeBytes(obj);
+        rec_.recordGlue(costs.allocate, 1);
+        if (dst == obj) {
+            flush_run(); // dense prefix: stays in place
+            continue;
+        }
+        heap_.copyObjectBytes(dst, obj, bytes);
+        result_.bytesMoved += bytes;
+        bool extends = run_len > 0 && obj == run_src + run_len
+                       && dst == run_dst + run_len
+                       && rec_.cubeOf(obj) == rec_.cubeOf(run_src)
+                       && rec_.cubeOf(dst) == rec_.cubeOf(run_dst);
+        if (!extends) {
+            flush_run();
+            run_src = obj;
+            run_dst = dst;
+        }
+        run_len += bytes;
+    }
+    flush_run();
+    rec_.endPhase();
+}
+
+MarkCompact::Result
+MarkCompact::collect()
+{
+    rec_.beginGc(true);
+    markPhase();
+    summaryPhase();
+    if (result_.outOfMemory) {
+        // Leave the heap untouched; the caller surfaces the OOM.
+        rec_.endGc();
+        return result_;
+    }
+    compactPhase();
+
+    GcTrace &trace = rec_.endGc();
+    trace.liveObjects = result_.liveObjects;
+    trace.bytesCopied = result_.bytesMoved;
+
+    // The whole live set now sits at the bottom of Old; young spaces
+    // are empty.
+    Addr new_top = heap_.base() + result_.liveBytes;
+    heap_.setOldTop(new_top);
+    heap_.resetSpace(Space::Eden);
+    heap_.resetSpace(Space::From);
+    heap_.resetSpace(Space::To);
+    heap_.rebuildBlockOffsets();
+    // No old-to-young references can exist (young is empty).
+    heap_.cardTable().cleanAll();
+    return result_;
+}
+
+} // namespace charon::gc

@@ -1,0 +1,183 @@
+#include "mark_sweep.hh"
+
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace charon::gc
+{
+
+using heap::Space;
+using mem::Addr;
+
+MarkSweep::MarkSweep(heap::ManagedHeap &heap, TraceRecorder &recorder)
+    : heap_(heap), rec_(recorder)
+{
+}
+
+void
+MarkSweep::markFromRoots()
+{
+    rec_.beginPhase(PhaseKind::MajorMark);
+    const auto &costs = rec_.costs();
+    auto &mark = heap_.begBitmap(); // CMS-style single mark bitmap
+    mark.clearAll();
+    rec_.recordGlue(mark.storageBytes() / 32, mark.storageBytes() / 32);
+
+    std::vector<Addr> stack;
+    auto mark_and_push = [&](Addr obj) {
+        if (obj == 0 || mark.test(obj))
+            return false;
+        mark.set(obj);
+        rec_.recordMarkObj(
+            mark.storageAddrOfBit(mark.bitIndex(obj)));
+        stack.push_back(obj);
+        return true;
+    };
+
+    for (Addr root : heap_.roots()) {
+        rec_.recordGlue(costs.rootVisit, 1);
+        mark_and_push(root);
+        rec_.nextThread();
+    }
+    std::vector<Addr> weak_refs;
+    while (!stack.empty()) {
+        Addr obj = stack.back();
+        stack.pop_back();
+        rec_.recordGlue(costs.popObject + costs.typeDispatch, 2);
+        std::uint64_t n = heap_.refCount(obj);
+        std::uint64_t pushed = 0;
+        auto kind = heap_.klasses().get(heap_.klassOf(obj)).kind;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (heap::isWeakSlot(kind, i)) {
+                weak_refs.push_back(obj);
+                continue;
+            }
+            pushed += mark_and_push(heap_.refAt(obj, i)) ? 1 : 0;
+        }
+        rec_.recordScanPush(obj, 16 + n * 8, n, pushed,
+                            heap_.klasses().get(heap_.klassOf(obj))
+                                .acceleratable());
+        ++result_.liveObjects;
+        result_.liveBytes += heap_.sizeBytes(obj);
+        rec_.nextThread();
+    }
+    // Clear weak referents that only the Reference object reached.
+    for (Addr holder : weak_refs) {
+        rec_.recordGlue(costs.pointerAdjust, 2);
+        Addr target = heap_.refAt(holder, 0);
+        if (target != 0 && !mark.test(target))
+            heap_.setRefRaw(holder, 0, 0);
+    }
+    rec_.endPhase();
+}
+
+void
+MarkSweep::writeFiller(Addr addr, std::uint64_t bytes)
+{
+    const auto &klasses = heap_.klasses();
+    std::uint64_t words = bytes / 8;
+    CHARON_ASSERT(words >= 2, "hole too small for a filler");
+    if (words == 2) {
+        heap_.store64(addr, static_cast<std::uint64_t>(klasses.fillerId())
+                                | (2ull << 32));
+        heap_.store64(addr + 8, 0);
+        return;
+    }
+    // int[] filler: 3 header words + (words-3) payload words
+    // == (words-3)*2 int elements.
+    std::uint64_t len = (words - 3) * 2;
+    heap_.store64(addr, static_cast<std::uint64_t>(klasses.intArrayId())
+                            | (words << 32));
+    heap_.store64(addr + 8, 0);
+    heap_.store64(addr + 16, len);
+}
+
+void
+MarkSweep::sweep()
+{
+    rec_.beginPhase(PhaseKind::MajorSummary); // sweep bookkeeping slot
+    const auto &costs = rec_.costs();
+    const auto &mark = heap_.begBitmap();
+    freeList_.clear();
+
+    Addr p = heap_.region(Space::Old).start;
+    const Addr top = heap_.region(Space::Old).top;
+    Addr run_start = 0;
+    auto close_run = [&](Addr run_end) {
+        if (run_start == 0)
+            return;
+        std::uint64_t bytes = run_end - run_start;
+        writeFiller(run_start, bytes);
+        freeList_.push_back({run_start, bytes});
+        result_.freedBytes += bytes;
+        ++result_.freeChunks;
+        run_start = 0;
+    };
+
+    while (p < top) {
+        std::uint64_t bytes = heap_.sizeBytes(p);
+        if (mark.test(p)) {
+            close_run(p);
+        } else if (run_start == 0) {
+            run_start = p;
+        }
+        rec_.recordGlue(costs.cardMaintain, 1); // per-object sweep visit
+        p += bytes;
+    }
+    close_run(top);
+    rec_.endPhase();
+}
+
+MarkSweep::Result
+MarkSweep::collect()
+{
+    rec_.beginGc(true);
+    markFromRoots();
+    sweep();
+    rec_.endGc();
+    return result_;
+}
+
+Addr
+MarkSweep::allocateFromFreeList(heap::KlassId klass,
+                                std::uint64_t array_len)
+{
+    std::uint64_t need_words = heap_.sizeWordsFor(klass, array_len);
+    for (auto it = freeList_.begin(); it != freeList_.end(); ++it) {
+        std::uint64_t chunk_words = it->bytes / 8;
+        if (chunk_words < need_words)
+            continue;
+        std::uint64_t rem = chunk_words - need_words;
+        if (rem == 1)
+            continue; // cannot express a 1-word filler
+        Addr obj = it->addr;
+        if (rem == 0) {
+            freeList_.erase(it);
+        } else {
+            it->addr += need_words * 8;
+            it->bytes = rem * 8;
+            writeFiller(it->addr, it->bytes);
+        }
+        // Install a fresh header (mirrors ManagedHeap allocation).
+        std::uint64_t kid = klass;
+        heap_.store64(obj, kid | (need_words << 32));
+        heap_.store64(obj + 8, 0);
+        const auto &k = heap_.klasses().get(klass);
+        if (k.kind == heap::KlassKind::ObjArray
+            || heap::isTypeArrayKind(k.kind)) {
+            heap_.store64(obj + 16, array_len);
+            if (k.kind == heap::KlassKind::ObjArray) {
+                for (std::uint64_t i = 0; i < array_len; ++i)
+                    heap_.store64(obj + 24 + i * 8, 0);
+            }
+        } else {
+            for (std::uint64_t i = 0; i < k.refFields; ++i)
+                heap_.store64(obj + 16 + i * 8, 0);
+        }
+        return obj;
+    }
+    return 0;
+}
+
+} // namespace charon::gc

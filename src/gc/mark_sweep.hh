@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A non-moving mark-sweep collector over the Old generation, in the
+ * style of HotSpot's Concurrent Mark Sweep (CMS) old-generation
+ * collector.
+ *
+ * Included to demonstrate Table 1 of the paper: CMS reuses the
+ * Scan&Push primitive as-is and Copy for its (separate) young-gen
+ * scavenges, but — having no compaction — never calls Bitmap Count.
+ * Dead runs are overwritten with int[]-style filler objects (exactly
+ * HotSpot's trick) so heap walkers keep working, and the resulting
+ * holes are chained into a first-fit free list.
+ */
+
+#ifndef CHARON_GC_MARK_SWEEP_HH
+#define CHARON_GC_MARK_SWEEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gc/recorder.hh"
+#include "heap/heap.hh"
+
+namespace charon::gc
+{
+
+/**
+ * Mark-sweep over the Old generation.
+ */
+class MarkSweep
+{
+  public:
+    struct Result
+    {
+        std::uint64_t liveObjects = 0;
+        std::uint64_t liveBytes = 0;
+        std::uint64_t freedBytes = 0;
+        std::uint64_t freeChunks = 0;
+    };
+
+    /** A reclaimed hole (now holding a filler object). */
+    struct FreeChunk
+    {
+        mem::Addr addr;
+        std::uint64_t bytes;
+    };
+
+    MarkSweep(heap::ManagedHeap &heap, TraceRecorder &recorder);
+
+    /**
+     * Mark from the roots and sweep the Old generation.  Young spaces
+     * are untouched (CMS pairs with a separate young collector).
+     */
+    Result collect();
+
+    /** Free list produced by the last sweep (address order). */
+    const std::vector<FreeChunk> &freeList() const { return freeList_; }
+
+    /**
+     * First-fit allocation from the free list: carves @p size_words
+     * out of a chunk, re-writing the filler for the remainder.
+     * @return object address with a valid header, or 0.
+     */
+    mem::Addr allocateFromFreeList(heap::KlassId klass,
+                                   std::uint64_t array_len = 0);
+
+  private:
+    void markFromRoots();
+    void sweep();
+    void writeFiller(mem::Addr addr, std::uint64_t bytes);
+
+    heap::ManagedHeap &heap_;
+    TraceRecorder &rec_;
+    Result result_;
+    std::vector<FreeChunk> freeList_;
+};
+
+} // namespace charon::gc
+
+#endif // CHARON_GC_MARK_SWEEP_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * TraceRecorder: the instrumentation sink the collectors write into.
+ *
+ * Owns the open GcTrace, maps heap addresses to HMC cubes, spreads
+ * work over the configured number of GC threads, and runs the
+ * functional bitmap-cache model over the bitmap access stream so the
+ * trace carries a measured hit rate (Section 4.5 reports ~90%).
+ */
+
+#ifndef CHARON_GC_RECORDER_HH
+#define CHARON_GC_RECORDER_HH
+
+#include <memory>
+
+#include "gc/costs.hh"
+#include "gc/trace.hh"
+#include "mem/cache_model.hh"
+
+namespace charon::gc
+{
+
+/**
+ * Collects one RunTrace across a whole mutator run.
+ */
+class TraceRecorder
+{
+  public:
+    /**
+     * @param num_threads GC threads the work is striped over
+     * @param cube_shift address-to-cube mapping shift (cube =
+     *        (addr >> shift) & 3); pick so the heap spans all cubes
+     * @param num_cubes cubes in the HMC network
+     */
+    TraceRecorder(int num_threads, int cube_shift, int num_cubes = 4);
+
+    int numThreads() const { return numThreads_; }
+    int cubeOf(mem::Addr addr) const;
+
+    // ------------------------------------------------------------------
+    // GC / phase lifecycle
+
+    void beginGc(bool major);
+    void beginPhase(PhaseKind kind);
+    void endPhase();
+    GcTrace &endGc();
+
+    /** Mutator instructions executed since the previous GC. */
+    void recordMutator(std::uint64_t instructions);
+
+    /** Flush the post-final-GC mutator tail into the run trace. */
+    void finishRun();
+
+    // ------------------------------------------------------------------
+    // Primitive records (thread chosen round-robin per invocation)
+
+    /** Bulk copy of @p bytes from @p src to @p dst. */
+    void recordCopy(mem::Addr src, mem::Addr dst, std::uint64_t bytes);
+
+    /**
+     * Copies below this size are not worth a 48 B offload packet and
+     * stay on the host (the JVM call site knows the object size, so
+     * this is one extra compare in the 37-line patch of Section 4.6).
+     */
+    void setCopyOffloadThreshold(std::uint64_t bytes);
+    std::uint64_t copyOffloadThreshold() const
+    {
+        return copyThreshold_;
+    }
+
+    /** Card-table Search over table storage [start, start+bytes). */
+    void recordSearch(mem::Addr table_start, std::uint64_t bytes);
+
+    /**
+     * Scan&Push over one object: sequential read of its @p obj_bytes
+     * (header + ref slots), @p refs random header probes of 16 B
+     * each, and @p pushed 8 B stack pushes.
+     * @param acceleratable false for the rare klass layouts the
+     *        Scan&Push unit does not implement (host fallback)
+     */
+    void recordScanPush(mem::Addr obj, std::uint64_t obj_bytes,
+                        std::uint64_t refs, std::uint64_t pushed,
+                        bool acceleratable = true);
+
+    /**
+     * One live_words_in_range call over @p range_bits bits starting at
+     * begin-map VA @p beg_storage_addr; feeds the bitmap cache.
+     */
+    void recordBitmapCount(mem::Addr beg_storage_addr,
+                           mem::Addr end_storage_addr,
+                           std::uint64_t range_bits);
+
+    /** mark_obj: an 8 B RMW on the bitmap (through the bitmap cache). */
+    void recordMarkObj(mem::Addr bitmap_storage_addr);
+
+    /** Host-only instructions attributable to the current thread. */
+    void recordGlue(std::uint64_t instructions,
+                    std::uint64_t mem_accesses = 0);
+
+    /** Advance the round-robin thread cursor (call per work item). */
+    void nextThread();
+
+    /** Attribute subsequent records to a specific thread (striping). */
+    void setThread(int thread);
+
+    /** Thread the current work item is attributed to. */
+    int currentThread() const { return cursor_; }
+
+    const GlueCosts &costs() const { return costs_; }
+
+    /** Completed run trace. */
+    RunTrace &run() { return run_; }
+    const RunTrace &run() const { return run_; }
+
+    /** The functional bitmap-cache model (for inspection in tests). */
+    mem::CacheModel &bitmapCache() { return bitmapCache_; }
+
+  private:
+    ThreadWork &work();
+    PhaseTrace &phase();
+
+    int numThreads_;
+    int cubeShift_;
+    int numCubes_;
+    GlueCosts costs_;
+
+    RunTrace run_;
+    GcTrace current_;
+    bool gcOpen_ = false;
+    bool phaseOpen_ = false;
+    int cursor_ = 0;
+    std::uint64_t mutatorSinceGc_ = 0;
+    std::uint64_t copyThreshold_ = 256;
+
+    mem::CacheModel bitmapCache_;
+};
+
+} // namespace charon::gc
+
+#endif // CHARON_GC_RECORDER_HH

@@ -1,0 +1,338 @@
+#include "scavenge.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace charon::gc
+{
+
+using heap::Space;
+using mem::Addr;
+
+Scavenge::Scavenge(heap::ManagedHeap &heap, TraceRecorder &recorder,
+                   int tenuring_threshold)
+    : heap_(heap),
+      rec_(recorder),
+      threshold_(tenuring_threshold > 0
+                     ? tenuring_threshold
+                     : heap.config().tenuringThreshold)
+{
+}
+
+Scavenge::SpaceDemand
+Scavenge::estimateDemand() const
+{
+    // Pure reachability pass over the young generation: from the roots
+    // and from old objects on dirty cards, classify every live young
+    // object as survivor (age+1 < threshold) or promotion.  Used by
+    // the policy as HotSpot uses its promotion-guarantee estimate; the
+    // totals are exact because survivor overflow conserves bytes.
+    SpaceDemand demand;
+    std::unordered_set<Addr> visited;
+    std::vector<Addr> stack;
+
+    auto consider = [&](Addr target) {
+        if (target == 0 || !heap_.inYoung(target))
+            return;
+        if (visited.insert(target).second)
+            stack.push_back(target);
+    };
+
+    for (Addr root : heap_.roots())
+        consider(root);
+
+    const auto &cards = heap_.cardTable();
+    std::uint64_t limit = cards.numCards();
+    for (std::uint64_t c = cards.findDirty(0, limit); c < limit;
+         c = cards.findDirty(c + 1, limit)) {
+        Addr obj = heap_.firstObjectOnCard(c);
+        Addr card_end = cards.cardStart(c) + heap::CardTable::kCardBytes;
+        while (obj != 0 && obj < card_end
+               && obj < heap_.region(Space::Old).top) {
+            std::uint64_t n = heap_.refCount(obj);
+            for (std::uint64_t i = 0; i < n; ++i)
+                consider(heap_.refAt(obj, i));
+            obj += heap_.sizeBytes(obj);
+        }
+    }
+
+    const int threshold = threshold_;
+    while (!stack.empty()) {
+        Addr obj = stack.back();
+        stack.pop_back();
+        std::uint64_t bytes = heap_.sizeBytes(obj);
+        demand.largestObject = std::max(demand.largestObject, bytes);
+        if (heap_.age(obj) + 1 >= threshold)
+            demand.promoteBytes += bytes;
+        else
+            demand.survivorBytes += bytes;
+        std::uint64_t n = heap_.refCount(obj);
+        for (std::uint64_t i = 0; i < n; ++i)
+            consider(heap_.refAt(obj, i));
+    }
+    return demand;
+}
+
+Addr
+Scavenge::readSlot(const SlotRef &slot) const
+{
+    if (slot.isRoot)
+        return heap_.roots()[slot.value];
+    return heap_.load64(slot.value);
+}
+
+void
+Scavenge::writeSlot(const SlotRef &slot, Addr target)
+{
+    if (slot.isRoot) {
+        heap_.roots()[slot.value] = target;
+        return;
+    }
+    heap_.store64(slot.value, target);
+    // Re-dirty the card when an old-generation object ends up
+    // referencing the young generation (promoted copies included).
+    if (heap_.inOld(slot.value) && heap_.inYoung(target))
+        heap_.cardTable().dirty(slot.value);
+}
+
+void
+Scavenge::scanRoots()
+{
+    rec_.beginPhase(PhaseKind::MinorRoots);
+    const auto &costs = rec_.costs();
+    for (std::uint64_t i = 0; i < heap_.roots().size(); ++i) {
+        rec_.recordGlue(costs.rootVisit, 1);
+        pending_.push_back(SlotRef{true, i});
+        rec_.nextThread();
+    }
+    rec_.endPhase();
+}
+
+void
+Scavenge::scanCards()
+{
+    rec_.beginPhase(PhaseKind::MinorCardScan);
+    const auto &costs = rec_.costs();
+    auto &cards = heap_.cardTable();
+    const std::uint64_t num_cards = cards.numCards();
+    const int threads = rec_.numThreads();
+    const std::uint64_t stripe =
+        mem::divCeil(num_cards, static_cast<std::uint64_t>(threads));
+
+    for (int t = 0; t < threads; ++t) {
+        rec_.setThread(t);
+        std::uint64_t lo = static_cast<std::uint64_t>(t) * stripe;
+        std::uint64_t hi = std::min(num_cards, lo + stripe);
+        std::uint64_t cursor = lo;
+        while (cursor < hi) {
+            std::uint64_t dirty = cards.findDirty(cursor, hi);
+            // One Search invocation scans up to the first dirty card
+            // (Figure 7 returns there); the host then processes the
+            // dirty cluster and issues the next Search.
+            rec_.recordSearch(cards.storageAddr(cursor),
+                              std::max<std::uint64_t>(
+                                  1, dirty - cursor
+                                         + (dirty < hi ? 1 : 0)));
+            if (dirty >= hi)
+                break;
+            // Extend to the whole consecutive dirty cluster.
+            std::uint64_t end = dirty;
+            while (end < hi && cards.isDirty(end))
+                ++end;
+            result_.dirtyCards += end - dirty;
+
+            // Scan the objects overlapping the dirty cluster.
+            Addr cluster_start = cards.cardStart(dirty);
+            Addr cluster_end = cards.cardStart(end);
+            Addr obj = heap_.firstObjectOnCard(dirty);
+            rec_.recordGlue(costs.cardObjectLookup * (end - dirty),
+                            end - dirty);
+            Addr old_top = heap_.region(Space::Old).top;
+            while (obj != 0 && obj < cluster_end && obj < old_top) {
+                std::uint64_t n = heap_.refCount(obj);
+                std::uint64_t pushed = 0;
+                auto kind = heap_.klasses().get(heap_.klassOf(obj)).kind;
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    Addr target = heap_.refAt(obj, i);
+                    if (target == 0 || !heap_.inYoung(target))
+                        continue;
+                    if (heap::isWeakSlot(kind, i)) {
+                        weakRefs_.push_back(obj);
+                        continue;
+                    }
+                    pending_.push_back(
+                        SlotRef{false, heap_.refSlotAddr(obj, i)});
+                    ++pushed;
+                }
+                rec_.recordGlue(costs.typeDispatch, 1);
+                rec_.recordScanPush(obj, 16 + n * 8, n, pushed,
+                                    heap_.klasses()
+                                        .get(heap_.klassOf(obj))
+                                        .acceleratable());
+                obj += heap_.sizeBytes(obj);
+            }
+            (void)cluster_start;
+            cursor = end;
+        }
+        rec_.recordGlue(costs.cardMaintain * (hi - lo) / 8);
+    }
+    // All cards examined; clean them.  Evacuation re-dirties the ones
+    // that still hold old-to-young references.
+    cards.cleanAll();
+    rec_.endPhase();
+}
+
+Addr
+Scavenge::evacuate(Addr obj)
+{
+    const auto &costs = rec_.costs();
+    const std::uint64_t size_words = heap_.sizeWords(obj);
+    const std::uint64_t bytes = size_words * 8;
+    const int age = heap_.age(obj);
+
+    Addr dest = 0;
+    bool promoted = false;
+    bool overflow = false;
+    if (age + 1 >= threshold_) {
+        dest = heap_.allocOld(size_words);
+        promoted = dest != 0;
+    }
+    if (dest == 0) {
+        dest = heap_.allocTo(size_words);
+        if (dest == 0) {
+            // Survivor overflow: promote instead.
+            dest = heap_.allocOld(size_words);
+            promoted = dest != 0;
+            overflow = promoted;
+        }
+    }
+    CHARON_ASSERT(dest != 0,
+                  "promotion failure: policy must guarantee space");
+
+    rec_.recordGlue(costs.allocate + costs.forwardInstall, 2);
+    heap_.copyObjectBytes(dest, obj, bytes);
+    rec_.recordCopy(obj, dest, bytes);
+    heap_.setAge(dest, std::min(age + 1, 63));
+    heap_.setForwarding(obj, dest);
+
+    if (promoted) {
+        ++result_.objectsPromoted;
+        result_.bytesPromoted += bytes;
+        if (overflow)
+            result_.bytesOverflowPromoted += bytes;
+    } else {
+        ++result_.objectsCopied;
+        result_.bytesCopied += bytes;
+    }
+    return dest;
+}
+
+void
+Scavenge::scanNewCopy(Addr new_obj)
+{
+    const auto &costs = rec_.costs();
+    std::uint64_t n = heap_.refCount(new_obj);
+    std::uint64_t pushed = 0;
+    auto kind = heap_.klasses().get(heap_.klassOf(new_obj)).kind;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr target = heap_.refAt(new_obj, i);
+        if (target == 0 || !heap_.inYoung(target))
+            continue;
+        if (heap::isWeakSlot(kind, i)) {
+            // Weak referent: never evacuated on its own account.
+            weakRefs_.push_back(new_obj);
+            continue;
+        }
+        pending_.push_back(
+            SlotRef{false, heap_.refSlotAddr(new_obj, i)});
+        ++pushed;
+    }
+    rec_.recordGlue(costs.typeDispatch, 1);
+    rec_.recordScanPush(new_obj, 16 + n * 8, n, pushed,
+                        heap_.klasses().get(heap_.klassOf(new_obj))
+                            .acceleratable());
+}
+
+void
+Scavenge::processSlot(const SlotRef &slot)
+{
+    Addr target = readSlot(slot);
+    if (target == 0 || !heap_.inYoung(target))
+        return; // null or old-generation target: nothing to do
+    // A slot can be enqueued twice (an object spanning two dirty-card
+    // clusters is scanned from both); once it points into To space it
+    // is already processed.
+    if (heap_.spaceOf(target) == Space::To)
+        return;
+    if (heap_.isForwarded(target)) {
+        writeSlot(slot, heap_.forwardee(target));
+        return;
+    }
+    Addr dest = evacuate(target);
+    writeSlot(slot, dest);
+    scanNewCopy(dest);
+}
+
+void
+Scavenge::drain()
+{
+    rec_.beginPhase(PhaseKind::MinorEvacuate);
+    const auto &costs = rec_.costs();
+    while (!pending_.empty()) {
+        SlotRef slot = pending_.front();
+        pending_.pop_front();
+        rec_.recordGlue(costs.popObject, 1);
+        processSlot(slot);
+        rec_.nextThread();
+    }
+    processWeakReferences();
+    rec_.endPhase();
+}
+
+void
+Scavenge::processWeakReferences()
+{
+    const auto &costs = rec_.costs();
+    for (Addr holder : weakRefs_) {
+        rec_.recordGlue(costs.pointerAdjust, 2);
+        Addr target = heap_.refAt(holder, 0);
+        if (target == 0 || !heap_.inYoung(target))
+            continue;
+        if (heap_.spaceOf(target) == Space::To)
+            continue; // duplicate registration, already updated
+        if (heap_.isForwarded(target)) {
+            // Survived via a strong path: follow the move.
+            writeSlot(SlotRef{false, heap_.refSlotAddr(holder, 0)},
+                      heap_.forwardee(target));
+        } else {
+            // Only weakly reachable: the referent dies, clear it.
+            heap_.setRefRaw(holder, 0, 0);
+        }
+    }
+    weakRefs_.clear();
+}
+
+Scavenge::Result
+Scavenge::collect()
+{
+    rec_.beginGc(false);
+    scanRoots();
+    scanCards();
+    drain();
+
+    GcTrace &trace = rec_.endGc();
+    trace.bytesCopied = result_.bytesCopied + result_.bytesPromoted;
+    trace.bytesPromoted = result_.bytesPromoted;
+    trace.liveObjects = result_.objectsCopied + result_.objectsPromoted;
+
+    // Reclaim: Eden and the old From space are now garbage; the To
+    // space holds the survivors and becomes the next From.
+    heap_.resetSpace(Space::Eden);
+    heap_.resetSpace(Space::From);
+    heap_.swapSurvivors();
+    return result_;
+}
+
+} // namespace charon::gc

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * MinorGC: the ParallelScavenge copying collector over the young
+ * generation (Figure 3(a) of the paper).
+ *
+ * Flow: push the root set, Search the card table for old-to-young
+ * references, then drain the object stack — for every reachable young
+ * object, Copy it to the To survivor space (or promote it to Old when
+ * aged), install a forwarding pointer, and Scan&Push its references.
+ *
+ * The collector is functionally real (objects move, slots are
+ * rewritten, cards re-dirtied) and records every primitive invocation
+ * into the TraceRecorder.
+ */
+
+#ifndef CHARON_GC_SCAVENGE_HH
+#define CHARON_GC_SCAVENGE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "gc/recorder.hh"
+#include "heap/heap.hh"
+
+namespace charon::gc
+{
+
+/**
+ * One minor collection.
+ */
+class Scavenge
+{
+  public:
+    struct Result
+    {
+        std::uint64_t objectsCopied = 0;   ///< into the To space
+        std::uint64_t objectsPromoted = 0; ///< into the Old generation
+        std::uint64_t bytesCopied = 0;
+        std::uint64_t bytesPromoted = 0;
+        /** Of bytesPromoted: promoted only because To overflowed. */
+        std::uint64_t bytesOverflowPromoted = 0;
+        std::uint64_t dirtyCards = 0;
+    };
+
+    /**
+     * Exact pre-flight estimate of the space a scavenge needs:
+     * bytes that will land in To and bytes that must go to Old
+     * (aged objects plus survivor overflow).  Pure computation, no
+     * side effects; used by the collection policy to decide whether a
+     * full GC must run first (HotSpot's "promotion guarantee").
+     */
+    struct SpaceDemand
+    {
+        std::uint64_t survivorBytes = 0; ///< copies headed for To
+        std::uint64_t promoteBytes = 0;  ///< aged promotions
+        std::uint64_t largestObject = 0; ///< fragmentation slack
+        std::uint64_t liveYoungBytes() const
+        {
+            return survivorBytes + promoteBytes;
+        }
+    };
+
+    /**
+     * @param tenuring_threshold overrides the heap config's value
+     *        (<= 0 keeps it); the adaptive policy passes its current
+     *        choice here
+     */
+    Scavenge(heap::ManagedHeap &heap, TraceRecorder &recorder,
+             int tenuring_threshold = 0);
+
+    /** Compute the pre-flight space demand (no mutation). */
+    SpaceDemand estimateDemand() const;
+
+    /**
+     * Run the collection.
+     * @pre the promotion guarantee holds (checked: panics on a real
+     *      promotion failure, which the policy must prevent)
+     */
+    Result collect();
+
+  private:
+    /** A location holding a reference that may need updating. */
+    struct SlotRef
+    {
+        bool isRoot;
+        std::uint64_t value; ///< root index, or slot VA
+    };
+
+    mem::Addr readSlot(const SlotRef &slot) const;
+    void writeSlot(const SlotRef &slot, mem::Addr target);
+
+    /**
+     * Ensure the young target of @p slot is evacuated and the slot
+     * updated; enqueues the new copy for scanning on first visit.
+     */
+    void processSlot(const SlotRef &slot);
+
+    /** Copy/promote @p obj; returns the new location. */
+    mem::Addr evacuate(mem::Addr obj);
+
+    /** Scan a newly evacuated object, enqueueing its young refs. */
+    void scanNewCopy(mem::Addr new_obj);
+
+    void scanRoots();
+    void scanCards();
+    void drain();
+
+    /**
+     * java.lang.ref semantics: after the transitive closure is
+     * copied, update weak referents that survived via a strong path
+     * and clear the ones that did not.
+     */
+    void processWeakReferences();
+
+    heap::ManagedHeap &heap_;
+    TraceRecorder &rec_;
+    int threshold_;
+    std::deque<SlotRef> pending_;
+    /** Reference-kind holders whose weak slot needs post-processing. */
+    std::vector<mem::Addr> weakRefs_;
+    Result result_;
+};
+
+} // namespace charon::gc
+
+#endif // CHARON_GC_SCAVENGE_HH

@@ -1,0 +1,104 @@
+#include "trace.hh"
+
+namespace charon::gc
+{
+
+const char *
+primKindName(PrimKind kind)
+{
+    switch (kind) {
+      case PrimKind::Copy:        return "Copy";
+      case PrimKind::Search:      return "Search";
+      case PrimKind::ScanPush:    return "Scan&Push";
+      case PrimKind::BitmapCount: return "BitmapCount";
+    }
+    return "unknown";
+}
+
+const char *
+phaseKindName(PhaseKind kind)
+{
+    switch (kind) {
+      case PhaseKind::MinorRoots:    return "minor.roots";
+      case PhaseKind::MinorCardScan: return "minor.cardscan";
+      case PhaseKind::MinorEvacuate: return "minor.evacuate";
+      case PhaseKind::MajorMark:     return "major.mark";
+      case PhaseKind::MajorSummary:  return "major.summary";
+      case PhaseKind::MajorCompact:  return "major.compact";
+    }
+    return "unknown";
+}
+
+Bucket &
+ThreadWork::bucket(PrimKind kind, int src_cube, int dst_cube,
+                   bool host_only)
+{
+    for (auto &b : buckets) {
+        if (b.kind == kind && b.srcCube == src_cube
+            && b.dstCube == dst_cube && b.hostOnly == host_only) {
+            return b;
+        }
+    }
+    Bucket b;
+    b.kind = kind;
+    b.srcCube = src_cube;
+    b.dstCube = dst_cube;
+    b.hostOnly = host_only;
+    buckets.push_back(b);
+    return buckets.back();
+}
+
+std::uint64_t
+PhaseTrace::totalInvocations(PrimKind kind) const
+{
+    std::uint64_t n = 0;
+    for (const auto &t : threads) {
+        for (const auto &b : t.buckets) {
+            if (b.kind == kind)
+                n += b.invocations;
+        }
+    }
+    return n;
+}
+
+std::uint64_t
+PhaseTrace::totalBytes(PrimKind kind) const
+{
+    std::uint64_t n = 0;
+    for (const auto &t : threads) {
+        for (const auto &b : t.buckets) {
+            if (b.kind == kind)
+                n += b.totalBytes();
+        }
+    }
+    return n;
+}
+
+std::uint64_t
+GcTrace::totalInvocations(PrimKind kind) const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : phases)
+        n += p.totalInvocations(kind);
+    return n;
+}
+
+std::uint64_t
+RunTrace::minorCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &gc : gcs)
+        n += gc.major ? 0 : 1;
+    return n;
+}
+
+std::uint64_t
+RunTrace::majorCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &gc : gcs)
+        n += gc.major ? 1 : 0;
+    return n;
+}
+
+} // namespace charon::gc

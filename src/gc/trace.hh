@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The primitive trace: the contract between the functional GC and the
+ * timing layer.
+ *
+ * While a collector runs functionally (actually moving objects), it
+ * records every invocation of the paper's key primitives — Copy,
+ * Search, Scan&Push, Bitmap Count — plus the non-offloadable "glue"
+ * work (stack pops, allocation, type dispatch).  Records are
+ * aggregated into per-(phase, thread, kind, cube-pair) buckets so a
+ * multi-million-object GC produces a compact trace that every
+ * platform model replays: the baseline host executes each bucket with
+ * CPU-limited MLP; Charon dispatches it to the matching processing
+ * unit.
+ */
+
+#ifndef CHARON_GC_TRACE_HH
+#define CHARON_GC_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mem/request.hh"
+
+namespace charon::gc
+{
+
+/** The offloadable primitives of Sections 4.2-4.4. */
+enum class PrimKind : std::uint8_t
+{
+    Copy,        ///< bulk object move (Minor evacuation, Major compaction)
+    Search,      ///< card-table scan for dirty cards
+    ScanPush,    ///< object-graph traversal step
+    BitmapCount, ///< live_words_in_range over the mark bitmaps
+};
+
+constexpr int kNumPrimKinds = 4;
+const char *primKindName(PrimKind kind);
+
+/** GC phases in execution order; phases are barriers between threads. */
+enum class PhaseKind : std::uint8_t
+{
+    MinorRoots,    ///< push/evacuate the root set
+    MinorCardScan, ///< Search dirty cards, scan old-to-young refs
+    MinorEvacuate, ///< drain the object stack: Copy + Scan&Push
+    MajorMark,     ///< trace live objects, set bitmap bits
+    MajorSummary,  ///< per-region live sizes and destinations
+    MajorCompact,  ///< adjust pointers + move objects (BitmapCount+Copy)
+};
+
+const char *phaseKindName(PhaseKind kind);
+
+/**
+ * Aggregated work of one primitive on one (source-cube, dest-cube)
+ * pair within one thread's share of a phase.
+ */
+struct Bucket
+{
+    PrimKind kind = PrimKind::Copy;
+    /** Cube housing the primary data; units are scheduled here. */
+    int srcCube = 0;
+    /** Cube receiving writes (Copy); == srcCube when local. */
+    int dstCube = 0;
+    /**
+     * Scan&Push over a klass layout the units do not implement
+     * (Section 4.4): executes on the host on every platform.
+     */
+    bool hostOnly = false;
+
+    std::uint64_t invocations = 0;
+    /** Bytes read sequentially (payloads, card/bitmap ranges). */
+    std::uint64_t seqReadBytes = 0;
+    /** Bytes written (copies, stack pushes, metadata updates). */
+    std::uint64_t writeBytes = 0;
+    /** Discrete random accesses (referenced-object header loads). */
+    std::uint64_t randomAccesses = 0;
+    /** Bytes moved by the random accesses (granularity-inflated). */
+    std::uint64_t randomBytes = 0;
+    /** References examined (Scan&Push). */
+    std::uint64_t refsVisited = 0;
+    /** Bitmap range walked, in bits (Bitmap Count / CPU loop cost). */
+    std::uint64_t rangeBits = 0;
+    /** Of randomAccesses: mark-bitmap RMWs (bitmap-cache eligible). */
+    std::uint64_t bitmapRmwAccesses = 0;
+    /**
+     * Object-stack pushes performed inside the primitive (Figure 11
+     * line 11): host instructions on the CPU, but done by the unit
+     * when Scan&Push is offloaded.
+     */
+    std::uint64_t stackPushes = 0;
+
+    std::uint64_t totalBytes() const
+    {
+        return seqReadBytes + writeBytes + randomBytes;
+    }
+};
+
+/** One GC thread's share of a phase. */
+struct ThreadWork
+{
+    std::vector<Bucket> buckets;
+    /** Host-only instructions (pop/push bookkeeping, dispatch, alloc). */
+    std::uint64_t glueInstructions = 0;
+    /** Cache-missing host accesses implied by the glue (approx). */
+    std::uint64_t glueMemAccesses = 0;
+
+    Bucket &bucket(PrimKind kind, int src_cube, int dst_cube,
+                   bool host_only = false);
+};
+
+/** One phase: all threads run it concurrently, then barrier. */
+struct PhaseTrace
+{
+    PhaseKind kind = PhaseKind::MinorRoots;
+    std::vector<ThreadWork> threads;
+    /**
+     * Hit rate Charon's bitmap cache achieved on this phase's bitmap
+     * accesses (measured functionally while tracing; only meaningful
+     * for MajorMark / MajorCompact).
+     */
+    double bitmapCacheHitRate = 0.0;
+    /** Dirty bitmap-cache lines written back at the phase-end flush. */
+    std::uint64_t bitmapCacheWritebacks = 0;
+
+    /** Sum a field across threads/buckets for reporting. */
+    std::uint64_t totalInvocations(PrimKind kind) const;
+    std::uint64_t totalBytes(PrimKind kind) const;
+};
+
+/** A complete collection. */
+struct GcTrace
+{
+    bool major = false;
+    std::vector<PhaseTrace> phases;
+
+    // Functional outcome, for reports and sanity checks.
+    std::uint64_t liveObjects = 0;
+    std::uint64_t bytesCopied = 0;
+    std::uint64_t bytesPromoted = 0;
+    std::uint64_t objectsScanned = 0;
+    std::uint64_t refsVisited = 0;
+    std::uint64_t cardsSearched = 0;
+    std::uint64_t bitmapCountCalls = 0;
+
+    std::uint64_t totalInvocations(PrimKind kind) const;
+};
+
+/** A whole run: the mutator's GC history. */
+struct RunTrace
+{
+    std::vector<GcTrace> gcs;
+    /** Mutator work between GCs, in host instructions. */
+    std::vector<std::uint64_t> mutatorInstructions;
+
+    std::uint64_t minorCount() const;
+    std::uint64_t majorCount() const;
+};
+
+} // namespace charon::gc
+
+#endif // CHARON_GC_TRACE_HH

@@ -1,0 +1,306 @@
+#include "trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace charon::gc
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'C', 'H', 'A', 'R', 'O', 'N', 'T', 'R'};
+
+// --- little-endian primitives ---------------------------------------
+
+void
+put64(std::ostream &os, std::uint64_t v)
+{
+    char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    os.write(buf, 8);
+}
+
+void
+putF64(std::ostream &os, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    put64(os, bits);
+}
+
+bool
+get64(std::istream &is, std::uint64_t &v)
+{
+    char buf[8];
+    if (!is.read(buf, 8))
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    }
+    return true;
+}
+
+bool
+getF64(std::istream &is, double &v)
+{
+    std::uint64_t bits;
+    if (!get64(is, bits))
+        return false;
+    std::memcpy(&v, &bits, 8);
+    return true;
+}
+
+void
+putBucket(std::ostream &os, const Bucket &b)
+{
+    put64(os, static_cast<std::uint64_t>(b.kind));
+    put64(os, static_cast<std::uint64_t>(b.srcCube));
+    put64(os, static_cast<std::uint64_t>(b.dstCube));
+    put64(os, b.hostOnly ? 1 : 0);
+    put64(os, b.invocations);
+    put64(os, b.seqReadBytes);
+    put64(os, b.writeBytes);
+    put64(os, b.randomAccesses);
+    put64(os, b.randomBytes);
+    put64(os, b.refsVisited);
+    put64(os, b.rangeBits);
+    put64(os, b.bitmapRmwAccesses);
+    put64(os, b.stackPushes);
+}
+
+bool
+getBucket(std::istream &is, Bucket &b)
+{
+    std::uint64_t kind, src, dst, host_only;
+    if (!get64(is, kind) || !get64(is, src) || !get64(is, dst)
+        || !get64(is, host_only) || !get64(is, b.invocations)
+        || !get64(is, b.seqReadBytes) || !get64(is, b.writeBytes)
+        || !get64(is, b.randomAccesses) || !get64(is, b.randomBytes)
+        || !get64(is, b.refsVisited) || !get64(is, b.rangeBits)
+        || !get64(is, b.bitmapRmwAccesses)
+        || !get64(is, b.stackPushes)) {
+        return false;
+    }
+    if (kind >= static_cast<std::uint64_t>(kNumPrimKinds))
+        return false;
+    b.kind = static_cast<PrimKind>(kind);
+    b.srcCube = static_cast<int>(src);
+    b.dstCube = static_cast<int>(dst);
+    b.hostOnly = host_only != 0;
+    return true;
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const RunTrace &trace)
+{
+    os.write(kMagic, sizeof(kMagic));
+    put64(os, kTraceFormatVersion);
+    put64(os, trace.gcs.size());
+    for (const auto &gc : trace.gcs) {
+        put64(os, gc.major ? 1 : 0);
+        put64(os, gc.liveObjects);
+        put64(os, gc.bytesCopied);
+        put64(os, gc.bytesPromoted);
+        put64(os, gc.objectsScanned);
+        put64(os, gc.refsVisited);
+        put64(os, gc.cardsSearched);
+        put64(os, gc.bitmapCountCalls);
+        put64(os, gc.phases.size());
+        for (const auto &phase : gc.phases) {
+            put64(os, static_cast<std::uint64_t>(phase.kind));
+            putF64(os, phase.bitmapCacheHitRate);
+            put64(os, phase.bitmapCacheWritebacks);
+            put64(os, phase.threads.size());
+            for (const auto &t : phase.threads) {
+                put64(os, t.glueInstructions);
+                put64(os, t.glueMemAccesses);
+                put64(os, t.buckets.size());
+                for (const auto &b : t.buckets)
+                    putBucket(os, b);
+            }
+        }
+    }
+    put64(os, trace.mutatorInstructions.size());
+    for (auto n : trace.mutatorInstructions)
+        put64(os, n);
+}
+
+bool
+readTrace(std::istream &is, RunTrace &trace, std::string *error)
+{
+    auto fail = [&](const char *why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    char magic[8];
+    if (!is.read(magic, sizeof(magic))
+        || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+        return fail("bad magic");
+    }
+    std::uint64_t version;
+    if (!get64(is, version) || version != kTraceFormatVersion)
+        return fail("unsupported trace version");
+
+    trace = RunTrace{};
+    std::uint64_t gcs;
+    if (!get64(is, gcs))
+        return fail("truncated header");
+    trace.gcs.resize(gcs);
+    for (auto &gc : trace.gcs) {
+        std::uint64_t major, phases;
+        if (!get64(is, major) || !get64(is, gc.liveObjects)
+            || !get64(is, gc.bytesCopied)
+            || !get64(is, gc.bytesPromoted)
+            || !get64(is, gc.objectsScanned)
+            || !get64(is, gc.refsVisited)
+            || !get64(is, gc.cardsSearched)
+            || !get64(is, gc.bitmapCountCalls) || !get64(is, phases)) {
+            return fail("truncated gc record");
+        }
+        gc.major = major != 0;
+        gc.phases.resize(phases);
+        for (auto &phase : gc.phases) {
+            std::uint64_t kind, threads;
+            if (!get64(is, kind)
+                || !getF64(is, phase.bitmapCacheHitRate)
+                || !get64(is, phase.bitmapCacheWritebacks)
+                || !get64(is, threads)) {
+                return fail("truncated phase record");
+            }
+            if (kind > static_cast<std::uint64_t>(
+                    PhaseKind::MajorCompact)) {
+                return fail("bad phase kind");
+            }
+            phase.kind = static_cast<PhaseKind>(kind);
+            phase.threads.resize(threads);
+            for (auto &t : phase.threads) {
+                std::uint64_t buckets;
+                if (!get64(is, t.glueInstructions)
+                    || !get64(is, t.glueMemAccesses)
+                    || !get64(is, buckets)) {
+                    return fail("truncated thread record");
+                }
+                t.buckets.resize(buckets);
+                for (auto &b : t.buckets) {
+                    if (!getBucket(is, b))
+                        return fail("truncated bucket record");
+                }
+            }
+        }
+    }
+    std::uint64_t segments;
+    if (!get64(is, segments))
+        return fail("truncated mutator segments");
+    trace.mutatorInstructions.resize(segments);
+    for (auto &n : trace.mutatorInstructions) {
+        if (!get64(is, n))
+            return fail("truncated mutator segment");
+    }
+    return true;
+}
+
+bool
+saveTraceFile(const std::string &path, const RunTrace &trace,
+              std::string *error)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        if (error)
+            *error = "cannot open " + path + " for writing";
+        return false;
+    }
+    writeTrace(os, trace);
+    if (!os) {
+        if (error)
+            *error = "write failure on " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+loadTraceFile(const std::string &path, RunTrace &trace,
+              std::string *error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    return readTrace(is, trace, error);
+}
+
+bool
+traceEquals(const RunTrace &a, const RunTrace &b)
+{
+    if (a.gcs.size() != b.gcs.size()
+        || a.mutatorInstructions != b.mutatorInstructions) {
+        return false;
+    }
+    for (std::size_t g = 0; g < a.gcs.size(); ++g) {
+        const auto &x = a.gcs[g];
+        const auto &y = b.gcs[g];
+        if (x.major != y.major || x.liveObjects != y.liveObjects
+            || x.bytesCopied != y.bytesCopied
+            || x.bytesPromoted != y.bytesPromoted
+            || x.objectsScanned != y.objectsScanned
+            || x.refsVisited != y.refsVisited
+            || x.cardsSearched != y.cardsSearched
+            || x.bitmapCountCalls != y.bitmapCountCalls
+            || x.phases.size() != y.phases.size()) {
+            return false;
+        }
+        for (std::size_t p = 0; p < x.phases.size(); ++p) {
+            const auto &px = x.phases[p];
+            const auto &py = y.phases[p];
+            if (px.kind != py.kind
+                || px.bitmapCacheHitRate != py.bitmapCacheHitRate
+                || px.bitmapCacheWritebacks != py.bitmapCacheWritebacks
+                || px.threads.size() != py.threads.size()) {
+                return false;
+            }
+            for (std::size_t t = 0; t < px.threads.size(); ++t) {
+                const auto &tx = px.threads[t];
+                const auto &ty = py.threads[t];
+                if (tx.glueInstructions != ty.glueInstructions
+                    || tx.glueMemAccesses != ty.glueMemAccesses
+                    || tx.buckets.size() != ty.buckets.size()) {
+                    return false;
+                }
+                for (std::size_t i = 0; i < tx.buckets.size(); ++i) {
+                    const auto &bx = tx.buckets[i];
+                    const auto &by = ty.buckets[i];
+                    if (bx.kind != by.kind || bx.srcCube != by.srcCube
+                        || bx.dstCube != by.dstCube
+                        || bx.hostOnly != by.hostOnly
+                        || bx.invocations != by.invocations
+                        || bx.seqReadBytes != by.seqReadBytes
+                        || bx.writeBytes != by.writeBytes
+                        || bx.randomAccesses != by.randomAccesses
+                        || bx.randomBytes != by.randomBytes
+                        || bx.refsVisited != by.refsVisited
+                        || bx.rangeBits != by.rangeBits
+                        || bx.bitmapRmwAccesses
+                               != by.bitmapRmwAccesses
+                        || bx.stackPushes != by.stackPushes) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace charon::gc

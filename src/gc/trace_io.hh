@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Serialization of primitive traces.
+ *
+ * A RunTrace is the interface artifact between the functional and
+ * timing layers; persisting it lets a slow functional run be replayed
+ * on many platform configurations (or machines) without re-running
+ * the mutator.  The format is a versioned little-endian binary
+ * stream; readers reject unknown versions and truncated input.
+ */
+
+#ifndef CHARON_GC_TRACE_IO_HH
+#define CHARON_GC_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "gc/trace.hh"
+
+namespace charon::gc
+{
+
+/** Current format version. */
+constexpr std::uint32_t kTraceFormatVersion = 2;
+
+/** Serialize @p trace to @p os. */
+void writeTrace(std::ostream &os, const RunTrace &trace);
+
+/**
+ * Deserialize a trace from @p is.
+ * @param error set to a diagnostic on failure
+ * @retval true the trace was read completely
+ */
+bool readTrace(std::istream &is, RunTrace &trace, std::string *error);
+
+/** Convenience file wrappers; fatal diagnostics via *error. */
+bool saveTraceFile(const std::string &path, const RunTrace &trace,
+                   std::string *error);
+bool loadTraceFile(const std::string &path, RunTrace &trace,
+                   std::string *error);
+
+/** Structural equality (for round-trip tests). */
+bool traceEquals(const RunTrace &a, const RunTrace &b);
+
+} // namespace charon::gc
+
+#endif // CHARON_GC_TRACE_IO_HH

@@ -1,0 +1,60 @@
+#include "verify.hh"
+
+#include <deque>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace charon::gc
+{
+
+using heap::Space;
+using mem::Addr;
+
+GraphFingerprint
+fingerprintHeap(const heap::ManagedHeap &heap)
+{
+    return fingerprintGraph(heap);
+}
+
+void
+checkHeapIntegrity(const heap::ManagedHeap &heap)
+{
+    std::unordered_map<Addr, bool> seen;
+    std::deque<Addr> queue;
+    auto visit = [&](Addr obj, Addr from) {
+        CHARON_ASSERT(heap.spaceOf(obj) != Space::None,
+                      "reference 0x%llx (from 0x%llx) outside all spaces",
+                      static_cast<unsigned long long>(obj),
+                      static_cast<unsigned long long>(from));
+        Space s = heap.spaceOf(obj);
+        const auto &r = heap.region(s);
+        CHARON_ASSERT(obj < r.top,
+                      "reference 0x%llx points above %s top",
+                      static_cast<unsigned long long>(obj), spaceName(s));
+        heap::KlassId kid = heap.klassOf(obj);
+        CHARON_ASSERT(kid > 0 && kid < heap.klasses().size(),
+                      "object 0x%llx has bad klass %u",
+                      static_cast<unsigned long long>(obj), kid);
+        if (!seen.emplace(obj, true).second)
+            return;
+        queue.push_back(obj);
+    };
+
+    for (Addr root : heap.roots()) {
+        if (root != 0)
+            visit(root, 0);
+    }
+    while (!queue.empty()) {
+        Addr obj = queue.front();
+        queue.pop_front();
+        std::uint64_t refs = heap.refCount(obj);
+        for (std::uint64_t i = 0; i < refs; ++i) {
+            Addr t = heap.refAt(obj, i);
+            if (t != 0)
+                visit(t, obj);
+        }
+    }
+}
+
+} // namespace charon::gc

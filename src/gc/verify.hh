@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Functional GC verification: a canonical fingerprint of the live
+ * object graph that must be invariant across any correct collection.
+ *
+ * The fingerprint assigns BFS discovery ids from the roots (root
+ * order, then slot order) and hashes, per object, its klass, size,
+ * non-reference payload, and the discovery ids of its referents.  Two
+ * heaps have equal fingerprints iff the reachable graphs are
+ * isomorphic under the root-preserving mapping and all payload bytes
+ * survived — exactly what a moving collector must preserve.
+ */
+
+#ifndef CHARON_GC_VERIFY_HH
+#define CHARON_GC_VERIFY_HH
+
+#include <cstdint>
+
+#include "heap/heap.hh"
+
+namespace charon::gc
+{
+
+/** Summary of the reachable subgraph. */
+struct GraphFingerprint
+{
+    std::uint64_t hash = 0;
+    std::uint64_t objects = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t edges = 0;
+
+    bool
+    operator==(const GraphFingerprint &o) const
+    {
+        return hash == o.hash && objects == o.objects && bytes == o.bytes
+               && edges == o.edges;
+    }
+};
+
+/** Compute the fingerprint of everything reachable from the roots. */
+GraphFingerprint fingerprintHeap(const heap::ManagedHeap &heap);
+
+/**
+ * Fingerprint over any heap shape exposing roots() plus the
+ * ObjectArena accessors (klassOf, sizeWords, refCount, refAt,
+ * arrayLength, load64, klasses).  Shared by ManagedHeap and G1Heap.
+ */
+template <typename HeapT>
+GraphFingerprint fingerprintGraph(const HeapT &heap);
+
+/**
+ * Structural invariants that must hold after any GC: every root and
+ * every reference in a live object points to a live, well-formed
+ * object; panics with a diagnostic otherwise.
+ */
+void checkHeapIntegrity(const heap::ManagedHeap &heap);
+
+} // namespace charon::gc
+
+#include "gc/verify_impl.hh"
+
+#endif // CHARON_GC_VERIFY_HH

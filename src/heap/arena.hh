@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The object model over a flat backing arena, shared by every heap
+ * organization in the repository (the HotSpot-style generational
+ * ManagedHeap and the region-based G1Heap).
+ *
+ * An ObjectArena owns the bytes of a virtual-address range and knows
+ * how to read objects laid out in it: the two-word header (klass id +
+ * size, mark word), reference slots per klass kind, array lengths,
+ * ages and forwarding pointers.  Heap organizations add spaces and
+ * allocation policy on top.
+ */
+
+#ifndef CHARON_HEAP_ARENA_HH
+#define CHARON_HEAP_ARENA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "heap/klass.hh"
+#include "mem/addr.hh"
+
+namespace charon::heap
+{
+
+/**
+ * Flat arena plus object accessors.
+ */
+class ObjectArena
+{
+  public:
+    /**
+     * @param base first VA of the arena
+     * @param bytes arena size
+     * @param klasses class table (must outlive the arena)
+     */
+    ObjectArena(mem::Addr base, std::uint64_t bytes,
+                const KlassTable &klasses);
+
+    mem::Addr base() const { return base_; }
+    std::uint64_t bytes() const { return bytes_; }
+    mem::Addr limit() const { return base_ + bytes_; }
+    const KlassTable &klasses() const { return klasses_; }
+
+    /** True when @p addr lies inside the arena. */
+    bool
+    contains(mem::Addr addr) const
+    {
+        return addr >= base_ && addr < base_ + bytes_;
+    }
+
+    // ------------------------------------------------------------------
+    // Raw access
+
+    std::uint64_t load64(mem::Addr addr) const;
+    void store64(mem::Addr addr, std::uint64_t value);
+
+    /** memmove inside the arena (leftward overlaps are safe). */
+    void copyBytes(mem::Addr dst, mem::Addr src, std::uint64_t bytes);
+
+    // ------------------------------------------------------------------
+    // Object layout
+
+    /** Words an object of @p klass with @p array_len occupies. */
+    std::uint64_t sizeWordsFor(KlassId klass,
+                               std::uint64_t array_len) const;
+
+    /** Write a fresh header (and null refs / length) at @p obj. */
+    void writeHeader(mem::Addr obj, KlassId klass,
+                     std::uint64_t size_words, std::uint64_t array_len);
+
+    KlassId klassOf(mem::Addr obj) const;
+    std::uint64_t sizeWords(mem::Addr obj) const;
+    std::uint64_t sizeBytes(mem::Addr obj) const
+    {
+        return sizeWords(obj) * 8;
+    }
+    std::uint64_t arrayLength(mem::Addr obj) const;
+    std::uint64_t refCount(mem::Addr obj) const;
+    mem::Addr refSlotAddr(mem::Addr obj, std::uint64_t i) const;
+    mem::Addr refAt(mem::Addr obj, std::uint64_t i) const;
+    void setRef(mem::Addr obj, std::uint64_t i, mem::Addr target);
+
+    // ------------------------------------------------------------------
+    // Mark word: age + forwarding
+
+    int age(mem::Addr obj) const;
+    void setAge(mem::Addr obj, int age);
+    bool isForwarded(mem::Addr obj) const;
+    mem::Addr forwardee(mem::Addr obj) const;
+    void setForwarding(mem::Addr obj, mem::Addr to);
+    /** Drop the forwarding mark, keeping the age bits. */
+    void clearForwarding(mem::Addr obj);
+
+  private:
+    std::uint8_t *raw(mem::Addr addr);
+    const std::uint8_t *raw(mem::Addr addr) const;
+
+    mem::Addr base_;
+    std::uint64_t bytes_;
+    const KlassTable &klasses_;
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace charon::heap
+
+#endif // CHARON_HEAP_ARENA_HH

@@ -1,0 +1,33 @@
+#include "card_table.hh"
+
+#include "sim/logging.hh"
+
+namespace charon::heap
+{
+
+CardTable::CardTable(mem::Addr covered_base, std::uint64_t covered_bytes,
+                     mem::Addr storage_base)
+    : coveredBase_(covered_base),
+      storageBase_(storage_base),
+      bytes_(mem::divCeil(covered_bytes, kCardBytes), kClean)
+{
+}
+
+void
+CardTable::cleanAll()
+{
+    std::fill(bytes_.begin(), bytes_.end(), kClean);
+}
+
+std::uint64_t
+CardTable::findDirty(std::uint64_t from, std::uint64_t limit) const
+{
+    CHARON_ASSERT(limit <= bytes_.size(), "card range out of bounds");
+    for (std::uint64_t i = from; i < limit; ++i) {
+        if (bytes_[i] != kClean)
+            return i;
+    }
+    return limit;
+}
+
+} // namespace charon::heap

@@ -1,0 +1,99 @@
+#include "cache_model.hh"
+
+#include "sim/logging.hh"
+
+namespace charon::mem
+{
+
+CacheModel::CacheModel(std::uint64_t size_bytes, int assoc,
+                       int block_bytes)
+    : assoc_(assoc), blockBytes_(block_bytes)
+{
+    CHARON_ASSERT(isPow2(static_cast<std::uint64_t>(block_bytes)),
+                  "block size must be a power of two");
+    CHARON_ASSERT(size_bytes
+                          % (static_cast<std::uint64_t>(assoc)
+                             * static_cast<std::uint64_t>(block_bytes))
+                      == 0,
+                  "capacity must divide into sets");
+    numSets_ = size_bytes
+               / (static_cast<std::uint64_t>(assoc)
+                  * static_cast<std::uint64_t>(block_bytes));
+    CHARON_ASSERT(numSets_ >= 1, "cache needs at least one set");
+    lines_.resize(numSets_ * static_cast<std::uint64_t>(assoc));
+}
+
+CacheModel::Line *
+CacheModel::findLine(Addr tag, std::uint64_t set)
+{
+    Line *base = &lines_[set * static_cast<std::uint64_t>(assoc_)];
+    for (int w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheModel::Line *
+CacheModel::findLine(Addr tag, std::uint64_t set) const
+{
+    return const_cast<CacheModel *>(this)->findLine(tag, set);
+}
+
+bool
+CacheModel::access(Addr addr, bool write)
+{
+    Addr block = addr / static_cast<Addr>(blockBytes_);
+    std::uint64_t set = block % numSets_;
+    Addr tag = block / numSets_;
+    if (Line *line = findLine(tag, set)) {
+        ++hits_;
+        line->lru = ++lruClock_;
+        line->dirty |= write;
+        return true;
+    }
+    ++misses_;
+    // Fill: evict true-LRU victim.
+    Line *base = &lines_[set * static_cast<std::uint64_t>(assoc_)];
+    Line *victim = &base[0];
+    for (int w = 1; w < assoc_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    if (victim->valid && victim->dirty)
+        ++writebacks_;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lru = ++lruClock_;
+    return false;
+}
+
+bool
+CacheModel::contains(Addr addr) const
+{
+    Addr block = addr / static_cast<Addr>(blockBytes_);
+    std::uint64_t set = block % numSets_;
+    Addr tag = block / numSets_;
+    return findLine(tag, set) != nullptr;
+}
+
+std::uint64_t
+CacheModel::flush()
+{
+    std::uint64_t dirty = 0;
+    for (auto &line : lines_) {
+        if (line.valid && line.dirty)
+            ++dirty;
+        line.valid = false;
+        line.dirty = false;
+    }
+    writebacks_ += dirty;
+    return dirty;
+}
+
+} // namespace charon::mem

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A functional set-associative cache model with LRU replacement.
+ *
+ * Used for Charon's bitmap cache (8 KB, 8-way, 32 B blocks,
+ * write-back — Section 4.5) and reusable for any structure that needs
+ * hit/miss accounting over an access stream.  Purely functional: it
+ * tracks tags and dirty bits, not data.
+ */
+
+#ifndef CHARON_MEM_CACHE_MODEL_HH
+#define CHARON_MEM_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/addr.hh"
+
+namespace charon::mem
+{
+
+/**
+ * Tag-only set-associative cache with true-LRU replacement.
+ */
+class CacheModel
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param assoc ways per set
+     * @param block_bytes line size (power of two)
+     */
+    CacheModel(std::uint64_t size_bytes, int assoc, int block_bytes);
+
+    /**
+     * Access @p addr; allocate on miss.
+     * @param write marks the line dirty on hit/fill
+     * @retval true hit
+     */
+    bool access(Addr addr, bool write);
+
+    /** Probe without allocating or updating LRU. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Invalidate everything.
+     * @return number of dirty lines written back
+     */
+    std::uint64_t flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits_ + misses_;
+        return total ? static_cast<double>(hits_)
+                           / static_cast<double>(total)
+                     : 0.0;
+    }
+
+    void
+    resetStats()
+    {
+        hits_ = 0;
+        misses_ = 0;
+        writebacks_ = 0;
+    }
+
+    int blockBytes() const { return blockBytes_; }
+    std::uint64_t sets() const { return numSets_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0; // higher == more recent
+    };
+
+    Line *findLine(Addr tag, std::uint64_t set);
+    const Line *findLine(Addr tag, std::uint64_t set) const;
+
+    int assoc_;
+    int blockBytes_;
+    std::uint64_t numSets_;
+    std::uint64_t lruClock_ = 0;
+    std::vector<Line> lines_; // numSets x assoc
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace charon::mem
+
+#endif // CHARON_MEM_CACHE_MODEL_HH

@@ -1,0 +1,172 @@
+#include "fluid_channel.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace charon::mem
+{
+
+namespace
+{
+/** Below this many bytes a flow counts as finished (fp slack). */
+constexpr double kFinishEpsilon = 1e-6;
+} // namespace
+
+const char *
+patternName(AccessPattern p)
+{
+    switch (p) {
+      case AccessPattern::Sequential:
+        return "sequential";
+      case AccessPattern::Strided:
+        return "strided";
+      case AccessPattern::Random:
+        return "random";
+    }
+    return "unknown";
+}
+
+FluidChannel::FluidChannel(sim::EventQueue &eq, std::string name,
+                           double capacity)
+    : eq_(eq),
+      capacity_(capacity),
+      stats_(std::move(name)),
+      bytesTransferred_(&stats_, "bytes", "total bytes transferred"),
+      utilizedTicks_(&stats_, "utilized_ticks",
+                     "integral of utilization over time"),
+      flowCount_(&stats_, "flows", "number of flows served")
+{
+    CHARON_ASSERT(capacity_ > 0, "channel capacity must be positive");
+}
+
+void
+FluidChannel::startFlow(std::uint64_t bytes, double maxRate,
+                        StreamCallback done)
+{
+    ++flowCount_;
+    if (bytes == 0) {
+        // Degenerate flow: complete immediately, still in event order.
+        sim::Tick now = eq_.now();
+        eq_.schedule(now, [done = std::move(done), now] {
+            if (done)
+                done(now);
+        });
+        return;
+    }
+    advance();
+    bytesTransferred_ += static_cast<double>(bytes);
+    Flow flow;
+    flow.bytesLeft = static_cast<double>(bytes);
+    flow.maxRate = maxRate;
+    flow.rate = 0;
+    flow.done = std::move(done);
+    flows_.emplace(nextFlowId_++, std::move(flow));
+    reallocate();
+}
+
+void
+FluidChannel::advance()
+{
+    sim::Tick now = eq_.now();
+    if (now <= lastAdvance_) {
+        lastAdvance_ = now;
+        return;
+    }
+    double dt = static_cast<double>(now - lastAdvance_);
+    double allocated = 0;
+    for (auto &[id, flow] : flows_) {
+        flow.bytesLeft -= flow.rate * dt;
+        if (flow.bytesLeft < 0)
+            flow.bytesLeft = 0;
+        allocated += flow.rate;
+    }
+    utilizedTicks_ += dt * (allocated / capacity_);
+    lastAdvance_ = now;
+}
+
+void
+FluidChannel::reallocate()
+{
+    // Max-min fair (progressive filling) with per-flow caps.
+    double remaining = capacity_;
+    std::vector<std::pair<std::uint64_t, double>> uncapped;
+    uncapped.reserve(flows_.size());
+    for (auto &[id, flow] : flows_) {
+        flow.rate = 0;
+        uncapped.emplace_back(id, flow.maxRate);
+    }
+    bool progressed = true;
+    while (!uncapped.empty() && remaining > 0 && progressed) {
+        progressed = false;
+        double share = remaining / static_cast<double>(uncapped.size());
+        // Give every flow whose cap is below the fair share its cap.
+        for (auto it = uncapped.begin(); it != uncapped.end();) {
+            auto &[id, cap] = *it;
+            if (cap > 0 && cap <= share) {
+                flows_.at(id).rate = cap;
+                remaining -= cap;
+                it = uncapped.erase(it);
+                progressed = true;
+            } else {
+                ++it;
+            }
+        }
+        if (!progressed) {
+            // Everybody left can absorb the fair share.
+            for (auto &[id, cap] : uncapped)
+                flows_.at(id).rate = share;
+            remaining = 0;
+            uncapped.clear();
+        }
+    }
+
+    // Schedule (or reschedule) a completion timer for the earliest
+    // projected finish.
+    if (timer_) {
+        eq_.deschedule(timer_);
+        timer_ = 0;
+    }
+    if (flows_.empty())
+        return;
+    double earliest = -1;
+    for (const auto &[id, flow] : flows_) {
+        if (flow.rate <= 0)
+            continue;
+        double eta = flow.bytesLeft / flow.rate;
+        if (earliest < 0 || eta < earliest)
+            earliest = eta;
+    }
+    CHARON_ASSERT(earliest >= 0, "active flows but none making progress");
+    sim::Tick when =
+        eq_.now() + static_cast<sim::Tick>(std::ceil(earliest));
+    timer_ = eq_.schedule(when, [this] { onTimer(); });
+}
+
+void
+FluidChannel::onTimer()
+{
+    timer_ = 0;
+    advance();
+    // Collect finished flows first, then fire callbacks (callbacks may
+    // reentrantly start new flows on this channel).
+    std::vector<StreamCallback> done;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->second.bytesLeft <= kFinishEpsilon) {
+            done.push_back(std::move(it->second.done));
+            it = flows_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    sim::Tick now = eq_.now();
+    for (auto &cb : done) {
+        if (cb)
+            cb(now);
+    }
+    advance();
+    reallocate();
+}
+
+} // namespace charon::mem

@@ -1,0 +1,232 @@
+#include "platform_sim.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace charon::platform
+{
+
+using gc::PrimKind;
+using sim::PlatformKind;
+using sim::Tick;
+
+double &
+PrimBreakdown::byKind(PrimKind kind)
+{
+    switch (kind) {
+      case PrimKind::Copy:        return copy;
+      case PrimKind::Search:      return search;
+      case PrimKind::ScanPush:    return scanPush;
+      case PrimKind::BitmapCount: return bitmapCount;
+    }
+    sim::panic("bad primitive kind");
+}
+
+PlatformSim::PlatformSim(PlatformKind kind, const sim::SystemConfig &cfg,
+                         int cube_shift)
+    : kind_(kind), cfg_(cfg), cubeShift_(cube_shift)
+{
+    if (usesHmc()) {
+        hmc_ = std::make_unique<hmc::HmcMemory>(eq_, cfg_.hmc);
+        hmc_->setCubeShift(cube_shift);
+        host_ = std::make_unique<cpu::HostModel>(
+            eq_, cfg_.host, hmc_->hostPort(), costs_);
+    } else {
+        ddr4_ = std::make_unique<mem::Ddr4Memory>(eq_, cfg_.ddr4);
+        host_ = std::make_unique<cpu::HostModel>(eq_, cfg_.host, *ddr4_,
+                                                 costs_);
+    }
+    if (usesCharon()) {
+        sim::SystemConfig dev_cfg = cfg_;
+        dev_cfg.charon.cpuSide =
+            (kind_ == PlatformKind::CharonCpuSide);
+        device_ =
+            std::make_unique<accel::CharonDevice>(eq_, *hmc_, dev_cfg);
+    }
+}
+
+PlatformSim::~PlatformSim() = default;
+
+bool
+PlatformSim::usesHmc() const
+{
+    // Only the DDR4 baseline keeps conventional DIMMs; the Ideal
+    // platform is "host paired with a zero-cycle offload device",
+    // evaluated on the same HMC memory as Charon.
+    return kind_ != PlatformKind::HostDdr4;
+}
+
+bool
+PlatformSim::usesCharon() const
+{
+    return kind_ == PlatformKind::CharonNmp
+           || kind_ == PlatformKind::CharonCpuSide;
+}
+
+PrimBreakdown
+PlatformSim::runPhase(const gc::PhaseTrace &phase)
+{
+    auto breakdown = std::make_shared<PrimBreakdown>();
+    // Owns every thread's continuation for the duration of the phase;
+    // the closures themselves hold only weak references so no cycle
+    // outlives this function.
+    std::vector<std::shared_ptr<std::function<void()>>> chains;
+
+    for (const auto &work : phase.threads) {
+        // One agent per GC thread: glue first, then each bucket.
+        struct ThreadRun
+        {
+            const gc::ThreadWork *work;
+            std::size_t next = 0;
+        };
+        auto state = std::make_shared<ThreadRun>();
+        state->work = &work;
+
+        auto step = std::make_shared<std::function<void()>>();
+        chains.push_back(step);
+        std::weak_ptr<std::function<void()>> weak_step = step;
+        double hit_rate = phase.bitmapCacheHitRate;
+        *step = [this, state, breakdown, hit_rate, weak_step] {
+            auto step = weak_step.lock();
+            CHARON_ASSERT(step, "thread chain outlived its phase");
+            if (state->next >= state->work->buckets.size())
+                return; // thread done
+            const gc::Bucket &bucket =
+                state->work->buckets[state->next++];
+            Tick start = eq_.now();
+            auto finish = [this, breakdown, &bucket, start,
+                           step](Tick t) {
+                breakdown->byKind(bucket.kind) +=
+                    sim::ticksToSeconds(t - start);
+                (*step)();
+            };
+
+            const mem::Addr synth_addr =
+                static_cast<mem::Addr>(bucket.srcCube) << cubeShift_;
+            const bool offload = usesCharon() && !bucket.hostOnly;
+            const bool ideal =
+                kind_ == PlatformKind::Ideal && !bucket.hostOnly;
+            if (ideal) {
+                // Zero-cycle offload: the primitive is free.
+                eq_.schedule(eq_.now(), [finish, this] {
+                    finish(eq_.now());
+                });
+            } else if (offload) {
+                // The host packs and issues one offload call per
+                // invocation before blocking on the device.
+                Tick issue = host_->glueTicks(bucket.invocations
+                                              * costs_.offloadIssue);
+                eq_.scheduleIn(issue, [this, &bucket, hit_rate,
+                                       finish] {
+                    device_->execBucket(bucket, hit_rate, finish);
+                });
+            } else {
+                host_->execBucket(bucket, synth_addr, finish);
+            }
+        };
+
+        // Kick off with the glue lump.
+        Tick glue = host_->glueTicks(work.glueInstructions);
+        glueSecondsTotal_ += sim::ticksToSeconds(glue);
+        eq_.scheduleIn(glue, [breakdown, glue, step] {
+            breakdown->glue += sim::ticksToSeconds(glue);
+            (*step)();
+        });
+    }
+
+    eq_.run(); // phase barrier: drain every thread and flow
+    return *breakdown;
+}
+
+GcTiming
+PlatformSim::simulateGc(const gc::GcTrace &trace)
+{
+    GcTiming timing;
+    timing.major = trace.major;
+    Tick start = eq_.now();
+
+    if (usesCharon()) {
+        // Bulk host-cache flush at GC start (Section 4.6).
+        eq_.scheduleIn(device_->gcPrologueTicks(), [] {});
+        eq_.run();
+    }
+    for (const auto &phase : trace.phases)
+        timing.breakdown += runPhase(phase);
+    timing.seconds = sim::ticksToSeconds(eq_.now() - start);
+    return timing;
+}
+
+void
+PlatformSim::dumpStats(std::ostream &os) const
+{
+    if (hmc_)
+        hmc_->dumpStats(os);
+    else
+        ddr4_->dumpStats(os);
+}
+
+RunTiming
+PlatformSim::simulate(const gc::RunTrace &trace)
+{
+    RunTiming result;
+    result.platform = kind_;
+    glueSecondsTotal_ = 0;
+
+    for (const auto &gc : trace.gcs) {
+        GcTiming timing = simulateGc(gc);
+        result.gcs.push_back(timing);
+        result.gcSeconds += timing.seconds;
+        if (timing.major) {
+            result.majorSeconds += timing.seconds;
+            result.majorBreakdown += timing.breakdown;
+        } else {
+            result.minorSeconds += timing.seconds;
+            result.minorBreakdown += timing.breakdown;
+        }
+    }
+
+    // Mutator time: application instructions across all cores at the
+    // configured mutator IPC.
+    std::uint64_t mutator_instr = 0;
+    for (auto n : trace.mutatorInstructions)
+        mutator_instr += n;
+    result.mutatorSeconds =
+        static_cast<double>(mutator_instr)
+        / (cfg_.host.mutatorIpc * cfg_.host.freqHz * cfg_.host.numCores);
+
+    // Memory observations.
+    double bytes = usesHmc() ? hmc_->totalBytes() : ddr4_->totalBytes();
+    result.dramBytes = bytes;
+    if (result.gcSeconds > 0)
+        result.avgGcBandwidthGBs = bytes / 1e9 / result.gcSeconds;
+    if (usesHmc() && bytes > 0)
+        result.localAccessFraction = hmc_->localBytes() / bytes;
+
+    // Energy over the GC intervals.
+    double dram_pj =
+        usesHmc() ? hmc_->energyPj() : ddr4_->energyPj();
+    result.dramEnergyJ = dram_pj * 1e-12;
+
+    // GC threads that offload to Charon spin-wait on the response
+    // packet (Section 4.1: "the host thread remains blocked"), so the
+    // cores draw active power on every platform; the savings come
+    // from shorter pauses and the lower pJ/bit of stacked DRAM.
+    const auto &h = cfg_.host;
+    result.hostEnergyJ =
+        (h.numCores * h.coreActivePowerW + h.uncorePowerW)
+        * result.gcSeconds;
+    if (usesCharon()) {
+        const auto &ch = cfg_.charon;
+        int total_units = ch.copySearchUnits + ch.bitmapCountUnits
+                          + ch.scanPushUnits;
+        double busy = device_->unitBusySeconds();
+        double unit_seconds = total_units * result.gcSeconds;
+        result.unitEnergyJ =
+            busy * ch.unitActivePowerW
+            + std::max(0.0, unit_seconds - busy) * ch.unitIdlePowerW;
+    }
+    return result;
+}
+
+} // namespace charon::platform

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The platform timing simulator: replays a primitive trace (the
+ * functional GC's output) on one of the five evaluated platforms
+ * (Figure 12): host+DDR4, host+HMC, Charon near-memory, Charon
+ * CPU-side, and the zero-cycle Ideal offload.
+ *
+ * GC threads are event-driven agents.  Within a phase every thread
+ * executes its glue work and its trace buckets sequentially; threads
+ * run concurrently and contend in the shared memory system (and for
+ * Charon's unit pools); phases are barriers, mirroring the
+ * ParallelScavenge phase structure.
+ */
+
+#ifndef CHARON_PLATFORM_PLATFORM_SIM_HH
+#define CHARON_PLATFORM_PLATFORM_SIM_HH
+
+#include <memory>
+#include <ostream>
+
+#include "accel/device.hh"
+#include "cpu/host_model.hh"
+#include "gc/costs.hh"
+#include "gc/trace.hh"
+#include "hmc/hmc.hh"
+#include "mem/ddr4.hh"
+#include "platform/results.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+
+namespace charon::platform
+{
+
+/**
+ * One platform instance; simulate() may be called once per trace.
+ */
+class PlatformSim
+{
+  public:
+    /**
+     * @param kind which platform to model
+     * @param cfg architectural parameters (Table 2)
+     * @param cube_shift the address-to-cube mapping the trace was
+     *        recorded with (HMC-backed platforms)
+     */
+    PlatformSim(sim::PlatformKind kind, const sim::SystemConfig &cfg,
+                int cube_shift);
+    ~PlatformSim();
+
+    /** Replay the whole run; returns aggregated timing and energy. */
+    RunTiming simulate(const gc::RunTrace &trace);
+
+    /** Replay a single collection (used by per-GC analyses). */
+    GcTiming simulateGc(const gc::GcTrace &trace);
+
+    sim::PlatformKind kind() const { return kind_; }
+    const sim::SystemConfig &config() const { return cfg_; }
+
+    /** The HMC backing store (HMC-backed kinds only, else nullptr). */
+    hmc::HmcMemory *hmcMemory() { return hmc_.get(); }
+
+    /** Print the memory-system statistics accumulated so far. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    bool usesHmc() const;
+    bool usesCharon() const;
+
+    /** Run one phase to completion; returns its breakdown. */
+    PrimBreakdown runPhase(const gc::PhaseTrace &phase);
+
+    sim::PlatformKind kind_;
+    sim::SystemConfig cfg_;
+    int cubeShift_;
+    gc::GlueCosts costs_;
+
+    sim::EventQueue eq_;
+    std::unique_ptr<mem::Ddr4Memory> ddr4_;
+    std::unique_ptr<hmc::HmcMemory> hmc_;
+    std::unique_ptr<accel::CharonDevice> device_;
+    std::unique_ptr<cpu::HostModel> host_;
+
+    double glueSecondsTotal_ = 0; ///< thread-seconds of host glue
+};
+
+} // namespace charon::platform
+
+#endif // CHARON_PLATFORM_PLATFORM_SIM_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Result structures produced by the platform timing simulator; the
+ * bench harness turns these into the paper's figures.
+ */
+
+#ifndef CHARON_PLATFORM_RESULTS_HH
+#define CHARON_PLATFORM_RESULTS_HH
+
+#include <vector>
+
+#include "gc/trace.hh"
+#include "sim/config.hh"
+
+namespace charon::platform
+{
+
+/** Thread-time (seconds) by work category, Figure 4's dimensions. */
+struct PrimBreakdown
+{
+    double copy = 0;
+    double search = 0;
+    double scanPush = 0;
+    double bitmapCount = 0;
+    double glue = 0; ///< "Other" in Figure 4
+
+    double
+    total() const
+    {
+        return copy + search + scanPush + bitmapCount + glue;
+    }
+
+    /** The offloadable fraction (everything but glue). */
+    double offloadable() const { return total() - glue; }
+
+    PrimBreakdown &
+    operator+=(const PrimBreakdown &o)
+    {
+        copy += o.copy;
+        search += o.search;
+        scanPush += o.scanPush;
+        bitmapCount += o.bitmapCount;
+        glue += o.glue;
+        return *this;
+    }
+
+    double &byKind(gc::PrimKind kind);
+};
+
+/** Timing of one collection. */
+struct GcTiming
+{
+    bool major = false;
+    double seconds = 0;          ///< pause wall-clock
+    PrimBreakdown breakdown;     ///< summed thread time
+};
+
+/** Timing + energy of a whole run's GC activity on one platform. */
+struct RunTiming
+{
+    sim::PlatformKind platform = sim::PlatformKind::HostDdr4;
+
+    double gcSeconds = 0;
+    double minorSeconds = 0;
+    double majorSeconds = 0;
+    double mutatorSeconds = 0;
+    PrimBreakdown minorBreakdown;
+    PrimBreakdown majorBreakdown;
+    std::vector<GcTiming> gcs;
+
+    // Memory-system observations over the GC intervals.
+    double dramBytes = 0;
+    double avgGcBandwidthGBs = 0;
+    double localAccessFraction = 0; ///< Charon platforms only
+
+    // Energy over the GC intervals (Joules).
+    double hostEnergyJ = 0;
+    double dramEnergyJ = 0;
+    double unitEnergyJ = 0;
+
+    double
+    totalEnergyJ() const
+    {
+        return hostEnergyJ + dramEnergyJ + unitEnergyJ;
+    }
+
+    PrimBreakdown
+    breakdown() const
+    {
+        PrimBreakdown b = minorBreakdown;
+        b += majorBreakdown;
+        return b;
+    }
+};
+
+} // namespace charon::platform
+
+#endif // CHARON_PLATFORM_RESULTS_HH

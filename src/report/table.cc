@@ -1,0 +1,100 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace charon::report
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+Table &
+Table::addRow(std::vector<std::string> cells)
+{
+    CHARON_ASSERT(cells.size() == headers_.size(),
+                  "row width %zu != header width %zu", cells.size(),
+                  headers_.size());
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c == 0) {
+                os << cells[c]
+                   << std::string(widths[c] - cells[c].size(), ' ');
+            } else {
+                os << "  "
+                   << std::string(widths[c] - cells[c].size(), ' ')
+                   << cells[c];
+            }
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << (c ? "," : "") << cells[c];
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+num(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+times(double value, int decimals)
+{
+    return num(value, decimals) + "x";
+}
+
+std::string
+percent(double part, double total, int decimals)
+{
+    if (total == 0)
+        return "-";
+    return num(100.0 * part / total, decimals) + "%";
+}
+
+void
+heading(std::ostream &os, const std::string &title)
+{
+    os << '\n' << "== " << title << " ==\n\n";
+}
+
+} // namespace charon::report

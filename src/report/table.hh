@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Console table formatting for the bench harness: aligned columns,
+ * numeric formatting helpers, and CSV emission so results can be
+ * diffed or plotted.
+ */
+
+#ifndef CHARON_REPORT_TABLE_HH
+#define CHARON_REPORT_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace charon::report
+{
+
+/**
+ * A simple aligned text table.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    Table &addRow(std::vector<std::string> cells);
+
+    /** Print with aligned columns (first column left, rest right). */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals places. */
+std::string num(double value, int decimals = 2);
+
+/** Format as a multiplier, e.g. "3.29x". */
+std::string times(double value, int decimals = 2);
+
+/** Format as a percentage of @p total, e.g. "45.1%". */
+std::string percent(double part, double total, int decimals = 1);
+
+/** Print a section heading. */
+void heading(std::ostream &os, const std::string &title);
+
+} // namespace charon::report
+
+#endif // CHARON_REPORT_TABLE_HH

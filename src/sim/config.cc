@@ -1,0 +1,24 @@
+#include "config.hh"
+
+namespace charon::sim
+{
+
+const char *
+platformName(PlatformKind kind)
+{
+    switch (kind) {
+      case PlatformKind::HostDdr4:
+        return "DDR4";
+      case PlatformKind::HostHmc:
+        return "HMC";
+      case PlatformKind::CharonNmp:
+        return "Charon";
+      case PlatformKind::CharonCpuSide:
+        return "Charon-CPU-side";
+      case PlatformKind::Ideal:
+        return "Ideal";
+    }
+    return "unknown";
+}
+
+} // namespace charon::sim

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Architectural parameters: the C++ rendering of Table 2 of the paper.
+ *
+ * Every timing/energy model takes one of these structs; the default
+ * member values are exactly the paper's evaluation configuration so that
+ * the bench harness reproduces the published setup by default, while
+ * tests and ablations can freely override fields.
+ */
+
+#ifndef CHARON_SIM_CONFIG_HH
+#define CHARON_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace charon::sim
+{
+
+/**
+ * Host processor: 8x 2.67 GHz Westmere-class out-of-order cores.
+ */
+struct HostConfig
+{
+    int numCores = 8;
+    double freqHz = 2.67e9;
+    int instructionWindow = 36;  ///< scheduler entries limiting MLP
+    int robEntries = 128;
+    int issueWidth = 4;
+    int l1dTlbEntries = 64;
+    int l2TlbEntries = 1024;
+
+    // Cache hierarchy (sizes in bytes, latencies in core cycles).
+    std::uint64_t l1dSize = 32 * kKiB;
+    int l1dAssoc = 8;
+    int l1dLatency = 4;
+    std::uint64_t l1iSize = 32 * kKiB;
+    int l1iAssoc = 4;
+    int l1iLatency = 3;
+    std::uint64_t l2Size = 256 * kKiB;
+    int l2Assoc = 8;
+    int l2Latency = 12;
+    std::uint64_t llcSize = 8 * kMiB;
+    int llcAssoc = 16;
+    int llcLatency = 28;
+    int cacheLineBytes = 64;
+
+    /**
+     * Per-core MSHR count; together with the instruction window this
+     * caps the number of in-flight misses (memory-level parallelism).
+     * Westmere L1D supports 10 outstanding misses.
+     */
+    int mshrsPerCore = 10;
+
+    /**
+     * Average observed GC IPC on the host for the non-primitive glue
+     * work (pop/allocate/check-mark).  The paper reports the average
+     * IPC of a Xeon core running GC is "below 0.5" (Section 1).
+     */
+    double gcGlueIpc = 0.5;
+
+    /** Application (mutator) IPC per core between collections. */
+    double mutatorIpc = 0.8;
+
+    /** McPAT-style per-core active power while running GC (Watts). */
+    double coreActivePowerW = 9.0;
+    /** Uncore/LLC power while collecting (Watts). */
+    double uncorePowerW = 12.0;
+    /** Per-core idle (gated) power (Watts). */
+    double coreIdlePowerW = 1.5;
+};
+
+/**
+ * DDR4 main memory: 32 GB, 2 channels, 4 ranks/channel, 8 banks/rank.
+ */
+struct Ddr4Config
+{
+    std::uint64_t capacityBytes = 32ull * kGiB;
+    int channels = 2;
+    int ranksPerChannel = 4;
+    int banksPerRank = 8;
+
+    // Timing (Table 2).
+    double tCkNs = 0.937;
+    double tRasNs = 35.0;
+    double tRcdNs = 13.50;
+    double tCasNs = 13.50;
+    double tWrNs = 15.0;
+    double tRpNs = 13.50;
+
+    /** Peak bandwidth: 17 GB/s per channel, 34 GB/s total. */
+    double perChannelGBs = 17.0;
+
+    /** Access energy (Table 2, from [35] MAGE): 35 pJ/bit. */
+    double energyPjPerBit = 35.0;
+
+    /** Burst (minimum transfer) size in bytes: 64 B cache line. */
+    int burstBytes = 64;
+
+    /** Row-buffer size per bank; determines page-hit behaviour. */
+    std::uint64_t rowBufferBytes = 8 * kKiB;
+
+    double totalGBs() const { return perChannelGBs * channels; }
+    Tick tRcd() const { return nsToTicks(tRcdNs); }
+    Tick tCas() const { return nsToTicks(tCasNs); }
+    Tick tRp() const { return nsToTicks(tRpNs); }
+    Tick tRas() const { return nsToTicks(tRasNs); }
+};
+
+/** Inter-cube interconnect shape (Section 4.6: not architecture-bound). */
+enum class HmcTopology
+{
+    Star,  ///< satellites hang off the central cube (paper default)
+    Chain, ///< cubes daisy-chained 0-1-2-...; host at cube 0
+};
+
+/**
+ * HMC main memory: 32 GB over 4 cubes, 32 vaults per cube, star
+ * topology with the host attached to the central cube (cube 0).
+ */
+struct HmcConfig
+{
+    /** Inter-cube topology. */
+    HmcTopology topology = HmcTopology::Star;
+
+    std::uint64_t capacityBytes = 32ull * kGiB;
+    int cubes = 4;
+    int vaultsPerCube = 32;
+    int banksPerVault = 8;
+
+    // Timing (Table 2).
+    double tCkNs = 1.6;
+    double tRasNs = 22.4;
+    double tRcdNs = 11.2;
+    double tCasNs = 11.2;
+    double tWrNs = 14.4;
+    double tRpNs = 11.2;
+
+    /** Aggregate internal (TSV) bandwidth per cube: 320 GB/s. */
+    double internalGBsPerCube = 320.0;
+
+    /** External serial-link bandwidth per link: 80 GB/s. */
+    double linkGBs = 80.0;
+
+    /** One-way serial link latency: 3 ns. */
+    double linkLatencyNs = 3.0;
+
+    /** Access energy (Table 2, from [59]): 21 pJ/bit. */
+    double energyPjPerBit = 21.0;
+
+    /** Energy cost of a link traversal, pJ/bit (SerDes). */
+    double linkEnergyPjPerBit = 4.0;
+
+    /** Maximum request granularity supported by HMC: 256 B. */
+    int maxRequestBytes = 256;
+
+    /** Minimum access granularity: 16 B (Section 4.5). */
+    int minRequestBytes = 16;
+
+    std::uint64_t bytesPerCube() const
+    {
+        return capacityBytes / static_cast<std::uint64_t>(cubes);
+    }
+    double vaultGBs() const
+    {
+        return internalGBsPerCube / vaultsPerCube;
+    }
+    Tick linkLatency() const { return nsToTicks(linkLatencyNs); }
+    /** Closed-bank access time tRCD+tCAS. */
+    Tick accessLatency() const { return nsToTicks(tRcdNs + tCasNs); }
+};
+
+/**
+ * Charon accelerator configuration (Table 2 "Charon Configuration").
+ */
+struct CharonConfig
+{
+    /** Copy/Search units in total (2 per cube). */
+    int copySearchUnits = 8;
+    /** Bitmap Count units in total (2 per cube). */
+    int bitmapCountUnits = 8;
+    /** Scan&Push units (8, all on the central cube). */
+    int scanPushUnits = 8;
+
+    /** Logic-layer clock for the processing units (1 req/cycle issue). */
+    double unitFreqHz = 625e6; // HMC tCK = 1.6 ns
+
+    /** Bitmap cache: 8 KB, 8-way, 32 B blocks, write-back. */
+    std::uint64_t bitmapCacheBytes = 8 * kKiB;
+    int bitmapCacheAssoc = 8;
+    int bitmapCacheBlockBytes = 32;
+
+    /** MAI request buffer entries per cube (caps in-flight accesses). */
+    int maiEntries = 32;
+
+    /** Accelerator TLB: 8 KB, 32 B blocks / 32 entries per cube. */
+    int tlbEntriesPerCube = 32;
+
+    /** Huge-page size used for heap pinning (1 GiB). */
+    std::uint64_t hugePageBytes = 1ull * kGiB;
+
+    /** Offload request packet size (Section 4.1): 48 B. */
+    int requestPacketBytes = 48;
+    /** Response packet size: 32 B with a return value, else 16 B. */
+    int responsePacketBytes = 32;
+    int responsePacketNoValBytes = 16;
+
+    /** Distributed (per-cube) bitmap cache and TLB slices (Fig. 15). */
+    bool distributedStructures = false;
+
+    /**
+     * Ablation: run Scan&Push on the cube that owns each object
+     * instead of the paper's central-cube placement (Section 4.4).
+     */
+    bool scanPushLocal = false;
+
+    /**
+     * Place the units at the host memory controller instead of the HMC
+     * logic layer (Fig. 16 "CPU-side" configuration): units then see
+     * only the off-chip link bandwidth, not the internal TSV bandwidth.
+     */
+    bool cpuSide = false;
+
+    /**
+     * Average unit power while active (W).  Calibrated so the fleet's
+     * mean draw lands near the paper's reported 2.98 W average
+     * (Section 5.3) at the utilizations our workloads produce.
+     */
+    double unitActivePowerW = 1.2;
+    double unitIdlePowerW = 0.02;
+
+    /**
+     * Heap-scale compensation for the GC-start bulk cache flush: the
+     * repository runs 1/64-scale heaps (DESIGN.md), which shrinks GC
+     * durations 64x while an LLC flush is a fixed cost; dividing the
+     * flush by the same factor keeps its share of a GC equal to the
+     * paper's (~0.3%, Section 4.6).  Set to 1 for full-size heaps.
+     */
+    double hostFlushScale = 64.0;
+};
+
+/** Which machine executes the GC: the four platforms of Figure 12. */
+enum class PlatformKind
+{
+    HostDdr4,      ///< baseline: host CPU + DDR4
+    HostHmc,       ///< host CPU + HMC (no accelerator)
+    CharonNmp,     ///< Charon in the HMC logic layer
+    CharonCpuSide, ///< Charon next to the host memory controller
+    Ideal,         ///< offloaded primitives complete in zero time
+};
+
+/** Printable platform name. */
+const char *platformName(PlatformKind kind);
+
+/** Bundle of everything a platform needs. */
+struct SystemConfig
+{
+    HostConfig host;
+    Ddr4Config ddr4;
+    HmcConfig hmc;
+    CharonConfig charon;
+    int gcThreads = 8;
+};
+
+} // namespace charon::sim
+
+#endif // CHARON_SIM_CONFIG_HH

@@ -1,0 +1,65 @@
+#include "event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace charon::sim
+{
+
+EventId
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    CHARON_ASSERT(when >= now_,
+                  "scheduling at %llu before now %llu",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(now_));
+    EventId id = nextId_++;
+    heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+    live_.insert(id);
+    return id;
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    // An id is cancellable iff it is still pending; erase() tells us.
+    return live_.erase(id) != 0;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        auto it = live_.find(e.id);
+        if (it == live_.end())
+            continue; // cancelled
+        live_.erase(it);
+        now_ = e.when;
+        e.fn();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick until)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (!live_.count(top.id)) {
+            heap_.pop();
+            continue;
+        }
+        if (top.when > until) {
+            now_ = until;
+            return executed;
+        }
+        if (step())
+            ++executed;
+    }
+    return executed;
+}
+
+} // namespace charon::sim

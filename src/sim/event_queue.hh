@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A small discrete-event simulation kernel.
+ *
+ * Events are std::function callbacks scheduled at absolute ticks.
+ * Same-tick events fire in FIFO (insertion) order, which keeps every run
+ * bit-for-bit deterministic. The queue is single-threaded by design: all
+ * simulated concurrency (GC threads, Charon units, memory channels) is
+ * expressed through event interleaving, never host threads.
+ */
+
+#ifndef CHARON_SIM_EVENT_QUEUE_HH
+#define CHARON_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace charon::sim
+{
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/**
+ * Deterministic single-threaded event queue.
+ *
+ * Typical use:
+ * @code
+ *   EventQueue eq;
+ *   eq.schedule(100, [&]{ ... });
+ *   eq.run();
+ * @endcode
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn at absolute time @p when.
+     *
+     * @pre when >= now() (scheduling in the past is a simulator bug).
+     * @return handle usable with deschedule().
+     */
+    EventId schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn @p delay ticks from now. */
+    EventId
+    scheduleIn(Tick delay, std::function<void()> fn)
+    {
+        return schedule(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @retval true the event was pending and is now cancelled.
+     * @retval false the event already fired or was already cancelled.
+     */
+    bool deschedule(EventId id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingEvents() const { return live_.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return live_.empty(); }
+
+    /**
+     * Run until the queue drains or @p until is reached (whichever is
+     * first). Time stops at the last executed event (or @p until).
+     *
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick until = maxTick);
+
+    /**
+     * Execute exactly one event if any is pending.
+     *
+     * @retval true an event was executed.
+     */
+    bool step();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            // std::priority_queue is a max-heap; invert for earliest-first,
+            // breaking ties by insertion order.
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> live_; // ids still pending (not cancelled)
+};
+
+} // namespace charon::sim
+
+#endif // CHARON_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,20 @@
+#include "rng.hh"
+
+#include <cmath>
+
+namespace charon::sim
+{
+
+double
+Rng::log2d(std::uint64_t v)
+{
+    return std::log2(static_cast<double>(v));
+}
+
+double
+Rng::exp2d(double v)
+{
+    return std::exp2(v);
+}
+
+} // namespace charon::sim

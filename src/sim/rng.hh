@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every stochastic choice in the simulator (workload object sizes,
+ * reference fan-out, lifetimes) draws from an explicitly seeded Rng so
+ * that runs are reproducible bit-for-bit; no global std::rand state.
+ */
+
+#ifndef CHARON_SIM_RNG_HH
+#define CHARON_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace charon::sim
+{
+
+/**
+ * xoshiro256** generator (Blackman & Vigna), seeded via splitmix64.
+ *
+ * Small, fast, and high quality; satisfies UniformRandomBitGenerator so
+ * it can also feed <random> distributions if ever needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded with splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : s_)
+            word = splitmix64(x);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next 64 random bits. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) ; bound == 0 returns 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Multiply-shift rejection-free mapping (slightly biased for huge
+        // bounds; irrelevant for workload synthesis).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-flavoured heavy-tail draw: returns lo..hi with
+     * probability mass decaying toward hi; used for object-size tails.
+     */
+    std::uint64_t
+    logUniform(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (lo >= hi)
+            return lo;
+        double lg_lo = log2d(lo), lg_hi = log2d(hi);
+        double pick = lg_lo + uniform() * (lg_hi - lg_lo);
+        std::uint64_t v = static_cast<std::uint64_t>(exp2d(pick));
+        if (v < lo)
+            v = lo;
+        if (v > hi)
+            v = hi;
+        return v;
+    }
+
+  private:
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static double log2d(std::uint64_t v);
+    static double exp2d(double v);
+
+    std::uint64_t s_[4];
+};
+
+} // namespace charon::sim
+
+#endif // CHARON_SIM_RNG_HH

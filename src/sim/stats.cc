@@ -1,0 +1,90 @@
+#include "stats.hh"
+
+#include <cmath>
+
+namespace charon::sim
+{
+
+Counter::Counter(StatGroup *group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (group)
+        group->add(this);
+}
+
+Average::Average(StatGroup *group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (group)
+        group->add(this);
+}
+
+Histogram::Histogram(StatGroup *group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (group)
+        group->add(this);
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    std::size_t bucket = 0;
+    if (v >= 1.0)
+        bucket = static_cast<std::size_t>(std::log2(v));
+    if (buckets_.size() <= bucket)
+        buckets_.resize(bucket + 1, 0);
+    ++buckets_[bucket];
+}
+
+void
+Histogram::reset()
+{
+    buckets_.clear();
+    count_ = 0;
+    sum_ = 0;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *c : counters_)
+        c->reset();
+    for (auto *a : averages_)
+        a->reset();
+    for (auto *h : histograms_)
+        h->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto *c : counters_)
+        os << name_ << '.' << c->name() << " = " << c->value() << '\n';
+    for (const auto *a : averages_) {
+        os << name_ << '.' << a->name() << ".mean = " << a->mean() << '\n';
+        os << name_ << '.' << a->name() << ".count = " << a->count() << '\n';
+    }
+    for (const auto *h : histograms_) {
+        os << name_ << '.' << h->name() << ".count = " << h->count() << '\n';
+        os << name_ << '.' << h->name() << ".mean = " << h->mean() << '\n';
+    }
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    double log_sum = 0;
+    std::size_t n = 0;
+    for (double v : values) {
+        if (v <= 0)
+            continue;
+        log_sum += std::log(v);
+        ++n;
+    }
+    return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+} // namespace charon::sim

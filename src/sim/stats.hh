@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, averages and
+ * distributions grouped per component, with a registry for dumping.
+ *
+ * Modelled loosely on gem5's Stats package but kept deliberately small:
+ * a StatGroup owns named stats; every stat is registered on construction
+ * and can be reset or dumped by the owning group.
+ */
+
+#ifndef CHARON_SIM_STATS_HH
+#define CHARON_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace charon::sim
+{
+
+class StatGroup;
+
+/** A monotonically accumulating scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(StatGroup *group, std::string name, std::string desc);
+
+    Counter &operator+=(double v) { value_ += v; return *this; }
+    Counter &operator++() { value_ += 1; return *this; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double value_ = 0;
+};
+
+/** Running mean/min/max over samples. */
+class Average
+{
+  public:
+    Average() = default;
+    Average(StatGroup *group, std::string name, std::string desc);
+
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        min_ = count_ == 1 ? v : std::min(min_, v);
+        max_ = count_ == 1 ? v : std::max(max_, v);
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0; }
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    void reset() { sum_ = 0; count_ = 0; min_ = 0; max_ = 0; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/** Power-of-two-bucketed distribution (for sizes, latencies). */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    Histogram(StatGroup *group, std::string name, std::string desc);
+
+    void sample(double v);
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0; }
+    /** Bucket i covers [2^i, 2^(i+1)); bucket 0 also covers <1. */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    void reset();
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+};
+
+/**
+ * A named collection of statistics belonging to one simulated component.
+ *
+ * Groups form a flat registry keyed by the group name; dump() prints
+ * "group.stat value" lines suitable for diffing across runs.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Register hooks used by the stat constructors. */
+    void add(Counter *c) { counters_.push_back(c); }
+    void add(Average *a) { averages_.push_back(a); }
+    void add(Histogram *h) { histograms_.push_back(h); }
+
+    /** Reset every stat in this group. */
+    void resetAll();
+
+    /** Print "name.stat = value" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::vector<Counter *> &counters() const { return counters_; }
+    const std::vector<Average *> &averages() const { return averages_; }
+
+  private:
+    std::string name_;
+    std::vector<Counter *> counters_;
+    std::vector<Average *> averages_;
+    std::vector<Histogram *> histograms_;
+};
+
+/** Geometric mean of a vector (ignores non-positive entries). */
+double geomean(const std::vector<double> &values);
+
+} // namespace charon::sim
+
+#endif // CHARON_SIM_STATS_HH

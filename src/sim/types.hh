@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles, clock domains and the
+ * unit-conversion helpers used across every timing model.
+ *
+ * The global simulated time base is one Tick == one picosecond, which is
+ * fine enough to express every clock in Table 2 of the paper exactly
+ * (DDR4 tCK = 937 ps, HMC tCK = 1600 ps, host core at 2.67 GHz).
+ */
+
+#ifndef CHARON_SIM_TYPES_HH
+#define CHARON_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace charon::sim
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "never" / unscheduled. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Ticks per second (1 Tick == 1 ps). */
+constexpr double ticksPerSecond = 1e12;
+
+/** Convert seconds to ticks. */
+constexpr Tick
+secondsToTicks(double seconds)
+{
+    return static_cast<Tick>(seconds * ticksPerSecond);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick ticks)
+{
+    return static_cast<double>(ticks) / ticksPerSecond;
+}
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * 1e3);
+}
+
+/** Convert ticks to nanoseconds. */
+constexpr double
+ticksToNs(Tick ticks)
+{
+    return static_cast<double>(ticks) * 1e-3;
+}
+
+/** Convert ticks to milliseconds. */
+constexpr double
+ticksToMs(Tick ticks)
+{
+    return static_cast<double>(ticks) * 1e-9;
+}
+
+/**
+ * A clock domain: converts between cycles and ticks for one frequency.
+ *
+ * Period is kept in picoseconds; all the clocks we model have integral
+ * or near-integral picosecond periods (DDR4 937 ps, HMC 1600 ps,
+ * host 2.67 GHz -> 375 ps(*)), so rounding error is negligible over any
+ * measured interval.
+ */
+class ClockDomain
+{
+  public:
+    /** Construct from a frequency in Hz. */
+    constexpr explicit ClockDomain(double freq_hz)
+        : periodPs_(ticksPerSecond / freq_hz)
+    {}
+
+    /** Period of one cycle in ticks (fractional internally). */
+    constexpr double periodTicks() const { return periodPs_; }
+
+    /** Frequency in Hz. */
+    constexpr double frequency() const { return ticksPerSecond / periodPs_; }
+
+    /** Convert a cycle count to ticks (rounded to nearest). */
+    constexpr Tick
+    cyclesToTicks(Cycles cycles) const
+    {
+        return static_cast<Tick>(static_cast<double>(cycles) * periodPs_
+                                 + 0.5);
+    }
+
+    /** Convert a (possibly fractional) cycle count to ticks. */
+    constexpr Tick
+    cyclesToTicks(double cycles) const
+    {
+        return static_cast<Tick>(cycles * periodPs_ + 0.5);
+    }
+
+    /** Convert ticks to whole cycles (rounded down). */
+    constexpr Cycles
+    ticksToCycles(Tick ticks) const
+    {
+        return static_cast<Cycles>(static_cast<double>(ticks) / periodPs_);
+    }
+
+  private:
+    double periodPs_;
+};
+
+/** Bytes per kibibyte / mebibyte / gibibyte. */
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/**
+ * Bandwidth expressed as bytes per tick with double precision.
+ *
+ * 1 GB/s == 1e9 bytes / 1e12 ticks == 1e-3 bytes per tick, so doubles
+ * comfortably represent every bandwidth in the paper.
+ */
+constexpr double
+gbPerSecToBytesPerTick(double gb_per_sec)
+{
+    return gb_per_sec * 1e9 / ticksPerSecond;
+}
+
+/** Inverse of gbPerSecToBytesPerTick. */
+constexpr double
+bytesPerTickToGbPerSec(double bytes_per_tick)
+{
+    return bytes_per_tick * ticksPerSecond / 1e9;
+}
+
+} // namespace charon::sim
+
+#endif // CHARON_SIM_TYPES_HH

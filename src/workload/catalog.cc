@@ -1,0 +1,162 @@
+#include "catalog.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sim/logging.hh"
+
+namespace charon::workload
+{
+
+MutatorKlasses::MutatorKlasses()
+{
+    node = table.defineInstance("VertexNode", 2, 2);
+    update = table.defineInstance("VertexUpdate", 2, 2);
+    partMeta = table.defineInstance("PartitionMeta", 1, 6);
+    mirror = table.defineInstance("java.lang.Class", 1, 6,
+                                  heap::KlassKind::InstanceMirror);
+    weakRef = table.defineInstance("WeakReference", 1, 1,
+                                   heap::KlassKind::InstanceRef);
+}
+
+const std::vector<WorkloadParams> &
+workloadCatalog()
+{
+    using sim::kMiB;
+    static const std::vector<WorkloadParams> catalog = [] {
+        std::vector<WorkloadParams> v;
+
+        // --- Spark: few large, reference-sparse, short-lived
+        //     partition buffers; a cached fraction grows the old
+        //     generation until MajorGCs fire.
+        {
+            WorkloadParams p;
+            p.name = "BS";
+            p.framework = "Spark";
+            p.description = "Bayesian classifier on KDD 2010 "
+                            "(RDD partition churn, medium cache)";
+            p.heapBytes = 160 * kMiB;   // Table 3: 10 GB / 64
+            p.minHeapBytes = 57 * kMiB;  // measured OOM threshold
+            p.iterations = 40;
+            p.partitionElems = 32 * 1024; // 256 KiB double[]
+            p.partitionsPerIter = 160;
+            p.partitionRetainProb = 0.15;
+            p.cacheEvictPerIter = 22;
+            p.smallPerIter = 6000;
+            p.instrPerWord = 10.0;
+            v.push_back(p);
+        }
+        {
+            WorkloadParams p;
+            p.name = "KM";
+            p.framework = "Spark";
+            p.description = "k-means clustering on KDD 2010 "
+                            "(smaller partitions, iterative)";
+            p.heapBytes = 128 * kMiB;   // 8 GB / 64
+            p.minHeapBytes = 47 * kMiB;  // measured OOM threshold
+            p.iterations = 45;
+            p.partitionElems = 16 * 1024; // 128 KiB
+            p.partitionsPerIter = 250;
+            p.partitionRetainProb = 0.14;
+            p.cacheEvictPerIter = 32;
+            p.smallPerIter = 8000;
+            p.instrPerWord = 10.0;
+            v.push_back(p);
+        }
+        {
+            WorkloadParams p;
+            p.name = "LR";
+            p.framework = "Spark";
+            p.description = "logistic regression on URL Reputation "
+                            "(large feature vectors)";
+            p.heapBytes = 192 * kMiB;   // 12 GB / 64
+            p.minHeapBytes = 84 * kMiB;  // measured OOM threshold
+            p.iterations = 45;
+            p.partitionElems = 64 * 1024; // 512 KiB
+            p.partitionsPerIter = 70;
+            p.partitionRetainProb = 0.14;
+            p.cacheEvictPerIter = 8;
+            p.smallPerIter = 5000;
+            p.instrPerWord = 10.0;
+            v.push_back(p);
+        }
+
+        // --- GraphChi: many small long-lived vertices with many
+        //     references; per-iteration vertex updates create young
+        //     garbage and old-to-young stores.
+        {
+            WorkloadParams p;
+            p.name = "CC";
+            p.framework = "GraphChi";
+            p.description = "connected components on R-MAT 22 "
+                            "(long-lived vertex graph)";
+            p.heapBytes = 64 * kMiB;    // 4 GB / 64
+            p.minHeapBytes = 37 * kMiB;  // measured OOM threshold
+            p.iterations = 30;
+            p.graphNodes = 70000;
+            p.graphDegree = 8;
+            p.shardsPerIter = 2;
+            p.shardElems = 192 * 1024; // 1.5 MiB long[] interval data
+            p.updatesPerIter = 200000;
+            p.updateStoreProb = 0.08;
+            p.smallPerIter = 4000;
+            v.push_back(p);
+        }
+        {
+            WorkloadParams p;
+            p.name = "PR";
+            p.framework = "GraphChi";
+            p.description = "PageRank on R-MAT 22 "
+                            "(denser updates than CC)";
+            p.heapBytes = 64 * kMiB;    // 4 GB / 64
+            p.minHeapBytes = 34 * kMiB;  // measured OOM threshold
+            p.iterations = 30;
+            p.graphNodes = 60000;
+            p.graphDegree = 10;
+            p.shardsPerIter = 2;
+            p.shardElems = 192 * 1024; // 1.5 MiB long[] interval data
+            p.updatesPerIter = 250000;
+            p.updateStoreProb = 0.10;
+            p.smallPerIter = 4000;
+            v.push_back(p);
+        }
+        {
+            WorkloadParams p;
+            p.name = "ALS";
+            p.framework = "GraphChi";
+            p.description = "alternating least squares on a 15000^2 "
+                            "matrix (one huge object, huge copies)";
+            p.heapBytes = 64 * kMiB;    // 4 GB / 64
+            p.minHeapBytes = 30 * kMiB;  // measured OOM threshold
+            p.iterations = 30;
+            p.graphNodes = 8000;
+            p.graphDegree = 3;
+            p.updatesPerIter = 1000;
+            p.updateStoreProb = 0.2;
+            p.smallHoldProb = 0.05;
+            p.tempRingSlots = 256;
+            p.matrixElems = 1'500'000;  // 12 MiB double[]
+            p.factorElems = 800'000;    // 6.4 MiB reallocated per iter
+            p.smallPerIter = 200;
+            v.push_back(p);
+        }
+        return v;
+    }();
+    return catalog;
+}
+
+const WorkloadParams &
+findWorkload(const std::string &name)
+{
+    std::string upper = name;
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    for (const auto &w : workloadCatalog()) {
+        if (w.name == upper)
+            return w;
+    }
+    sim::fatal("unknown workload '%s' (expected BS/KM/LR/CC/PR/ALS)",
+               name.c_str());
+}
+
+} // namespace charon::workload

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The workload catalog: six synthetic mutators reproducing the object
+ * demography of the paper's applications (Table 3).
+ *
+ * The paper's explanation of its own results (Section 5.2) rests on
+ * demography, not on the ML/graph mathematics:
+ *  - Spark applications (BS, KM, LR) "allocate a small number of
+ *    large size objects which have very few references within them
+ *    and have short lifetime" — RDD partition buffers;
+ *  - GraphChi graph applications (CC, PR) "traverse a large number of
+ *    nodes through edges; those objects have a long life cycle with
+ *    many references";
+ *  - ALS "takes a very large matrix data as a single object, which
+ *    results in a huge copy".
+ *
+ * Heap sizes are the paper's Table 3 values scaled by 1/64 so a full
+ * six-workload sweep runs in seconds; every reported metric is a
+ * ratio (speedup, fraction, breakdown) and therefore scale-invariant.
+ */
+
+#ifndef CHARON_WORKLOAD_CATALOG_HH
+#define CHARON_WORKLOAD_CATALOG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "heap/klass.hh"
+#include "sim/types.hh"
+
+namespace charon::workload
+{
+
+/** Tuning knobs of one synthetic mutator. */
+struct WorkloadParams
+{
+    std::string name;        ///< "BS", "KM", "LR", "CC", "PR", "ALS"
+    std::string framework;   ///< "Spark" or "GraphChi"
+    std::string description;
+
+    /** Default max heap (Table 3 scaled by 1/64). */
+    std::uint64_t heapBytes = 0;
+    /** Calibrated minimum heap that completes without OOM. */
+    std::uint64_t minHeapBytes = 0;
+
+    int iterations = 10;
+
+    // --- Spark-style RDD partitions -------------------------------
+    /** Elements per partition buffer (double[]). */
+    std::uint64_t partitionElems = 0;
+    /** Partition buffers allocated per iteration. */
+    int partitionsPerIter = 0;
+    /** Probability a partition is cached across iterations. */
+    double partitionRetainProb = 0;
+    /** Cached partitions dropped per iteration (cache churn). */
+    int cacheEvictPerIter = 0;
+
+    // --- small short-lived temporaries ----------------------------
+    std::uint64_t smallPerIter = 0;
+    /** Probability a small temporary stays reachable into the next
+     *  collection (temp-ring residency). */
+    double smallHoldProb = 0.25;
+    /** Size of the live temporary window (root ring slots). */
+    std::size_t tempRingSlots = 2048;
+
+    // --- GraphChi-style long-lived graph --------------------------
+    int graphNodes = 0;
+    /** Shard/interval data buffers streamed per iteration (long[]). */
+    int shardsPerIter = 0;
+    std::uint64_t shardElems = 0;
+    int graphDegree = 0; ///< adjacency fan-out per node
+    /** Per-iteration short-lived vertex-update objects. */
+    std::uint64_t updatesPerIter = 0;
+    /** Probability an update is stored into the (old) graph. */
+    double updateStoreProb = 0;
+
+    // --- ALS-style single huge object -----------------------------
+    /** Elements of the one big matrix (double[]), 0 = none. */
+    std::uint64_t matrixElems = 0;
+    /** Factor-matrix elements reallocated per iteration. */
+    std::uint64_t factorElems = 0;
+
+    /** Mutator compute intensity: instructions per allocated word. */
+    double instrPerWord = 6.0;
+};
+
+/** All six paper workloads. */
+const std::vector<WorkloadParams> &workloadCatalog();
+
+/** Look up by (case-insensitive) short name; fatal if unknown. */
+const WorkloadParams &findWorkload(const std::string &name);
+
+/**
+ * The shared klass registry every mutator allocates from: the
+ * dominant data klasses plus the rare metadata kinds (mirrors,
+ * Reference subclasses) that exercise Charon's host-fallback path.
+ */
+struct MutatorKlasses
+{
+    heap::KlassTable table;
+    heap::KlassId node = 0;      ///< 2 refs + 2 payload words
+    heap::KlassId update = 0;    ///< 1 ref + 2 payload words
+    heap::KlassId partMeta = 0;  ///< 1 ref + 6 payload words
+    heap::KlassId mirror = 0;    ///< InstanceMirror (host-only path)
+    heap::KlassId weakRef = 0;   ///< InstanceRef (host-only path)
+
+    MutatorKlasses();
+};
+
+} // namespace charon::workload
+
+#endif // CHARON_WORKLOAD_CATALOG_HH

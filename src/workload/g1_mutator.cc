@@ -1,0 +1,312 @@
+#include "g1_mutator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "workload/mutator.hh" // chooseCubeShift
+
+namespace charon::workload
+{
+
+using heap::G1RegionKind;
+using mem::Addr;
+
+G1Mutator::G1Mutator(const WorkloadParams &params,
+                     std::uint64_t heap_bytes, std::uint64_t seed,
+                     int gc_threads, int num_cubes)
+    : params_(params), rng_(seed)
+{
+    heap::G1Config cfg;
+    cfg.heapBytes = mem::alignUp(heap_bytes, 1 * sim::kMiB);
+    cfg.regionBytes = std::max<std::uint64_t>(
+        256 * 1024, cfg.heapBytes / 64); // ~64 regions, G1's target
+    cfg.heapBytes = mem::alignUp(cfg.heapBytes, cfg.regionBytes);
+    // Young budget ~ a quarter of the heap, like our ManagedHeap's
+    // Eden share.
+    cfg.maxEdenRegions = std::max<int>(
+        2, static_cast<int>(cfg.heapBytes / cfg.regionBytes / 4));
+    heap_ = std::make_unique<heap::G1Heap>(cfg, klasses_.table);
+    cubeShift_ = chooseCubeShift(heap_->vaLimit(), num_cubes);
+    rec_ = std::make_unique<gc::TraceRecorder>(gc_threads, cubeShift_,
+                                               num_cubes);
+    g1_ = std::make_unique<gc::G1Collector>(*heap_, *rec_);
+}
+
+G1Mutator::RootSlot
+G1Mutator::addRoot(Addr obj)
+{
+    auto &roots = heap_->roots();
+    if (!freeSlots_.empty()) {
+        RootSlot slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        roots[slot] = obj;
+        return slot;
+    }
+    roots.push_back(obj);
+    return roots.size() - 1;
+}
+
+void
+G1Mutator::removeRoot(RootSlot slot)
+{
+    heap_->roots()[slot] = 0;
+    freeSlots_.push_back(slot);
+}
+
+Addr
+G1Mutator::rootAt(RootSlot slot) const
+{
+    return heap_->roots()[slot];
+}
+
+void
+G1Mutator::holdTemp(Addr obj)
+{
+    if (tempRing_.size() < params_.tempRingSlots) {
+        tempRing_.push_back(addRoot(obj));
+        return;
+    }
+    heap_->roots()[tempRing_[tempCursor_]] = obj;
+    tempCursor_ = (tempCursor_ + 1) % params_.tempRingSlots;
+}
+
+void
+G1Mutator::holdBigTemp(Addr obj)
+{
+    if (bigTempRing_.size() < kBigTempRingSize) {
+        bigTempRing_.push_back(addRoot(obj));
+        return;
+    }
+    heap_->roots()[bigTempRing_[bigTempCursor_]] = obj;
+    bigTempCursor_ = (bigTempCursor_ + 1) % kBigTempRingSize;
+}
+
+Addr
+G1Mutator::allocate(heap::KlassId klass, std::uint64_t array_len)
+{
+    if (oom_)
+        return 0;
+    std::uint64_t size_words =
+        heap_->arena().sizeWordsFor(klass, array_len);
+    result_.mutatorInstructions += static_cast<std::uint64_t>(
+        static_cast<double>(size_words) * params_.instrPerWord);
+
+    const bool humongous =
+        size_words * 8 > heap_->config().regionBytes / 2;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        Addr obj = heap_->allocate(klass, array_len);
+        if (obj != 0) {
+            result_.allocatedBytes += size_words * 8;
+            return obj;
+        }
+        rec_->recordMutator(result_.mutatorInstructions);
+        result_.mutatorInstructions = 0;
+        auto outcome = humongous
+                           ? g1_->onHumongousAllocationFailure()
+                           : g1_->onAllocationFailure();
+        switch (outcome) {
+          case gc::G1Outcome::Young:
+            ++result_.youngGcs;
+            break;
+          case gc::G1Outcome::Mixed:
+            ++result_.mixedGcs;
+            break;
+          case gc::G1Outcome::OutOfMemory:
+            oom_ = true;
+            return 0;
+        }
+    }
+    oom_ = true;
+    return 0;
+}
+
+Addr
+G1Mutator::randomGraphNode()
+{
+    Addr registry = rootAt(registrySlot_);
+    if (registry == 0)
+        return 0;
+    std::uint64_t len = heap_->arrayLength(registry);
+    return len ? heap_->refAt(registry, rng_.below(len)) : 0;
+}
+
+void
+G1Mutator::buildGraph()
+{
+    if (params_.graphNodes <= 0)
+        return;
+    const std::uint64_t n =
+        static_cast<std::uint64_t>(params_.graphNodes);
+    Addr registry = allocate(klasses_.table.objArrayId(), n);
+    if (registry == 0)
+        return;
+    registrySlot_ = addRoot(registry);
+    for (std::uint64_t i = 0; i < n && !oom_; ++i) {
+        Addr node = allocate(klasses_.node);
+        if (node == 0)
+            return;
+        heap_->storeRef(rootAt(registrySlot_), i, node);
+    }
+    for (std::uint64_t i = 0; i < n && !oom_; ++i) {
+        Addr adj = allocate(klasses_.table.objArrayId(),
+                            static_cast<std::uint64_t>(
+                                params_.graphDegree));
+        if (adj == 0)
+            return;
+        Addr registry_now = rootAt(registrySlot_);
+        Addr node = heap_->refAt(registry_now, i);
+        heap_->storeRef(node, 0, adj);
+        for (int d = 0; d < params_.graphDegree; ++d) {
+            std::uint64_t target;
+            if (rng_.chance(0.85)) {
+                std::uint64_t span = std::min<std::uint64_t>(n, 2048);
+                std::uint64_t lo = i > span / 2 ? i - span / 2 : 0;
+                target = std::min(n - 1, lo + rng_.below(span));
+            } else {
+                target = rng_.below(n);
+            }
+            heap_->storeRef(adj, static_cast<std::uint64_t>(d),
+                            heap_->refAt(registry_now, target));
+        }
+        result_.mutatorInstructions +=
+            20 * static_cast<std::uint64_t>(params_.graphDegree);
+    }
+}
+
+void
+G1Mutator::allocSmallTemps()
+{
+    for (std::uint64_t i = 0; i < params_.smallPerIter && !oom_; ++i) {
+        double pick = rng_.uniform();
+        Addr obj = 0;
+        if (pick < 0.40)
+            obj = allocate(klasses_.node);
+        else if (pick < 0.70)
+            obj = allocate(klasses_.update);
+        else if (pick < 0.85)
+            obj = allocate(klasses_.partMeta);
+        else if (pick < 0.95)
+            obj = allocate(klasses_.table.byteArrayId(),
+                           rng_.range(16, 256));
+        else if (pick < 0.975)
+            obj = allocate(klasses_.mirror);
+        else
+            obj = allocate(klasses_.weakRef);
+        if (obj != 0 && rng_.chance(params_.smallHoldProb))
+            holdTemp(obj);
+        result_.mutatorInstructions += 25;
+    }
+}
+
+void
+G1Mutator::runIteration()
+{
+    for (int s = 0; s < params_.shardsPerIter && !oom_; ++s) {
+        Addr shard = allocate(klasses_.table.longArrayId(),
+                              params_.shardElems);
+        if (shard == 0)
+            return;
+        if (shardRing_.size() <= static_cast<std::size_t>(s))
+            shardRing_.push_back(addRoot(shard));
+        else
+            heap_->roots()[shardRing_[static_cast<std::size_t>(s)]] =
+                shard;
+        result_.mutatorInstructions += params_.shardElems * 6;
+    }
+
+    for (int p = 0; p < params_.partitionsPerIter && !oom_; ++p) {
+        Addr buf = allocate(klasses_.table.doubleArrayId(),
+                            params_.partitionElems);
+        if (buf == 0)
+            return;
+        RootSlot buf_slot = addRoot(buf);
+        Addr meta = allocate(klasses_.partMeta);
+        if (meta == 0)
+            return;
+        heap_->storeRef(meta, 0, rootAt(buf_slot));
+        removeRoot(buf_slot);
+        result_.mutatorInstructions += params_.partitionElems * 2;
+        if (rng_.chance(params_.partitionRetainProb))
+            cache_.push_back(addRoot(meta));
+        else
+            holdBigTemp(meta);
+    }
+    for (int e = 0; e < params_.cacheEvictPerIter && !cache_.empty();
+         ++e) {
+        removeRoot(cache_.front());
+        cache_.pop_front();
+    }
+
+    for (std::uint64_t u = 0; u < params_.updatesPerIter && !oom_; ++u) {
+        Addr upd = allocate(klasses_.update);
+        if (upd == 0)
+            return;
+        Addr node = randomGraphNode();
+        if (node != 0) {
+            heap_->storeRef(upd, 0, node);
+            if (rng_.chance(params_.updateStoreProb)) {
+                RootSlot pin = addRoot(upd);
+                Addr payload =
+                    allocate(klasses_.table.byteArrayId(), 96);
+                Addr cur = rootAt(pin);
+                removeRoot(pin);
+                if (payload != 0 && cur != 0) {
+                    heap_->storeRef(cur, 1, payload);
+                    Addr n2 = heap_->refAt(cur, 0);
+                    if (n2 != 0)
+                        heap_->storeRef(n2, 1, cur);
+                }
+            } else {
+                holdTemp(upd);
+            }
+        } else {
+            holdTemp(upd);
+        }
+        result_.mutatorInstructions += 900;
+    }
+
+    if (params_.factorElems > 0 && !oom_) {
+        Addr factor = allocate(klasses_.table.doubleArrayId(),
+                               params_.factorElems);
+        if (factor != 0) {
+            if (factorSlotValid_) {
+                heap_->roots()[factorSlot_] = factor;
+            } else {
+                factorSlot_ = addRoot(factor);
+                factorSlotValid_ = true;
+            }
+            result_.mutatorInstructions += params_.factorElems * 3;
+        }
+    }
+
+    allocSmallTemps();
+}
+
+G1Mutator::RunResult
+G1Mutator::run()
+{
+    if (params_.matrixElems > 0) {
+        Addr matrix = allocate(klasses_.table.doubleArrayId(),
+                               params_.matrixElems);
+        if (matrix != 0)
+            matrixSlot_ = addRoot(matrix);
+        result_.mutatorInstructions += params_.matrixElems;
+    }
+    buildGraph();
+    for (int it = 0; it < params_.iterations && !oom_; ++it)
+        runIteration();
+
+    rec_->recordMutator(result_.mutatorInstructions);
+    rec_->finishRun();
+    result_.oom = oom_;
+    result_.youngGcs = g1_->youngCount();
+    result_.mixedGcs = g1_->mixedCount();
+    result_.markCycles = g1_->markCount();
+    std::uint64_t total = 0;
+    for (auto n : rec_->run().mutatorInstructions)
+        total += n;
+    result_.mutatorInstructions = total;
+    return result_;
+}
+
+} // namespace charon::workload

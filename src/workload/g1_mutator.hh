@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The synthetic mutators on the G1 heap: the same Table 3 workload
+ * demography as Mutator, driving the region-based Garbage-First
+ * collector instead of ParallelScavenge.
+ *
+ * Exists to quantify the paper's Table 1 claim end-to-end: the same
+ * application, collected by a different family, still spends its time
+ * in the same offloadable primitives — so Charon accelerates G1 runs
+ * too (see bench/g1_vs_ps).
+ */
+
+#ifndef CHARON_WORKLOAD_G1_MUTATOR_HH
+#define CHARON_WORKLOAD_G1_MUTATOR_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "gc/g1_collector.hh"
+#include "gc/recorder.hh"
+#include "heap/g1_heap.hh"
+#include "sim/rng.hh"
+#include "workload/catalog.hh"
+
+namespace charon::workload
+{
+
+/**
+ * One application run on G1.
+ */
+class G1Mutator
+{
+  public:
+    struct RunResult
+    {
+        bool oom = false;
+        std::uint64_t youngGcs = 0;
+        std::uint64_t mixedGcs = 0;
+        std::uint64_t markCycles = 0;
+        std::uint64_t allocatedBytes = 0;
+        std::uint64_t mutatorInstructions = 0;
+    };
+
+    G1Mutator(const WorkloadParams &params, std::uint64_t heap_bytes,
+              std::uint64_t seed = 1, int gc_threads = 8,
+              int num_cubes = 4);
+
+    RunResult run();
+
+    gc::TraceRecorder &recorder() { return *rec_; }
+    heap::G1Heap &heap() { return *heap_; }
+    int cubeShift() const { return cubeShift_; }
+
+  private:
+    using RootSlot = std::size_t;
+
+    /** Allocate with GC-on-failure; 0 on OOM. */
+    mem::Addr allocate(heap::KlassId klass, std::uint64_t array_len = 0);
+
+    RootSlot addRoot(mem::Addr obj);
+    void removeRoot(RootSlot slot);
+    mem::Addr rootAt(RootSlot slot) const;
+    void holdTemp(mem::Addr obj);
+    void holdBigTemp(mem::Addr obj);
+    mem::Addr randomGraphNode();
+    void buildGraph();
+    void runIteration();
+    void allocSmallTemps();
+
+    WorkloadParams params_;
+    MutatorKlasses klasses_;
+    std::unique_ptr<heap::G1Heap> heap_;
+    std::unique_ptr<gc::TraceRecorder> rec_;
+    std::unique_ptr<gc::G1Collector> g1_;
+    sim::Rng rng_;
+    int cubeShift_ = 30;
+
+    bool oom_ = false;
+    RunResult result_;
+
+    std::vector<RootSlot> freeSlots_;
+    RootSlot registrySlot_ = 0;
+    RootSlot matrixSlot_ = 0;
+    RootSlot factorSlot_ = 0;
+    bool factorSlotValid_ = false;
+    std::deque<RootSlot> cache_;
+    std::vector<RootSlot> tempRing_;
+    std::size_t tempCursor_ = 0;
+    std::vector<RootSlot> bigTempRing_;
+    std::size_t bigTempCursor_ = 0;
+    std::vector<RootSlot> shardRing_;
+
+    static constexpr std::size_t kBigTempRingSize = 4;
+};
+
+} // namespace charon::workload
+
+#endif // CHARON_WORKLOAD_G1_MUTATOR_HH

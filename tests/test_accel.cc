@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the Charon device timing model and the area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/area_energy.hh"
+#include "accel/device.hh"
+#include "sim/event_queue.hh"
+
+using namespace charon;
+using accel::AreaModel;
+using accel::CharonDevice;
+using charon::sim::EventQueue;
+using charon::sim::Tick;
+
+namespace
+{
+
+gc::Bucket
+copyBucket(std::uint64_t bytes, std::uint64_t inv = 1, int src = 1,
+           int dst = 1)
+{
+    gc::Bucket b;
+    b.kind = gc::PrimKind::Copy;
+    b.srcCube = src;
+    b.dstCube = dst;
+    b.invocations = inv;
+    b.seqReadBytes = bytes;
+    b.writeBytes = bytes;
+    return b;
+}
+
+} // namespace
+
+class DeviceTest : public ::testing::Test
+{
+  protected:
+    EventQueue eq;
+    sim::SystemConfig cfg;
+    hmc::HmcMemory hmc{eq, cfg.hmc};
+    CharonDevice dev{eq, hmc, cfg};
+
+    DeviceTest() { hmc.setCubeShift(28); }
+
+    Tick
+    exec(const gc::Bucket &b, double hit = 0.9)
+    {
+        Tick done = 0;
+        dev.execBucket(b, hit, [&](Tick t) { done = t; });
+        eq.run();
+        return done;
+    }
+};
+
+TEST_F(DeviceTest, LargeCopyApproachesUnitIssueBandwidth)
+{
+    // 64 MB copied (128 MB moved) by one unit capped at 160 GB/s of
+    // combined load+store issue.
+    Tick done = exec(copyBucket(64 << 20));
+    double gbps = 2.0 * 64.0 / 1024 / sim::ticksToSeconds(done);
+    EXPECT_GT(gbps, 120.0);
+    EXPECT_LE(gbps, 161.0);
+}
+
+TEST_F(DeviceTest, SmallCopyPaysLatencyFloor)
+{
+    // A 64 B object copy cannot beat the offload round trip plus the
+    // DRAM access latency (~50 ns) — the reason the modified JVM
+    // keeps tiny copies on the host.
+    Tick done = exec(copyBucket(64));
+    EXPECT_GT(sim::ticksToNs(done), 40.0);
+    EXPECT_LT(sim::ticksToNs(done), 90.0);
+}
+
+TEST_F(DeviceTest, PerInvocationOverheadScalesWithCount)
+{
+    Tick one = exec(copyBucket(64, 1));
+    EventQueue eq2;
+    hmc::HmcMemory hmc2(eq2, cfg.hmc);
+    CharonDevice dev2(eq2, hmc2, cfg);
+    Tick done = 0;
+    dev2.execBucket(copyBucket(64 * 1000, 1000), 0.9,
+                    [&](Tick t) { done = t; });
+    eq2.run();
+    // 1000 invocations cost ~1000x the per-invocation part.
+    EXPECT_GT(done, 500 * one);
+}
+
+TEST_F(DeviceTest, RemoteDestinationCrossesLinks)
+{
+    exec(copyBucket(1 << 20, 1, 1, 2));
+    EXPECT_GT(hmc.linkBytes(), 0.0);
+    EXPECT_GT(hmc.remoteBytes(), 0.0);
+}
+
+TEST_F(DeviceTest, LocalCopyStaysLocal)
+{
+    exec(copyBucket(1 << 20, 1, 1, 1));
+    EXPECT_DOUBLE_EQ(hmc.remoteBytes(), 0.0);
+}
+
+TEST_F(DeviceTest, OffloadOverheadHigherForSatelliteCubes)
+{
+    EXPECT_GT(dev.offloadOverhead(1), dev.offloadOverhead(0));
+}
+
+TEST_F(DeviceTest, BitmapCountHitRateMatters)
+{
+    gc::Bucket b;
+    b.kind = gc::PrimKind::BitmapCount;
+    b.srcCube = 1;
+    b.invocations = 10000;
+    b.seqReadBytes = 10000 * 32;
+    b.rangeBits = 10000 * 128;
+
+    Tick hot = exec(b, 0.95);
+    EventQueue eq2;
+    hmc::HmcMemory hmc2(eq2, cfg.hmc);
+    CharonDevice dev2(eq2, hmc2, cfg);
+    Tick cold = 0;
+    dev2.execBucket(b, 0.0, [&](Tick t) { cold = t; });
+    eq2.run();
+    // Cold lookups pay the DRAM round trip per invocation; hot ones
+    // only the cache (plus the unified-cache link hop on a satellite
+    // cube).
+    EXPECT_GT(cold, hot * 3 / 2);
+}
+
+TEST_F(DeviceTest, ScanPushWithFewRefsIsLatencyBound)
+{
+    gc::Bucket sparse;
+    sparse.kind = gc::PrimKind::ScanPush;
+    sparse.srcCube = 1;
+    sparse.invocations = 1000;
+    sparse.seqReadBytes = 1000 * 24;
+    sparse.randomAccesses = 1000; // one ref per object
+    sparse.randomBytes = 1000 * 16;
+
+    gc::Bucket dense = sparse;
+    dense.invocations = 100; // same refs packed into fewer objects
+    dense.randomAccesses = 1000;
+
+    Tick t_sparse = exec(sparse);
+    EventQueue eq2;
+    hmc::HmcMemory hmc2(eq2, cfg.hmc);
+    CharonDevice dev2(eq2, hmc2, cfg);
+    Tick t_dense = 0;
+    dev2.execBucket(dense, 0.9, [&](Tick t) { t_dense = t; });
+    eq2.run();
+    // Ten refs per invocation exploit MLP; one ref per invocation
+    // serializes on latency (Section 5.2's Scan&Push analysis).
+    EXPECT_GT(t_sparse, 2 * t_dense);
+}
+
+TEST_F(DeviceTest, GcPrologueScalesWithLlc)
+{
+    sim::SystemConfig big = cfg;
+    big.host.llcSize *= 2;
+    EventQueue eq2;
+    hmc::HmcMemory hmc2(eq2, big.hmc);
+    CharonDevice dev2(eq2, hmc2, big);
+    EXPECT_EQ(dev2.gcPrologueTicks(), 2 * dev.gcPrologueTicks());
+}
+
+TEST_F(DeviceTest, PacketBytesAccumulate)
+{
+    EXPECT_DOUBLE_EQ(dev.packetBytes(), 0.0);
+    exec(copyBucket(1024, 4));
+    // 4 x (48 B request + 16 B no-value response).
+    EXPECT_DOUBLE_EQ(dev.packetBytes(), 4.0 * (48 + 16));
+}
+
+// ---------------------------------------------------------------------
+// Area model (Table 4)
+
+TEST(AreaModel, TotalsMatchTable4)
+{
+    AreaModel area{sim::CharonConfig{}};
+    EXPECT_NEAR(area.totalMm2(), 1.9470, 1e-4);
+    EXPECT_NEAR(area.perCubeMm2(), 0.4868, 1e-4);
+    EXPECT_NEAR(area.logicLayerFraction(), 0.0049, 1e-4);
+}
+
+TEST(AreaModel, HasAllNineComponents)
+{
+    AreaModel area{sim::CharonConfig{}};
+    EXPECT_EQ(area.components().size(), 9u);
+    int units = 0, general = 0;
+    for (const auto &c : area.components())
+        (c.isProcessingUnit ? units : general) += 1;
+    EXPECT_EQ(units, 3);
+    EXPECT_EQ(general, 6);
+}
+
+TEST(AreaModel, PowerDensityBelowPassiveHeatsinkLimit)
+{
+    // Section 5.3: max power 4.51 W -> 45.1 mW/mm^2 per cube budget,
+    // far below a passive heat sink's limit.
+    double density = accel::PowerModel::powerDensityMwPerMm2(
+        accel::PowerModel::kPaperMaxPowerW);
+    EXPECT_NEAR(density, 11.3, 0.1); // over 4 cubes' logic dies
+    EXPECT_LT(density,
+              accel::PowerModel::kPassiveHeatsinkMwPerMm2);
+}

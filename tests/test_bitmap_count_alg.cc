@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for Charon's optimized Bitmap Count algorithm (Section 4.3):
+ * exact equivalence with the Figure 8 software reference, including
+ * the corner cases where begin/end bit counts differ inside the
+ * range, plus the cycle model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/bitmap_count_alg.hh"
+#include "heap/bitmap.hh"
+#include "sim/rng.hh"
+
+using namespace charon;
+using accel::optimizedLiveWords;
+using accel::optimizedWordCycles;
+using heap::liveWordsInRange;
+using heap::MarkBitmap;
+
+namespace
+{
+
+constexpr mem::Addr kBase = 0x10000;
+constexpr std::uint64_t kBytes = 512 * 1024;
+
+struct Maps
+{
+    MarkBitmap beg{kBase, kBytes, 0};
+    MarkBitmap end{kBase, kBytes, 0};
+
+    void
+    paint(std::uint64_t beg_bit, std::uint64_t words)
+    {
+        beg.setBit(beg_bit);
+        end.setBit(beg_bit + words - 1);
+    }
+};
+
+} // namespace
+
+TEST(OptimizedBitmapCount, SingleObject)
+{
+    Maps m;
+    m.paint(10, 5);
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 0, 100), 5u);
+}
+
+TEST(OptimizedBitmapCount, OneWordObject)
+{
+    Maps m;
+    m.paint(42, 1);
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 0, 100), 1u);
+}
+
+TEST(OptimizedBitmapCount, MultipleObjects)
+{
+    Maps m;
+    m.paint(0, 3);
+    m.paint(10, 7);
+    m.paint(50, 1);
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 0, 100), 11u);
+}
+
+TEST(OptimizedBitmapCount, EmptyRange)
+{
+    Maps m;
+    m.paint(10, 5);
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 50, 50), 0u);
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 60, 50), 0u);
+}
+
+TEST(OptimizedBitmapCount, PaperFigure9Example)
+{
+    // Figure 9: three objects; subtracting the maps yields all ones
+    // between the paired bits, then one per object is added back.
+    Maps m;
+    m.paint(1, 3);  // bits 1..3
+    m.paint(6, 2);  // bits 6..7
+    m.paint(11, 4); // bits 11..14
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 0, 16), 9u);
+}
+
+TEST(OptimizedBitmapCount, CornerLeadingEndBit)
+{
+    // Range starts inside an object: its dangling end bit must not
+    // contribute.
+    Maps m;
+    m.paint(10, 10); // bits 10..19
+    m.paint(30, 5);
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 15, 100), 5u);
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 15, 100),
+              liveWordsInRange(m.beg, m.end, 15, 100));
+}
+
+TEST(OptimizedBitmapCount, CornerTrailingBeginBit)
+{
+    // An object starting inside but ending beyond the range counts
+    // as zero (Figure 8 semantics).
+    Maps m;
+    m.paint(90, 20); // bits 90..109
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 0, 100), 0u);
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 0, 100),
+              liveWordsInRange(m.beg, m.end, 0, 100));
+}
+
+TEST(OptimizedBitmapCount, CornerBothEndsCut)
+{
+    Maps m;
+    m.paint(10, 10);  // cut at range start
+    m.paint(30, 5);   // fully inside
+    m.paint(90, 20);  // cut at range end
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 15, 100), 5u);
+}
+
+TEST(OptimizedBitmapCount, RangeInsideOneObject)
+{
+    Maps m;
+    m.paint(10, 100); // bits 10..109
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 20, 80), 0u);
+}
+
+TEST(OptimizedBitmapCount, WordBoundaryStraddles)
+{
+    Maps m;
+    m.paint(60, 10); // crosses the bit-63/64 word boundary
+    m.paint(126, 4); // crosses 127/128
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 0, 256), 14u);
+    EXPECT_EQ(optimizedLiveWords(m.beg, m.end, 60, 70), 10u);
+}
+
+TEST(OptimizedBitmapCount, UnalignedRangeEdges)
+{
+    Maps m;
+    m.paint(5, 3);
+    m.paint(65, 3);
+    m.paint(130, 3);
+    for (std::uint64_t s = 0; s <= 5; ++s) {
+        EXPECT_EQ(optimizedLiveWords(m.beg, m.end, s, 200),
+                  liveWordsInRange(m.beg, m.end, s, 200))
+            << "start " << s;
+    }
+}
+
+TEST(OptimizedBitmapCount, PropertyMatchesReferenceOnRandomHeaps)
+{
+    sim::Rng rng(777);
+    for (int round = 0; round < 200; ++round) {
+        Maps m;
+        std::uint64_t bit = rng.below(16);
+        std::uint64_t limit = 2000 + rng.below(2000);
+        while (bit + 70 < limit) {
+            std::uint64_t words = rng.chance(0.2)
+                                      ? rng.range(1, 64)
+                                      : rng.range(1, 8);
+            if (rng.chance(0.8))
+                m.paint(bit, words);
+            bit += words + rng.below(6);
+        }
+        // Arbitrary ranges, including ones that cut objects.
+        for (int q = 0; q < 20; ++q) {
+            std::uint64_t a = rng.below(limit);
+            std::uint64_t b = a + rng.below(limit - a + 1);
+            EXPECT_EQ(optimizedLiveWords(m.beg, m.end, a, b),
+                      liveWordsInRange(m.beg, m.end, a, b))
+                << "round " << round << " range [" << a << "," << b
+                << ")";
+        }
+    }
+}
+
+TEST(OptimizedBitmapCount, CycleModelCountsWordPairs)
+{
+    EXPECT_EQ(optimizedWordCycles(0, 0), 0u);
+    EXPECT_EQ(optimizedWordCycles(0, 1), 2u);   // 1 word x 2 maps
+    EXPECT_EQ(optimizedWordCycles(0, 64), 2u);
+    EXPECT_EQ(optimizedWordCycles(0, 65), 4u);
+    EXPECT_EQ(optimizedWordCycles(63, 65), 4u); // straddles boundary
+    EXPECT_EQ(optimizedWordCycles(0, 512), 16u);
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the set-associative cache model (bitmap cache substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_model.hh"
+
+using charon::mem::CacheModel;
+
+TEST(CacheModel, FirstAccessMissesThenHits)
+{
+    CacheModel c(8 * 1024, 8, 32);
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x101f, false)); // same 32 B block
+    EXPECT_FALSE(c.access(0x1020, false)); // next block
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(CacheModel, GeometryMatchesConfiguration)
+{
+    CacheModel c(8 * 1024, 8, 32);
+    EXPECT_EQ(c.sets(), 32u); // 8KB / (8 * 32B)
+    EXPECT_EQ(c.blockBytes(), 32);
+}
+
+TEST(CacheModel, LruEvictsOldest)
+{
+    // Direct-mapped-ish: 2-way, tiny.
+    CacheModel c(4 * 32 * 2, 2, 32); // 4 sets, 2 ways
+    // Three blocks mapping to set 0: block addresses 0, 4*32, 8*32.
+    c.access(0, false);
+    c.access(4 * 32, false);
+    c.access(0, false);      // touch block 0 -> LRU is 4*32
+    c.access(8 * 32, false); // evicts 4*32
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(4 * 32));
+    EXPECT_TRUE(c.contains(8 * 32));
+}
+
+TEST(CacheModel, ContainsDoesNotAllocate)
+{
+    CacheModel c(1024, 2, 32);
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_EQ(c.misses(), 0u); // probes don't count
+}
+
+TEST(CacheModel, WritebacksCountDirtyEvictions)
+{
+    CacheModel c(2 * 32, 1, 32); // 2 sets, direct mapped
+    c.access(0, true);           // dirty fill set 0
+    c.access(2 * 32, true);      // same set, evicts dirty -> writeback
+    EXPECT_EQ(c.writebacks(), 1u);
+    c.access(4 * 32, false);     // evicts dirty line again
+    EXPECT_EQ(c.writebacks(), 2u);
+    c.access(6 * 32, false);     // evicts clean line
+    EXPECT_EQ(c.writebacks(), 2u);
+}
+
+TEST(CacheModel, FlushWritesBackDirtyLines)
+{
+    CacheModel c(8 * 1024, 8, 32);
+    c.access(0, true);
+    c.access(32, false);
+    c.access(64, true);
+    EXPECT_EQ(c.flush(), 2u);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_FALSE(c.contains(32));
+}
+
+TEST(CacheModel, HitRateComputation)
+{
+    CacheModel c(8 * 1024, 8, 32);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.0);
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.75);
+    c.resetStats();
+    EXPECT_EQ(c.hits() + c.misses(), 0u);
+}
+
+TEST(CacheModel, SmallWorkingSetFitsEntirely)
+{
+    CacheModel c(8 * 1024, 8, 32);
+    // 4 KB working set < 8 KB cache: second pass must be all hits.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::uint64_t a = 0; a < 4096; a += 32)
+            c.access(a, false);
+    }
+    EXPECT_EQ(c.misses(), 128u);
+    EXPECT_EQ(c.hits(), 128u);
+}
+
+TEST(CacheModel, ThrashingWorkingSetMisses)
+{
+    CacheModel c(1024, 1, 32); // 32 sets direct-mapped
+    // Two blocks per set, round-robin: always miss after warmup.
+    for (int pass = 0; pass < 4; ++pass) {
+        for (std::uint64_t a = 0; a < 2048; a += 32)
+            c.access(a, false);
+    }
+    EXPECT_EQ(c.hits(), 0u);
+}

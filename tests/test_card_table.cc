@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the card table / Search substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heap/card_table.hh"
+
+using charon::heap::CardTable;
+using charon::mem::Addr;
+
+TEST(CardTable, CardsStartClean)
+{
+    CardTable ct(0x10000, 64 * 1024, 0x900000);
+    for (std::uint64_t i = 0; i < ct.numCards(); ++i)
+        EXPECT_FALSE(ct.isDirty(i));
+}
+
+TEST(CardTable, OneBytePer512Bytes)
+{
+    CardTable ct(0x10000, 64 * 1024, 0);
+    EXPECT_EQ(ct.numCards(), 128u);
+    EXPECT_EQ(ct.storageBytes(), 128u);
+}
+
+TEST(CardTable, DirtyByAddress)
+{
+    CardTable ct(0x10000, 64 * 1024, 0);
+    ct.dirty(0x10000 + 512 * 3 + 17);
+    EXPECT_TRUE(ct.isDirty(3));
+    EXPECT_FALSE(ct.isDirty(2));
+    EXPECT_FALSE(ct.isDirty(4));
+}
+
+TEST(CardTable, CardIndexAndStartRoundTrip)
+{
+    CardTable ct(0x10000, 64 * 1024, 0);
+    EXPECT_EQ(ct.cardIndex(0x10000), 0u);
+    EXPECT_EQ(ct.cardIndex(0x10000 + 511), 0u);
+    EXPECT_EQ(ct.cardIndex(0x10000 + 512), 1u);
+    EXPECT_EQ(ct.cardStart(1), 0x10000u + 512);
+}
+
+TEST(CardTable, FindDirtyScansRange)
+{
+    CardTable ct(0x10000, 64 * 1024, 0);
+    ct.dirtyCard(10);
+    ct.dirtyCard(20);
+    EXPECT_EQ(ct.findDirty(0, 128), 10u);
+    EXPECT_EQ(ct.findDirty(11, 128), 20u);
+    EXPECT_EQ(ct.findDirty(21, 128), 128u);
+    EXPECT_EQ(ct.findDirty(0, 10), 10u); // limit exclusive: none found
+}
+
+TEST(CardTable, CleanAllResets)
+{
+    CardTable ct(0x10000, 64 * 1024, 0);
+    ct.dirtyCard(5);
+    ct.cleanAll();
+    EXPECT_EQ(ct.findDirty(0, ct.numCards()), ct.numCards());
+}
+
+TEST(CardTable, CleanEncodingIsMinusOne)
+{
+    // HotSpot encodes clean as 0xFF, which is why the paper's Search
+    // pseudocode tests `*i != -1`.
+    EXPECT_EQ(CardTable::kClean, 0xFF);
+}
+
+TEST(CardTable, StorageAddrIsContiguous)
+{
+    CardTable ct(0x10000, 64 * 1024, 0x900000);
+    EXPECT_EQ(ct.storageAddr(0), 0x900000u);
+    EXPECT_EQ(ct.storageAddr(127), 0x900000u + 127);
+}

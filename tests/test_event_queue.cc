@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, determinism,
+ * cancellation, bounded runs, and reentrancy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using charon::sim::EventQueue;
+using charon::sim::Tick;
+
+TEST(EventQueue, StartsAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(42, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(50, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, RunUntilStopsEarly)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(1000, [&] { ++fired; });
+    auto executed = eq.run(500);
+    EXPECT_EQ(executed, 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 500u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, DescheduleCancelsPendingEvent)
+{
+    EventQueue eq;
+    bool fired = false;
+    auto id = eq.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(eq.deschedule(id));
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, DescheduleOfFiredEventReturnsFalse)
+{
+    EventQueue eq;
+    auto id = eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.deschedule(id));
+}
+
+TEST(EventQueue, DoubleDescheduleReturnsFalse)
+{
+    EventQueue eq;
+    auto id = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_FALSE(eq.deschedule(id));
+    eq.run();
+}
+
+TEST(EventQueue, DescheduleOfUnknownIdReturnsFalse)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.deschedule(0));
+    EXPECT_FALSE(eq.deschedule(12345));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            eq.scheduleIn(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.now(), 99u);
+}
+
+TEST(EventQueue, PendingEventCountTracksScheduleAndCancel)
+{
+    EventQueue eq;
+    auto a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pendingEvents(), 2u);
+    eq.deschedule(a);
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, RunReturnsExecutedCount)
+{
+    EventQueue eq;
+    for (Tick t = 0; t < 25; ++t)
+        eq.schedule(t, [] {});
+    EXPECT_EQ(eq.run(), 25u);
+}
+
+TEST(EventQueue, CancelledEventDoesNotBlockSameTickSiblings)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    auto a = eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(5, [&] { order.push_back(2); });
+    eq.deschedule(a);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{2}));
+}

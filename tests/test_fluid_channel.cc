@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the fluid bandwidth-sharing channel: single flows, fair
+ * sharing, rate caps, reentrant starts and accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/fluid_channel.hh"
+#include "sim/event_queue.hh"
+
+using charon::mem::FluidChannel;
+using charon::sim::EventQueue;
+using charon::sim::Tick;
+
+TEST(FluidChannel, SingleFlowAtCapacity)
+{
+    EventQueue eq;
+    FluidChannel ch(eq, "ch", 1.0); // 1 byte/tick
+    Tick done = 0;
+    ch.startFlow(1000, 0, [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_EQ(done, 1000u);
+}
+
+TEST(FluidChannel, FlowRespectsOwnCap)
+{
+    EventQueue eq;
+    FluidChannel ch(eq, "ch", 1.0);
+    Tick done = 0;
+    ch.startFlow(1000, 0.5, [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_EQ(done, 2000u);
+}
+
+TEST(FluidChannel, TwoEqualFlowsShareFairly)
+{
+    EventQueue eq;
+    FluidChannel ch(eq, "ch", 1.0);
+    Tick a = 0, b = 0;
+    ch.startFlow(500, 0, [&](Tick t) { a = t; });
+    ch.startFlow(500, 0, [&](Tick t) { b = t; });
+    eq.run();
+    // Each gets 0.5 B/tick: both finish at 1000.
+    EXPECT_EQ(a, 1000u);
+    EXPECT_EQ(b, 1000u);
+}
+
+TEST(FluidChannel, ShortFlowFreesBandwidthForLongFlow)
+{
+    EventQueue eq;
+    FluidChannel ch(eq, "ch", 1.0);
+    Tick small = 0, big = 0;
+    ch.startFlow(100, 0, [&](Tick t) { small = t; });
+    ch.startFlow(900, 0, [&](Tick t) { big = t; });
+    eq.run();
+    // Phase 1: both at 0.5 B/t until small's 100 B drain at t=200.
+    EXPECT_EQ(small, 200u);
+    // Big has 800 left, now at full rate: 200 + 800 = 1000.
+    EXPECT_EQ(big, 1000u);
+}
+
+TEST(FluidChannel, CappedFlowLeavesResidualToOthers)
+{
+    EventQueue eq;
+    FluidChannel ch(eq, "ch", 1.0);
+    Tick slow = 0, fast = 0;
+    // The capped flow can only take 0.2; the other gets 0.8.
+    ch.startFlow(200, 0.2, [&](Tick t) { slow = t; });
+    ch.startFlow(800, 0, [&](Tick t) { fast = t; });
+    eq.run();
+    EXPECT_EQ(slow, 1000u);
+    EXPECT_EQ(fast, 1000u);
+}
+
+TEST(FluidChannel, LateArrivalSlowsExistingFlow)
+{
+    EventQueue eq;
+    FluidChannel ch(eq, "ch", 1.0);
+    Tick first = 0, second = 0;
+    ch.startFlow(1000, 0, [&](Tick t) { first = t; });
+    eq.schedule(500, [&] {
+        ch.startFlow(250, 0, [&](Tick t) { second = t; });
+    });
+    eq.run();
+    // First runs alone for 500 ticks (500 B), then shares: the
+    // newcomer's 250 B at 0.5 B/t finish at t=1000, after which the
+    // first drains its remaining 250 B at full rate by t=1250.
+    EXPECT_EQ(second, 1000u);
+    EXPECT_EQ(first, 1250u);
+}
+
+TEST(FluidChannel, ZeroByteFlowCompletesImmediately)
+{
+    EventQueue eq;
+    FluidChannel ch(eq, "ch", 1.0);
+    Tick done = 12345;
+    ch.startFlow(0, 0, [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_EQ(done, 0u);
+}
+
+TEST(FluidChannel, CallbackMayStartNextFlow)
+{
+    EventQueue eq;
+    FluidChannel ch(eq, "ch", 2.0);
+    Tick done2 = 0;
+    ch.startFlow(100, 0, [&](Tick) {
+        ch.startFlow(100, 0, [&](Tick t) { done2 = t; });
+    });
+    eq.run();
+    EXPECT_EQ(done2, 100u); // 50 + 50
+}
+
+TEST(FluidChannel, AccountsTotalBytes)
+{
+    EventQueue eq;
+    FluidChannel ch(eq, "ch", 1.0);
+    ch.startFlow(300, 0, nullptr);
+    ch.startFlow(200, 0, nullptr);
+    eq.run();
+    EXPECT_DOUBLE_EQ(ch.totalBytes(), 500.0);
+}
+
+TEST(FluidChannel, UtilizationIntegralMatchesBusyTime)
+{
+    EventQueue eq;
+    FluidChannel ch(eq, "ch", 1.0);
+    ch.startFlow(100, 0.5, nullptr); // 200 ticks at 50% => 100 utilized
+    eq.run();
+    EXPECT_NEAR(ch.utilizedTicks(), 100.0, 1.0);
+}
+
+TEST(FluidChannel, ManyConcurrentFlowsAllFinish)
+{
+    EventQueue eq;
+    FluidChannel ch(eq, "ch", 10.0);
+    int finished = 0;
+    for (int i = 0; i < 64; ++i)
+        ch.startFlow(100 + i, 0, [&](Tick) { ++finished; });
+    eq.run();
+    EXPECT_EQ(finished, 64);
+    EXPECT_EQ(ch.activeFlows(), 0u);
+}
+
+TEST(FluidChannel, StaggeredArrivalsAllFinish)
+{
+    EventQueue eq;
+    FluidChannel ch(eq, "ch", 3.0);
+    std::vector<Tick> completions;
+    for (Tick t = 0; t < 50; ++t) {
+        eq.schedule(t * 10, [&] {
+            ch.startFlow(97, 1.0,
+                         [&](Tick fin) { completions.push_back(fin); });
+        });
+    }
+    eq.run();
+    EXPECT_EQ(completions.size(), 50u);
+    for (std::size_t i = 1; i < completions.size(); ++i)
+        EXPECT_GE(completions[i], completions[i - 1]);
+}

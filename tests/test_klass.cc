@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the class-metadata model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heap/klass.hh"
+
+using namespace charon::heap;
+
+TEST(Klass, FifteenKindsExist)
+{
+    EXPECT_EQ(kNumKlassKinds, 15);
+}
+
+TEST(Klass, TypeArrayKindsAreRecognized)
+{
+    EXPECT_TRUE(isTypeArrayKind(KlassKind::TypeArrayByte));
+    EXPECT_TRUE(isTypeArrayKind(KlassKind::TypeArrayDouble));
+    EXPECT_FALSE(isTypeArrayKind(KlassKind::Instance));
+    EXPECT_FALSE(isTypeArrayKind(KlassKind::ObjArray));
+    EXPECT_FALSE(isTypeArrayKind(KlassKind::ConstantPool));
+}
+
+TEST(Klass, ElementWidths)
+{
+    EXPECT_EQ(typeArrayElemBytes(KlassKind::TypeArrayBoolean), 1);
+    EXPECT_EQ(typeArrayElemBytes(KlassKind::TypeArrayByte), 1);
+    EXPECT_EQ(typeArrayElemBytes(KlassKind::TypeArrayChar), 2);
+    EXPECT_EQ(typeArrayElemBytes(KlassKind::TypeArrayShort), 2);
+    EXPECT_EQ(typeArrayElemBytes(KlassKind::TypeArrayInt), 4);
+    EXPECT_EQ(typeArrayElemBytes(KlassKind::TypeArrayFloat), 4);
+    EXPECT_EQ(typeArrayElemBytes(KlassKind::TypeArrayLong), 8);
+    EXPECT_EQ(typeArrayElemBytes(KlassKind::TypeArrayDouble), 8);
+}
+
+TEST(Klass, InstanceWordsIncludeHeader)
+{
+    Klass k;
+    k.refFields = 3;
+    k.payloadWords = 5;
+    EXPECT_EQ(k.instanceWords(), 10u); // 2 header + 3 refs + 5 payload
+}
+
+TEST(Klass, AcceleratableMatchesPaperSplit)
+{
+    // Dominant data classes are handled by the Scan&Push unit...
+    Klass inst{1, KlassKind::Instance, "X", 2, 2};
+    Klass arr{2, KlassKind::ObjArray, "X[]", 0, 0};
+    Klass ints{3, KlassKind::TypeArrayInt, "int[]", 0, 0};
+    EXPECT_TRUE(inst.acceleratable());
+    EXPECT_TRUE(arr.acceleratable());
+    EXPECT_TRUE(ints.acceleratable());
+    // ...while special metadata layouts stay on the host.
+    Klass mirror{4, KlassKind::InstanceMirror, "Class", 1, 4};
+    Klass ref{5, KlassKind::InstanceRef, "WeakRef", 1, 1};
+    Klass pool{6, KlassKind::ConstantPool, "cp", 0, 0};
+    EXPECT_FALSE(mirror.acceleratable());
+    EXPECT_FALSE(ref.acceleratable());
+    EXPECT_FALSE(pool.acceleratable());
+}
+
+TEST(KlassTable, IdZeroIsInvalid)
+{
+    KlassTable table;
+    EXPECT_DEATH(table.get(0), "bad klass id");
+}
+
+TEST(KlassTable, BuiltinArraysPresent)
+{
+    KlassTable table;
+    EXPECT_EQ(table.get(table.objArrayId()).kind, KlassKind::ObjArray);
+    EXPECT_EQ(table.get(table.byteArrayId()).kind,
+              KlassKind::TypeArrayByte);
+    EXPECT_EQ(table.get(table.doubleArrayId()).kind,
+              KlassKind::TypeArrayDouble);
+}
+
+TEST(KlassTable, DefineInstanceStoresLayout)
+{
+    KlassTable table;
+    auto id = table.defineInstance("Node", 2, 4);
+    const Klass &k = table.get(id);
+    EXPECT_EQ(k.refFields, 2u);
+    EXPECT_EQ(k.payloadWords, 4u);
+    EXPECT_EQ(k.instanceWords(), 8u);
+    EXPECT_TRUE(k.hasRefs());
+    EXPECT_EQ(k.name, "Node");
+}
+
+TEST(KlassTable, RefFreeInstanceHasNoRefs)
+{
+    KlassTable table;
+    auto id = table.defineInstance("Blob", 0, 16);
+    EXPECT_FALSE(table.get(id).hasRefs());
+}
+
+TEST(KlassTable, EveryKindHasAName)
+{
+    for (int i = 0; i < kNumKlassKinds; ++i) {
+        auto kind = static_cast<KlassKind>(i);
+        EXPECT_NE(std::string(klassKindName(kind)), "unknown");
+    }
+}

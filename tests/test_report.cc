@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the report/table formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/table.hh"
+
+using namespace charon::report;
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "12345"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Numbers are right-aligned: "12345" ends each data line.
+    EXPECT_NE(out.find("12345"), std::string::npos);
+    // Separator line present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Formatting, Num)
+{
+    EXPECT_EQ(num(3.14159, 2), "3.14");
+    EXPECT_EQ(num(3.14159, 0), "3");
+    EXPECT_EQ(num(-1.5, 1), "-1.5");
+}
+
+TEST(Formatting, Times)
+{
+    EXPECT_EQ(times(3.289), "3.29x");
+    EXPECT_EQ(times(1.0, 1), "1.0x");
+}
+
+TEST(Formatting, Percent)
+{
+    EXPECT_EQ(percent(1, 4), "25.0%");
+    EXPECT_EQ(percent(2, 3, 0), "67%");
+    EXPECT_EQ(percent(1, 0), "-");
+}
+
+TEST(Formatting, Heading)
+{
+    std::ostringstream os;
+    heading(os, "Title");
+    EXPECT_NE(os.str().find("== Title =="), std::string::npos);
+}

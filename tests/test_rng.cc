@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, bounds, and rough
+ * distribution sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/rng.hh"
+
+using charon::sim::Rng;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowZeroIsZero)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        auto v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIsInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, LogUniformRespectsBounds)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.logUniform(16, 65536);
+        EXPECT_GE(v, 16u);
+        EXPECT_LE(v, 65536u);
+    }
+}
+
+TEST(Rng, LogUniformDegenerateRange)
+{
+    Rng rng(23);
+    EXPECT_EQ(rng.logUniform(64, 64), 64u);
+    EXPECT_EQ(rng.logUniform(64, 32), 64u);
+}
+
+TEST(Rng, LogUniformFavoursSmallValues)
+{
+    // Median of logUniform(1, 2^20) should be near 2^10, far below the
+    // arithmetic midpoint.
+    Rng rng(29);
+    int below_mid = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        below_mid += rng.logUniform(1, 1u << 20) < (1u << 19);
+    EXPECT_GT(below_mid, n * 9 / 10);
+}

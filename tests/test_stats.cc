@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace charon::sim;
+
+TEST(Counter, AccumulatesAndResets)
+{
+    StatGroup g("g");
+    Counter c(&g, "c", "test counter");
+    c += 2.5;
+    ++c;
+    EXPECT_DOUBLE_EQ(c.value(), 3.5);
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    StatGroup g("g");
+    Average a(&g, "a", "test avg");
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(a.min(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max(), 30.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, EmptyMeanIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsByPowerOfTwo)
+{
+    StatGroup g("g");
+    Histogram h(&g, "h", "test hist");
+    h.sample(0.5);  // bucket 0
+    h.sample(1);    // bucket 0
+    h.sample(2);    // bucket 1
+    h.sample(5);    // bucket 2
+    h.sample(1024); // bucket 10
+    EXPECT_EQ(h.count(), 5u);
+    ASSERT_GE(h.buckets().size(), 11u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[10], 1u);
+}
+
+TEST(StatGroup, DumpMentionsEveryStat)
+{
+    StatGroup g("grp");
+    Counter c(&g, "ctr", "");
+    Average a(&g, "avg", "");
+    c += 7;
+    a.sample(3);
+    std::ostringstream os;
+    g.dump(os);
+    auto s = os.str();
+    EXPECT_NE(s.find("grp.ctr = 7"), std::string::npos);
+    EXPECT_NE(s.find("grp.avg.mean = 3"), std::string::npos);
+}
+
+TEST(Geomean, MatchesHandComputation)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-9);
+}
+
+TEST(Geomean, IgnoresNonPositive)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0, 0.0, -3.0}), 4.0, 1e-9);
+}
+
+TEST(Geomean, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the accelerator-side TLB model: huge-page pinning,
+ * interleaving, PCID isolation, admission control, and the unified
+ * vs. distributed remote-lookup rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/tlb.hh"
+
+using namespace charon;
+using accel::AcceleratorTlb;
+
+namespace
+{
+
+sim::CharonConfig
+smallPages()
+{
+    sim::CharonConfig cfg;
+    cfg.hugePageBytes = 1 << 20; // 1 MiB pages for testing
+    return cfg;
+}
+
+} // namespace
+
+TEST(Tlb, PinThenTranslate)
+{
+    AcceleratorTlb tlb(smallPages(), 4, 16);
+    ASSERT_TRUE(tlb.pinPage(1, 0x100000));
+    auto entry = tlb.translate(1, 0x1abcde);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->virtualPage, 1u);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.faults(), 0u);
+}
+
+TEST(Tlb, UnpinnedAccessFaults)
+{
+    AcceleratorTlb tlb(smallPages(), 4, 16);
+    EXPECT_FALSE(tlb.translate(1, 0x100000).has_value());
+    EXPECT_EQ(tlb.faults(), 1u);
+}
+
+TEST(Tlb, PagesInterleaveOverCubes)
+{
+    AcceleratorTlb tlb(smallPages(), 4, 16);
+    for (mem::Addr page = 0; page < 8; ++page)
+        ASSERT_TRUE(tlb.pinPage(1, page << 20));
+    for (mem::Addr page = 0; page < 8; ++page) {
+        auto entry = tlb.translate(1, page << 20);
+        ASSERT_TRUE(entry.has_value());
+        EXPECT_EQ(entry->homeCube, static_cast<int>(page % 4));
+    }
+}
+
+TEST(Tlb, RepinningIsIdempotent)
+{
+    AcceleratorTlb tlb(smallPages(), 4, 4);
+    EXPECT_TRUE(tlb.pinPage(1, 0));
+    EXPECT_TRUE(tlb.pinPage(1, 100)); // same page
+    EXPECT_EQ(tlb.pinnedPages(), 1u);
+}
+
+TEST(Tlb, AdmissionControlRejectsOversubscription)
+{
+    AcceleratorTlb tlb(smallPages(), 4, 3);
+    EXPECT_TRUE(tlb.pinPage(1, 0 << 20));
+    EXPECT_TRUE(tlb.pinPage(1, 1 << 20));
+    EXPECT_TRUE(tlb.pinPage(1, 2 << 20));
+    // Fourth huge page exceeds physical memory: mlock fails, exactly
+    // the paper's admission-control mechanism.
+    EXPECT_FALSE(tlb.pinPage(1, 3 << 20));
+}
+
+TEST(Tlb, PcidsIsolateProcesses)
+{
+    AcceleratorTlb tlb(smallPages(), 4, 16);
+    ASSERT_TRUE(tlb.pinPage(1, 0));
+    EXPECT_TRUE(tlb.translate(1, 0).has_value());
+    EXPECT_FALSE(tlb.translate(2, 0).has_value()); // other process
+}
+
+TEST(Tlb, ReleaseProcessFreesBudget)
+{
+    AcceleratorTlb tlb(smallPages(), 4, 2);
+    ASSERT_TRUE(tlb.pinPage(1, 0 << 20));
+    ASSERT_TRUE(tlb.pinPage(1, 1 << 20));
+    EXPECT_FALSE(tlb.pinPage(2, 0 << 20));
+    tlb.releaseProcess(1);
+    EXPECT_EQ(tlb.pinnedPages(), 0u);
+    EXPECT_TRUE(tlb.pinPage(2, 0 << 20));
+}
+
+TEST(Tlb, UnifiedLookupsRemoteFromSatellites)
+{
+    AcceleratorTlb tlb(smallPages(), 4, 16);
+    EXPECT_FALSE(tlb.lookupIsRemote(0, 0, /*distributed=*/false));
+    EXPECT_TRUE(tlb.lookupIsRemote(1, 0, /*distributed=*/false));
+    EXPECT_TRUE(tlb.lookupIsRemote(3, 5 << 20, /*distributed=*/false));
+}
+
+TEST(Tlb, DistributedLookupsLocalForOwnPages)
+{
+    AcceleratorTlb tlb(smallPages(), 4, 16);
+    // Page p's slice is cube p % 4.
+    EXPECT_FALSE(tlb.lookupIsRemote(2, mem::Addr{6} << 20,
+                                    /*distributed=*/true));
+    EXPECT_TRUE(tlb.lookupIsRemote(1, mem::Addr{6} << 20,
+                                   /*distributed=*/true));
+}

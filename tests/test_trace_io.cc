@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for trace serialization: round trips (synthetic and real
+ * workload traces), corruption rejection, and timing-equivalence of a
+ * reloaded trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "gc/trace_io.hh"
+#include "platform/platform_sim.hh"
+#include "workload/mutator.hh"
+
+using namespace charon;
+using namespace charon::gc;
+
+namespace
+{
+
+RunTrace
+syntheticTrace()
+{
+    RunTrace trace;
+    GcTrace gc;
+    gc.major = true;
+    gc.liveObjects = 123;
+    gc.bytesCopied = 4567;
+    PhaseTrace phase;
+    phase.kind = PhaseKind::MajorCompact;
+    phase.bitmapCacheHitRate = 0.875;
+    phase.bitmapCacheWritebacks = 42;
+    ThreadWork work;
+    work.glueInstructions = 1000;
+    work.glueMemAccesses = 50;
+    Bucket b;
+    b.kind = PrimKind::BitmapCount;
+    b.srcCube = 2;
+    b.dstCube = 2;
+    b.invocations = 7;
+    b.seqReadBytes = 224;
+    b.rangeBits = 896;
+    work.buckets.push_back(b);
+    Bucket c;
+    c.kind = PrimKind::Copy;
+    c.srcCube = 1;
+    c.dstCube = 3;
+    c.hostOnly = true;
+    c.invocations = 9;
+    c.seqReadBytes = 999;
+    c.writeBytes = 999;
+    work.buckets.push_back(c);
+    phase.threads.push_back(work);
+    phase.threads.emplace_back(); // an idle thread
+    gc.phases.push_back(phase);
+    trace.gcs.push_back(gc);
+    trace.gcs.push_back(GcTrace{}); // an empty minor GC
+    trace.mutatorInstructions = {11, 22, 33};
+    return trace;
+}
+
+} // namespace
+
+TEST(TraceIo, SyntheticRoundTrip)
+{
+    RunTrace original = syntheticTrace();
+    std::stringstream ss;
+    writeTrace(ss, original);
+    RunTrace loaded;
+    std::string error;
+    ASSERT_TRUE(readTrace(ss, loaded, &error)) << error;
+    EXPECT_TRUE(traceEquals(original, loaded));
+}
+
+TEST(TraceIo, EmptyTraceRoundTrip)
+{
+    RunTrace empty;
+    std::stringstream ss;
+    writeTrace(ss, empty);
+    RunTrace loaded;
+    ASSERT_TRUE(readTrace(ss, loaded, nullptr));
+    EXPECT_TRUE(traceEquals(empty, loaded));
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::stringstream ss;
+    ss << "NOTATRACE-------------";
+    RunTrace loaded;
+    std::string error;
+    EXPECT_FALSE(readTrace(ss, loaded, &error));
+    EXPECT_EQ(error, "bad magic");
+}
+
+TEST(TraceIo, RejectsTruncation)
+{
+    RunTrace original = syntheticTrace();
+    std::stringstream ss;
+    writeTrace(ss, original);
+    std::string bytes = ss.str();
+    for (std::size_t cut : {bytes.size() - 1, bytes.size() / 2,
+                            std::size_t{20}}) {
+        std::stringstream cut_ss(bytes.substr(0, cut));
+        RunTrace loaded;
+        std::string error;
+        EXPECT_FALSE(readTrace(cut_ss, loaded, &error))
+            << "cut at " << cut;
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(TraceIo, RejectsWrongVersion)
+{
+    RunTrace original;
+    std::stringstream ss;
+    writeTrace(ss, original);
+    std::string bytes = ss.str();
+    bytes[8] = 99; // stomp the version field
+    std::stringstream bad(bytes);
+    RunTrace loaded;
+    std::string error;
+    EXPECT_FALSE(readTrace(bad, loaded, &error));
+    EXPECT_EQ(error, "unsupported trace version");
+}
+
+TEST(TraceIo, TraceEqualsDetectsDifferences)
+{
+    RunTrace a = syntheticTrace();
+    RunTrace b = syntheticTrace();
+    EXPECT_TRUE(traceEquals(a, b));
+    b.gcs[0].phases[0].threads[0].buckets[0].invocations += 1;
+    EXPECT_FALSE(traceEquals(a, b));
+}
+
+TEST(TraceIo, RealWorkloadRoundTripPreservesTiming)
+{
+    // The load-bearing property: a reloaded trace replays to exactly
+    // the same platform timing as the in-memory one.
+    const auto &params = workload::findWorkload("ALS");
+    workload::Mutator mut(params, params.heapBytes, 2);
+    mut.run();
+    const auto &original = mut.recorder().run();
+
+    std::stringstream ss;
+    writeTrace(ss, original);
+    RunTrace loaded;
+    std::string error;
+    ASSERT_TRUE(readTrace(ss, loaded, &error)) << error;
+    ASSERT_TRUE(traceEquals(original, loaded));
+
+    sim::SystemConfig cfg;
+    platform::PlatformSim sim_a(sim::PlatformKind::CharonNmp, cfg,
+                                mut.cubeShift());
+    platform::PlatformSim sim_b(sim::PlatformKind::CharonNmp, cfg,
+                                mut.cubeShift());
+    auto t_a = sim_a.simulate(original);
+    auto t_b = sim_b.simulate(loaded);
+    EXPECT_DOUBLE_EQ(t_a.gcSeconds, t_b.gcSeconds);
+    EXPECT_DOUBLE_EQ(t_a.totalEnergyJ(), t_b.totalEnergyJ());
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    RunTrace original = syntheticTrace();
+    std::string path = ::testing::TempDir() + "charon_trace_test.bin";
+    std::string error;
+    ASSERT_TRUE(saveTraceFile(path, original, &error)) << error;
+    RunTrace loaded;
+    ASSERT_TRUE(loadTraceFile(path, loaded, &error)) << error;
+    EXPECT_TRUE(traceEquals(original, loaded));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileFails)
+{
+    RunTrace loaded;
+    std::string error;
+    EXPECT_FALSE(loadTraceFile("/nonexistent/path/trace.bin", loaded,
+                               &error));
+    EXPECT_FALSE(error.empty());
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tests for tick/cycle conversions and clock domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+using namespace charon::sim;
+
+TEST(Types, SecondsRoundTrip)
+{
+    EXPECT_EQ(secondsToTicks(1.0), 1000000000000ull);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(500000000000ull), 0.5);
+}
+
+TEST(Types, NsConversions)
+{
+    EXPECT_EQ(nsToTicks(3.0), 3000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(1500), 1.5);
+}
+
+TEST(ClockDomain, HostClockPeriod)
+{
+    ClockDomain host(2.67e9);
+    // 2.67 GHz -> ~374.5 ps.
+    EXPECT_NEAR(host.periodTicks(), 374.53, 0.01);
+    EXPECT_NEAR(host.frequency(), 2.67e9, 1.0);
+}
+
+TEST(ClockDomain, CyclesToTicksRounds)
+{
+    ClockDomain hmc(625e6); // 1.6 ns period
+    EXPECT_EQ(hmc.cyclesToTicks(Cycles{1}), 1600u);
+    EXPECT_EQ(hmc.cyclesToTicks(Cycles{1000}), 1600000u);
+}
+
+TEST(ClockDomain, TicksToCyclesFloors)
+{
+    ClockDomain hmc(625e6);
+    EXPECT_EQ(hmc.ticksToCycles(1599), 0u);
+    EXPECT_EQ(hmc.ticksToCycles(1600), 1u);
+    EXPECT_EQ(hmc.ticksToCycles(3300), 2u);
+}
+
+TEST(Types, BandwidthConversionRoundTrip)
+{
+    double bpt = gbPerSecToBytesPerTick(80.0);
+    EXPECT_NEAR(bpt, 0.08, 1e-12);
+    EXPECT_NEAR(bytesPerTickToGbPerSec(bpt), 80.0, 1e-9);
+}

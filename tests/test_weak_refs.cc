@@ -1,0 +1,194 @@
+/**
+ * @file
+ * java.lang.ref semantics across every collector: a weak referent
+ * dies when it is only weakly reachable (and the Reference's slot is
+ * cleared), survives when any strong path reaches it, and the
+ * Reference object itself is ordinary strong data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gc/collector.hh"
+#include "gc/g1_collector.hh"
+#include "gc/mark_compact.hh"
+#include "gc/mark_sweep.hh"
+#include "gc/recorder.hh"
+#include "gc/scavenge.hh"
+#include "gc/verify.hh"
+
+using namespace charon;
+using namespace charon::gc;
+using mem::Addr;
+
+namespace
+{
+
+class WeakRefTest : public ::testing::Test
+{
+  protected:
+    WeakRefTest()
+    {
+        nodeId = klasses.defineInstance("Node", 2, 2);
+        // WeakReference layout: slot 0 = referent (weak), slot 1 =
+        // queue-next (strong), 1 payload word.
+        weakId = klasses.defineInstance("WeakReference", 2, 1,
+                                        heap::KlassKind::InstanceRef);
+        cfg.heapBytes = 16 * sim::kMiB;
+        heap = std::make_unique<heap::ManagedHeap>(cfg, klasses);
+        rec = std::make_unique<TraceRecorder>(4, 22);
+    }
+
+    /** Root a fresh WeakReference wrapping a fresh referent. */
+    std::size_t
+    makeWeakPair(bool strong_alias)
+    {
+        Addr referent = heap->allocEden(nodeId);
+        Addr ref = heap->allocEden(weakId);
+        heap->storeRef(ref, 0, referent);
+        heap->roots().push_back(ref);
+        std::size_t slot = heap->roots().size() - 1;
+        if (strong_alias)
+            heap->roots().push_back(referent);
+        return slot;
+    }
+
+    heap::KlassTable klasses;
+    heap::KlassId nodeId = 0, weakId = 0;
+    heap::HeapConfig cfg;
+    std::unique_ptr<heap::ManagedHeap> heap;
+    std::unique_ptr<TraceRecorder> rec;
+};
+
+} // namespace
+
+TEST_F(WeakRefTest, ScavengeClearsDeadReferent)
+{
+    auto slot = makeWeakPair(/*strong_alias=*/false);
+    Scavenge(*heap, *rec).collect();
+    Addr ref = heap->roots()[slot];
+    ASSERT_NE(ref, 0u);
+    EXPECT_EQ(heap->refAt(ref, 0), 0u); // cleared
+    checkHeapIntegrity(*heap);
+}
+
+TEST_F(WeakRefTest, ScavengeKeepsStronglyReachableReferent)
+{
+    auto slot = makeWeakPair(/*strong_alias=*/true);
+    Scavenge(*heap, *rec).collect();
+    Addr ref = heap->roots()[slot];
+    Addr referent = heap->refAt(ref, 0);
+    ASSERT_NE(referent, 0u);
+    // The weak slot follows the moved object, identical to the
+    // strong alias.
+    EXPECT_EQ(referent, heap->roots()[slot + 1]);
+    checkHeapIntegrity(*heap);
+}
+
+TEST_F(WeakRefTest, ScavengeStrongSlotStillWorks)
+{
+    // Slot 1 of a Reference is an ordinary strong field.
+    auto slot = makeWeakPair(false);
+    Addr next = heap->allocEden(nodeId);
+    heap->storeRef(heap->roots()[slot], 1, next);
+    Scavenge(*heap, *rec).collect();
+    Addr ref = heap->roots()[slot];
+    EXPECT_NE(heap->refAt(ref, 1), 0u); // strong field survived
+    EXPECT_EQ(heap->refAt(ref, 0), 0u); // weak referent died
+}
+
+TEST_F(WeakRefTest, MarkCompactClearsDeadReferent)
+{
+    auto weak_slot = makeWeakPair(false);
+    auto strong_slot = makeWeakPair(true);
+    MarkCompact(*heap, *rec).collect();
+    EXPECT_EQ(heap->refAt(heap->roots()[weak_slot], 0), 0u);
+    EXPECT_NE(heap->refAt(heap->roots()[strong_slot], 0), 0u);
+    checkHeapIntegrity(*heap);
+    heap->verifySpace(heap::Space::Old);
+}
+
+TEST_F(WeakRefTest, MarkSweepClearsDeadReferent)
+{
+    // Build the pairs in the old generation (mark-sweep's domain).
+    Addr referent = heap->allocOldObject(nodeId);
+    Addr ref = heap->allocOldObject(weakId);
+    heap->setRefRaw(ref, 0, referent);
+    heap->roots().push_back(ref);
+    Addr kept = heap->allocOldObject(nodeId);
+    Addr ref2 = heap->allocOldObject(weakId);
+    heap->setRefRaw(ref2, 0, kept);
+    heap->roots().push_back(ref2);
+    heap->roots().push_back(kept);
+
+    auto result = MarkSweep(*heap, *rec).collect();
+    EXPECT_EQ(heap->refAt(ref, 0), 0u);     // cleared
+    EXPECT_EQ(heap->refAt(ref2, 0), kept);  // strong alias keeps it
+    // The dead referent's space was swept.
+    EXPECT_GT(result.freedBytes, 0u);
+}
+
+TEST_F(WeakRefTest, ChainedCollectionsStayConsistent)
+{
+    auto weak_slot = makeWeakPair(false);
+    auto strong_slot = makeWeakPair(true);
+    Scavenge(*heap, *rec).collect();
+    MarkCompact(*heap, *rec).collect();
+    Scavenge(*heap, *rec).collect();
+    EXPECT_EQ(heap->refAt(heap->roots()[weak_slot], 0), 0u);
+    EXPECT_NE(heap->refAt(heap->roots()[strong_slot], 0), 0u);
+    checkHeapIntegrity(*heap);
+}
+
+TEST_F(WeakRefTest, G1EvacuationProcessesWeakReferences)
+{
+    heap::G1Config g1cfg;
+    g1cfg.heapBytes = 16 * sim::kMiB;
+    g1cfg.regionBytes = 256 * 1024;
+    heap::G1Heap g1heap(g1cfg, klasses);
+    TraceRecorder g1rec(4, 22);
+    G1Collector g1(g1heap, g1rec);
+
+    Addr dead_ref = g1heap.allocate(weakId);
+    Addr dead_target = g1heap.allocate(nodeId);
+    g1heap.storeRef(dead_ref, 0, dead_target);
+    g1heap.roots().push_back(dead_ref);
+
+    Addr live_ref = g1heap.allocate(weakId);
+    Addr live_target = g1heap.allocate(nodeId);
+    g1heap.storeRef(live_ref, 0, live_target);
+    g1heap.roots().push_back(live_ref);
+    g1heap.roots().push_back(live_target);
+
+    g1.youngCollect();
+    Addr moved_dead = g1heap.roots()[0];
+    Addr moved_live = g1heap.roots()[1];
+    EXPECT_EQ(g1heap.refAt(moved_dead, 0), 0u);
+    EXPECT_EQ(g1heap.refAt(moved_live, 0), g1heap.roots()[2]);
+    g1heap.verify();
+}
+
+TEST_F(WeakRefTest, G1MarkClearsDeadReferent)
+{
+    heap::G1Config g1cfg;
+    g1cfg.heapBytes = 16 * sim::kMiB;
+    g1cfg.regionBytes = 256 * 1024;
+    heap::G1Heap g1heap(g1cfg, klasses);
+    TraceRecorder g1rec(4, 22);
+    G1Collector g1(g1heap, g1rec);
+
+    Addr ref = g1heap.allocate(weakId);
+    Addr target = g1heap.allocate(nodeId);
+    g1heap.storeRef(ref, 0, target);
+    g1heap.roots().push_back(ref);
+    g1.concurrentMark();
+    EXPECT_EQ(g1heap.refAt(g1heap.roots()[0], 0), 0u);
+}
+
+TEST_F(WeakRefTest, NullReferentIsHarmless)
+{
+    Addr ref = heap->allocEden(weakId); // referent stays null
+    heap->roots().push_back(ref);
+    Scavenge(*heap, *rec).collect();
+    MarkCompact(*heap, *rec).collect();
+    EXPECT_EQ(heap->refAt(heap->roots()[0], 0), 0u);
+}

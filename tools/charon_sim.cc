@@ -1,0 +1,259 @@
+/**
+ * @file
+ * charon-sim: the command-line driver a downstream user runs.
+ *
+ * Runs a catalog workload functionally (or loads a saved trace),
+ * replays it on one or more platforms, and prints timing, breakdowns,
+ * bandwidth, and energy.  Traces can be saved for later replay so an
+ * expensive functional run pays for many timing configurations.
+ *
+ * Usage examples:
+ *   charon-sim --workload=KM
+ *   charon-sim --workload=CC --heap-mib=96 --platforms=ddr4,charon
+ *   charon-sim --workload=BS --save-trace=bs.trace
+ *   charon-sim --load-trace=bs.trace --cube-shift=26 --csv
+ *   charon-sim --workload=ALS --find-min-heap
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gc/trace_io.hh"
+#include "platform/platform_sim.hh"
+#include "report/table.hh"
+#include "workload/mutator.hh"
+
+using namespace charon;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload;
+    std::uint64_t heapMib = 0;
+    std::uint64_t seed = 1;
+    int gcThreads = 8;
+    std::vector<sim::PlatformKind> platforms;
+    std::string saveTrace;
+    std::string loadTrace;
+    int cubeShift = 0;
+    bool csv = false;
+    bool findMinHeap = false;
+    bool dumpStats = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "charon-sim: replay GC primitive traces on the paper's "
+        "platforms\n\n"
+        "  --workload=NAME      BS | KM | LR | CC | PR | ALS\n"
+        "  --heap-mib=N         max heap (default: Table 3 value)\n"
+        "  --seed=N             workload RNG seed (default 1)\n"
+        "  --gc-threads=N       GC threads (default 8)\n"
+        "  --platforms=LIST     comma list of ddr4,hmc,charon,\n"
+        "                       charon-cpu,ideal (default: all)\n"
+        "  --save-trace=FILE    persist the primitive trace\n"
+        "  --load-trace=FILE    replay a saved trace instead of\n"
+        "                       running a workload\n"
+        "  --cube-shift=N       address-to-cube shift for a loaded\n"
+        "                       trace (printed when saving)\n"
+        "  --find-min-heap      report the smallest runnable heap\n"
+        "  --dump-stats         per-channel byte/utilization stats\n"
+        "  --csv                machine-readable output\n"
+        "  --help               this text\n");
+}
+
+std::optional<sim::PlatformKind>
+parsePlatform(const std::string &name)
+{
+    if (name == "ddr4")
+        return sim::PlatformKind::HostDdr4;
+    if (name == "hmc")
+        return sim::PlatformKind::HostHmc;
+    if (name == "charon")
+        return sim::PlatformKind::CharonNmp;
+    if (name == "charon-cpu")
+        return sim::PlatformKind::CharonCpuSide;
+    if (name == "ideal")
+        return sim::PlatformKind::Ideal;
+    return std::nullopt;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> std::optional<std::string> {
+            std::size_t n = std::strlen(prefix);
+            if (arg.rfind(prefix, 0) == 0)
+                return arg.substr(n);
+            return std::nullopt;
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else if (auto v = value("--workload=")) {
+            opt.workload = *v;
+        } else if (auto v = value("--heap-mib=")) {
+            opt.heapMib = std::stoull(*v);
+        } else if (auto v = value("--seed=")) {
+            opt.seed = std::stoull(*v);
+        } else if (auto v = value("--gc-threads=")) {
+            opt.gcThreads = std::stoi(*v);
+        } else if (auto v = value("--save-trace=")) {
+            opt.saveTrace = *v;
+        } else if (auto v = value("--load-trace=")) {
+            opt.loadTrace = *v;
+        } else if (auto v = value("--cube-shift=")) {
+            opt.cubeShift = std::stoi(*v);
+        } else if (auto v = value("--platforms=")) {
+            std::stringstream ss(*v);
+            std::string item;
+            while (std::getline(ss, item, ',')) {
+                auto kind = parsePlatform(item);
+                if (!kind) {
+                    std::fprintf(stderr, "unknown platform '%s'\n",
+                                 item.c_str());
+                    return false;
+                }
+                opt.platforms.push_back(*kind);
+            }
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--dump-stats") {
+            opt.dumpStats = true;
+        } else if (arg == "--find-min-heap") {
+            opt.findMinHeap = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        usage();
+        return 2;
+    }
+    if (opt.platforms.empty()) {
+        opt.platforms = {sim::PlatformKind::HostDdr4,
+                         sim::PlatformKind::HostHmc,
+                         sim::PlatformKind::CharonNmp,
+                         sim::PlatformKind::CharonCpuSide,
+                         sim::PlatformKind::Ideal};
+    }
+
+    gc::RunTrace trace;
+    int cube_shift = opt.cubeShift;
+
+    if (!opt.loadTrace.empty()) {
+        std::string error;
+        if (!gc::loadTraceFile(opt.loadTrace, trace, &error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
+        if (cube_shift == 0) {
+            std::fprintf(stderr,
+                         "error: --cube-shift is required with "
+                         "--load-trace\n");
+            return 2;
+        }
+    } else {
+        if (opt.workload.empty()) {
+            usage();
+            return 2;
+        }
+        const auto &params = workload::findWorkload(opt.workload);
+        if (opt.findMinHeap) {
+            std::uint64_t min_heap =
+                workload::findMinimumHeapBytes(params, opt.seed);
+            std::printf("%s minimum runnable heap: %llu MiB "
+                        "(catalog: %llu MiB)\n",
+                        params.name.c_str(),
+                        static_cast<unsigned long long>(min_heap >> 20),
+                        static_cast<unsigned long long>(
+                            params.minHeapBytes >> 20));
+            return 0;
+        }
+        std::uint64_t heap = opt.heapMib ? (opt.heapMib << 20)
+                                         : params.heapBytes;
+        workload::Mutator mut(params, heap, opt.seed, opt.gcThreads);
+        auto result = mut.run();
+        if (result.oom) {
+            std::fprintf(stderr,
+                         "workload hit OOM at %llu MiB; try a larger "
+                         "--heap-mib\n",
+                         static_cast<unsigned long long>(heap >> 20));
+            return 1;
+        }
+        std::printf("%s: %llu minor + %llu major GCs, %llu MiB "
+                    "allocated (cube shift %d)\n",
+                    params.name.c_str(),
+                    static_cast<unsigned long long>(result.minorGcs),
+                    static_cast<unsigned long long>(result.majorGcs),
+                    static_cast<unsigned long long>(
+                        result.allocatedBytes >> 20),
+                    mut.cubeShift());
+        trace = mut.recorder().run();
+        cube_shift = mut.cubeShift();
+        if (!opt.saveTrace.empty()) {
+            std::string error;
+            if (!gc::saveTraceFile(opt.saveTrace, trace, &error)) {
+                std::fprintf(stderr, "error: %s\n", error.c_str());
+                return 1;
+            }
+            std::printf("trace saved to %s (replay with "
+                        "--load-trace=%s --cube-shift=%d)\n",
+                        opt.saveTrace.c_str(), opt.saveTrace.c_str(),
+                        cube_shift);
+        }
+    }
+
+    report::Table table({"platform", "GC ms", "minor ms", "major ms",
+                         "speedup", "GB/s", "local", "energy J"});
+    double baseline = 0;
+    for (auto kind : opt.platforms) {
+        platform::PlatformSim sim_(kind, sim::SystemConfig{},
+                                   cube_shift);
+        auto t = sim_.simulate(trace);
+        if (opt.dumpStats) {
+            std::cout << "--- " << sim::platformName(kind)
+                      << " memory-system stats ---\n";
+            sim_.dumpStats(std::cout);
+        }
+        if (baseline == 0)
+            baseline = t.gcSeconds;
+        table.addRow(
+            {sim::platformName(kind),
+             report::num(t.gcSeconds * 1e3, 2),
+             report::num(t.minorSeconds * 1e3, 2),
+             report::num(t.majorSeconds * 1e3, 2),
+             report::times(baseline / t.gcSeconds),
+             report::num(t.avgGcBandwidthGBs, 1),
+             t.localAccessFraction > 0
+                 ? report::num(100 * t.localAccessFraction, 0) + "%"
+                 : "-",
+             report::num(t.totalEnergyJ(), 3)});
+    }
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * trace-dump: human-readable summary of a saved primitive trace.
+ *
+ * Shows, per collection: the phase structure, primitive invocation
+ * counts and byte volumes, reference counts, bitmap-cache hit rates,
+ * and the per-cube distribution — everything a user needs to
+ * understand what a workload asked of the accelerator without
+ * rerunning it.
+ *
+ * Usage:
+ *   trace-dump <file.trace> [--per-gc]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "gc/trace_io.hh"
+#include "report/table.hh"
+
+using namespace charon;
+using gc::PrimKind;
+
+namespace
+{
+
+struct PrimAgg
+{
+    std::uint64_t invocations = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t refs = 0;
+    std::uint64_t hostOnly = 0;
+
+    void
+    add(const gc::Bucket &b)
+    {
+        invocations += b.invocations;
+        bytes += b.totalBytes();
+        refs += b.refsVisited;
+        hostOnly += b.hostOnly ? b.invocations : 0;
+    }
+};
+
+std::string
+mib(std::uint64_t bytes)
+{
+    return report::num(static_cast<double>(bytes) / (1 << 20), 2)
+           + " MiB";
+}
+
+void
+primTable(const std::map<PrimKind, PrimAgg> &agg)
+{
+    report::Table table({"primitive", "invocations", "bytes",
+                         "refs visited", "host-only"});
+    for (const auto &[kind, a] : agg) {
+        table.addRow({primKindName(kind),
+                      std::to_string(a.invocations), mib(a.bytes),
+                      std::to_string(a.refs),
+                      std::to_string(a.hostOnly)});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+        std::printf("usage: trace-dump <file.trace> [--per-gc]\n");
+        return argc < 2 ? 2 : 0;
+    }
+    bool per_gc = argc > 2 && std::strcmp(argv[2], "--per-gc") == 0;
+
+    gc::RunTrace trace;
+    std::string error;
+    if (!gc::loadTraceFile(argv[1], trace, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+
+    std::printf("%zu collections (%llu minor, %llu major), "
+                "%zu mutator segments\n\n",
+                trace.gcs.size(),
+                static_cast<unsigned long long>(trace.minorCount()),
+                static_cast<unsigned long long>(trace.majorCount()),
+                trace.mutatorInstructions.size());
+
+    std::map<PrimKind, PrimAgg> total;
+    std::map<int, std::uint64_t> cube_bytes;
+    double hit_sum = 0;
+    int hit_phases = 0;
+
+    std::size_t index = 0;
+    for (const auto &gc : trace.gcs) {
+        std::map<PrimKind, PrimAgg> local;
+        for (const auto &phase : gc.phases) {
+            if (phase.bitmapCacheHitRate > 0) {
+                hit_sum += phase.bitmapCacheHitRate;
+                ++hit_phases;
+            }
+            for (const auto &t : phase.threads) {
+                for (const auto &b : t.buckets) {
+                    local[b.kind].add(b);
+                    total[b.kind].add(b);
+                    cube_bytes[b.srcCube] += b.totalBytes();
+                }
+            }
+        }
+        if (per_gc) {
+            std::printf("GC #%zu (%s): %llu live objects, %s copied\n",
+                        index, gc.major ? "major" : "minor",
+                        static_cast<unsigned long long>(gc.liveObjects),
+                        mib(gc.bytesCopied).c_str());
+            primTable(local);
+            std::printf("\n");
+        }
+        ++index;
+    }
+
+    std::printf("whole-run primitive totals:\n");
+    primTable(total);
+
+    std::printf("\nper-cube primary-data distribution:\n");
+    report::Table cubes({"cube", "bytes"});
+    for (const auto &[cube, bytes] : cube_bytes)
+        cubes.addRow({std::to_string(cube), mib(bytes)});
+    cubes.print(std::cout);
+
+    if (hit_phases > 0) {
+        std::printf("\nmean bitmap-cache hit rate over %d bitmap-using "
+                    "phases: %.1f%%\n",
+                    hit_phases, 100.0 * hit_sum / hit_phases);
+    }
+    return 0;
+}
