@@ -10,7 +10,9 @@
  *
  * Each ablation reports the resulting Charon GC speedup over the
  * host + DDR4 baseline on one Spark-style and one GraphChi-style
- * workload.
+ * workload.  Variants that only change replay-side parameters share
+ * one cached functional trace; the 8-cube and copy-threshold variants
+ * re-record under their own keys.
  */
 
 #include "bench_common.hh"
@@ -21,115 +23,170 @@ using namespace charon::bench;
 namespace
 {
 
-double
-speedup(const WorkloadRun &run, const sim::SystemConfig &cfg,
-        double hit_rate_override = -1.0)
+/** Force the measured bitmap-cache hit rate in a replayed trace. */
+std::function<void(gc::RunTrace &)>
+forceHitRate(double rate)
 {
-    auto ddr4 = replay(run, sim::PlatformKind::HostDdr4, cfg);
-    // Optionally neutralize the bitmap cache by zeroing the measured
-    // hit rate in a copy of the trace.
-    if (hit_rate_override >= 0) {
-        gc::RunTrace patched = run.trace();
-        for (auto &gc : patched.gcs) {
+    return [rate](gc::RunTrace &trace) {
+        for (auto &gc : trace.gcs) {
             for (auto &phase : gc.phases)
-                phase.bitmapCacheHitRate = hit_rate_override;
+                phase.bitmapCacheHitRate = rate;
         }
-        platform::PlatformSim charon(sim::PlatformKind::CharonNmp, cfg,
-                                     run.mutator->cubeShift());
-        return ddr4.gcSeconds / charon.simulate(patched).gcSeconds;
-    }
-    auto charon = replay(run, sim::PlatformKind::CharonNmp, cfg);
-    return ddr4.gcSeconds / charon.gcSeconds;
+    };
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    report::heading(std::cout,
-                    "Ablations: Charon GC speedup over host + DDR4 "
-                    "under design variations");
+    auto opt = harness::standardOptions(argc, argv);
+    ExperimentRunner runner(opt.runnerConfig());
+    Report report(opt);
 
-    for (const std::string &name :
-         {std::string("KM"), std::string("CC")}) {
-        auto run = runWorkload(name);
-        sim::SystemConfig base;
+    const std::string workloads[] = {"KM", "CC"};
 
-        report::Table table({"variant", "speedup"});
-        table.addRow({"baseline (paper configuration)",
-                      report::times(speedup(run, base))});
+    // Build one flat cell list: per workload a DDR4 baseline plus one
+    // Charon cell per variant (the 8-cube variant brings its own DDR4
+    // baseline because its trace is re-recorded).
+    struct Variant
+    {
+        std::string label;
+        Cell charon;
+        int ddr4_index; // cells[] index of the matching baseline
+    };
+    std::vector<Cell> cells;
+    std::vector<std::vector<Variant>> variants(2);
 
-        table.addRow({"no bitmap cache (hit rate forced to 0)",
-                      report::times(speedup(run, base, 0.0))});
-        table.addRow({"perfect bitmap cache (hit rate forced to 1)",
-                      report::times(speedup(run, base, 1.0))});
+    for (std::size_t w = 0; w < 2; ++w) {
+        const auto &name = workloads[w];
+        int base_ddr4 = static_cast<int>(cells.size());
+        cells.push_back(cell(name, sim::PlatformKind::HostDdr4));
 
+        auto add = [&](std::string label, Cell c) {
+            c.label = name + ": " + label;
+            variants[w].push_back(
+                Variant{std::move(label), c, base_ddr4});
+            // The runner dedupes functional keys, so pushing the
+            // Charon cell is cheap even when the key repeats.
+        };
+
+        add("baseline (paper configuration)",
+            cell(name, sim::PlatformKind::CharonNmp));
         {
-            sim::SystemConfig cfg = base;
-            cfg.charon.scanPushLocal = true;
-            table.addRow({"Scan&Push on data-local cubes",
-                          report::times(speedup(run, cfg))});
+            Cell c = cell(name, sim::PlatformKind::CharonNmp);
+            c.patchTrace = forceHitRate(0.0);
+            add("no bitmap cache (hit rate forced to 0)", c);
         }
         {
-            sim::SystemConfig cfg = base;
-            cfg.charon.distributedStructures = true;
-            table.addRow({"distributed bitmap cache / TLB",
-                          report::times(speedup(run, cfg))});
+            Cell c = cell(name, sim::PlatformKind::CharonNmp);
+            c.patchTrace = forceHitRate(1.0);
+            add("perfect bitmap cache (hit rate forced to 1)", c);
+        }
+        {
+            Cell c = cell(name, sim::PlatformKind::CharonNmp);
+            c.config.charon.scanPushLocal = true;
+            add("Scan&Push on data-local cubes", c);
+        }
+        {
+            Cell c = cell(name, sim::PlatformKind::CharonNmp);
+            c.config.charon.distributedStructures = true;
+            add("distributed bitmap cache / TLB", c);
         }
         for (int mai : {4, 8, 32, 128}) {
-            sim::SystemConfig cfg = base;
-            cfg.charon.maiEntries = mai;
-            table.addRow({"MAI depth " + std::to_string(mai),
-                          report::times(speedup(run, cfg))});
+            Cell c = cell(name, sim::PlatformKind::CharonNmp);
+            c.config.charon.maiEntries = mai;
+            add("MAI depth " + std::to_string(mai), c);
         }
         {
             // Section 4.6: the architecture is not tied to the star.
-            sim::SystemConfig cfg = base;
-            cfg.hmc.topology = sim::HmcTopology::Chain;
-            table.addRow({"chain topology (4 cubes)",
-                          report::times(speedup(run, cfg))});
+            Cell c = cell(name, sim::PlatformKind::CharonNmp);
+            c.config.hmc.topology = sim::HmcTopology::Chain;
+            add("chain topology (4 cubes)", c);
         }
         {
             // Section 4.6: more cubes carry more units.  The trace is
             // re-recorded with the heap interleaved over 8 cubes.
-            auto run8 = runWorkload(name, 0, 1, 8, /*num_cubes=*/8);
-            sim::SystemConfig cfg = base;
-            cfg.hmc.cubes = 8;
-            cfg.charon.copySearchUnits = 16;
-            cfg.charon.bitmapCountUnits = 16;
-            table.addRow({"8 cubes, 2x Copy/Search + BitmapCount units",
-                          report::times(speedup(run8, cfg))});
+            int ddr4_8 = static_cast<int>(cells.size());
+            Cell d = cell(name, sim::PlatformKind::HostDdr4, 0, 1, 8,
+                          /*num_cubes=*/8);
+            cells.push_back(d);
+            Cell c = cell(name, sim::PlatformKind::CharonNmp, 0, 1, 8,
+                          /*num_cubes=*/8);
+            c.config.hmc.cubes = 8;
+            c.config.charon.copySearchUnits = 16;
+            c.config.charon.bitmapCountUnits = 16;
+            c.label = name + ": 8 cubes";
+            variants[w].push_back(Variant{
+                "8 cubes, 2x Copy/Search + BitmapCount units", c,
+                ddr4_8});
         }
-
-        std::cout << "workload " << name << ":\n";
-        table.print(std::cout);
-        std::cout << '\n';
+        for (auto &v : variants[w])
+            cells.push_back(v.charon);
     }
 
-    // The copy-offload threshold is a trace-time decision; rebuild
-    // the trace per threshold on one workload.
-    report::Table thr({"copy offload threshold", "KM speedup"});
-    for (std::uint64_t threshold : {0ull, 256ull, 4096ull, ~0ull}) {
-        const auto &params = workload::findWorkload("KM");
-        workload::Mutator mut(params, params.heapBytes, 1);
-        mut.recorder().setCopyOffloadThreshold(threshold);
-        mut.run();
-        platform::PlatformSim ddr4(sim::PlatformKind::HostDdr4,
-                                   sim::SystemConfig{},
-                                   mut.cubeShift());
-        platform::PlatformSim charon(sim::PlatformKind::CharonNmp,
-                                     sim::SystemConfig{},
-                                     mut.cubeShift());
-        double s = ddr4.simulate(mut.recorder().run()).gcSeconds
-                   / charon.simulate(mut.recorder().run()).gcSeconds;
+    // The copy-offload threshold is a trace-time decision; each
+    // threshold is its own functional key (DDR4 + Charon replays).
+    const std::uint64_t thresholds[] = {0ull, 256ull, 4096ull, ~0ull};
+    int thr_base = static_cast<int>(cells.size());
+    for (std::uint64_t threshold : thresholds) {
+        Cell d = cell("KM", sim::PlatformKind::HostDdr4);
+        d.key.copyOffloadThreshold = threshold;
+        cells.push_back(d);
+        Cell c = cell("KM", sim::PlatformKind::CharonNmp);
+        c.key.copyOffloadThreshold = threshold;
+        cells.push_back(c);
+    }
+
+    auto results = runner.run(cells);
+
+    // Rebuild the per-workload tables from the ordered results.  The
+    // Charon cells of workload w start right after its baselines.
+    std::size_t idx = 0;
+    for (std::size_t w = 0; w < 2; ++w) {
+        auto &table = report.table(
+            "ablations." + workloads[w],
+            "Ablations (" + workloads[w]
+                + "): Charon GC speedup over host + DDR4",
+            {"variant", "speedup"});
+        // Skip this workload's baseline cells (1 shared + 1 8-cube).
+        idx += 2;
+        for (const auto &v : variants[w]) {
+            const auto &charon_res = results[idx];
+            const auto &ddr4_res =
+                results[static_cast<std::size_t>(v.ddr4_index)];
+            ++idx;
+            if (!report.checkCell(v.charon, charon_res)
+                || !report.checkCell(
+                       cells[static_cast<std::size_t>(v.ddr4_index)],
+                       ddr4_res)) {
+                continue;
+            }
+            table.addRow({v.label,
+                          report::times(ddr4_res.timing.gcSeconds
+                                        / charon_res.timing.gcSeconds)});
+        }
+    }
+
+    auto &thr = report.table(
+        "ablations.copy_threshold",
+        "Ablations: copy-offload threshold sweep (KM)",
+        {"copy offload threshold", "KM speedup"});
+    for (std::size_t t = 0; t < 4; ++t) {
+        std::size_t i = static_cast<std::size_t>(thr_base) + t * 2;
+        if (!report.checkCell(cells[i], results[i])
+            || !report.checkCell(cells[i + 1], results[i + 1])) {
+            continue;
+        }
+        std::uint64_t threshold = thresholds[t];
         std::string label =
             threshold == 0 ? "0 B (offload everything)"
             : threshold == ~0ull
                 ? "infinite (never offload Copy)"
                 : std::to_string(threshold) + " B";
-        thr.addRow({label, report::times(s)});
+        thr.addRow({label,
+                    report::times(results[i].timing.gcSeconds
+                                  / results[i + 1].timing.gcSeconds)});
     }
-    thr.print(std::cout);
-    return 0;
+    return report.finish(std::cout);
 }

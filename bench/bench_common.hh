@@ -1,67 +1,54 @@
 /**
  * @file
- * Shared plumbing for the per-figure bench binaries: run a workload
- * functionally once, replay its trace on the requested platforms, and
- * cache runs so a binary that needs several platforms pays the
- * functional cost once.
+ * Shared plumbing for the per-figure bench binaries, now a thin layer
+ * over the harness: benches declare a list of experiment cells, the
+ * ExperimentRunner executes every distinct functional run once (trace
+ * cache first) and replays the cells on a thread pool, and a Report
+ * renders the tables (aligned text, CSV, or JSON).
+ *
+ * Every bench accepts the shared flags: --jobs=N, --cache-dir=DIR,
+ * --no-cache, --csv, --json=FILE.
  */
 
 #ifndef CHARON_BENCH_COMMON_HH
 #define CHARON_BENCH_COMMON_HH
 
 #include <iostream>
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "platform/platform_sim.hh"
+#include "harness/experiment_runner.hh"
+#include "harness/options.hh"
+#include "harness/result_sink.hh"
 #include "report/table.hh"
-#include "sim/logging.hh"
-#include "workload/mutator.hh"
+#include "workload/catalog.hh"
 
 namespace charon::bench
 {
 
-/** A completed functional run plus its trace. */
-struct WorkloadRun
-{
-    std::unique_ptr<workload::Mutator> mutator;
-    workload::Mutator::RunResult result;
+using harness::Cell;
+using harness::CellResult;
+using harness::CollectorKind;
+using harness::ExperimentRunner;
+using harness::FunctionalKey;
+using harness::Report;
+using harness::ResultSink;
 
-    const gc::RunTrace &trace() const
-    {
-        return mutator->recorder().run();
-    }
-};
-
-/** Execute @p name at @p heap_bytes (0 = catalog default). */
-inline WorkloadRun
-runWorkload(const std::string &name, std::uint64_t heap_bytes = 0,
-            std::uint64_t seed = 1, int gc_threads = 8,
-            int num_cubes = 4)
+/** Build a replay cell for @p workload on @p platform. */
+inline Cell
+cell(std::string workload, sim::PlatformKind platform,
+     std::uint64_t heap_bytes = 0, std::uint64_t seed = 1,
+     int gc_threads = 8, int num_cubes = 4)
 {
-    const auto &params = workload::findWorkload(name);
-    if (heap_bytes == 0)
-        heap_bytes = params.heapBytes;
-    WorkloadRun run;
-    run.mutator = std::make_unique<workload::Mutator>(
-        params, heap_bytes, seed, gc_threads, num_cubes);
-    run.result = run.mutator->run();
-    if (run.result.oom) {
-        sim::warn("workload %s hit OOM at %llu MiB", name.c_str(),
-                  static_cast<unsigned long long>(heap_bytes >> 20));
-    }
-    return run;
-}
-
-/** Replay @p run on @p kind with optional config overrides. */
-inline platform::RunTiming
-replay(const WorkloadRun &run, sim::PlatformKind kind,
-       const sim::SystemConfig &cfg = sim::SystemConfig{})
-{
-    platform::PlatformSim sim_(kind, cfg, run.mutator->cubeShift());
-    return sim_.simulate(run.trace());
+    Cell c;
+    c.key.workload = std::move(workload);
+    c.key.heapBytes = heap_bytes;
+    c.key.seed = seed;
+    c.key.gcThreads = gc_threads;
+    c.key.numCubes = num_cubes;
+    c.platform = platform;
+    c.label = c.key.workload + " on " + sim::platformName(platform);
+    return c;
 }
 
 /** All six workload names in catalog (Table 3) order. */

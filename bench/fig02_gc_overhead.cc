@@ -15,47 +15,73 @@ using namespace charon;
 using namespace charon::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    report::heading(std::cout,
-                    "Figure 2: GC overhead vs heap size "
-                    "(GC time / mutator time, host + DDR4)");
+    auto opt = harness::standardOptions(argc, argv);
+    ExperimentRunner runner(opt.runnerConfig());
+    Report report(opt);
 
     const double factors[] = {1.0, 1.25, 1.5, 2.0};
-    report::Table table({"workload", "min heap", "x1.00", "x1.25",
-                         "x1.50", "x2.00"});
-    std::vector<double> per_factor_sum(4, 0);
+    const auto workloads = allWorkloads();
 
-    for (const auto &name : allWorkloads()) {
+    std::vector<Cell> cells;
+    for (const auto &name : workloads) {
         const auto &params = workload::findWorkload(name);
+        for (double factor : factors) {
+            std::uint64_t heap = static_cast<std::uint64_t>(
+                factor * static_cast<double>(params.minHeapBytes));
+            cells.push_back(
+                cell(name, sim::PlatformKind::HostDdr4, heap));
+        }
+    }
+    auto results = runner.run(cells);
+
+    auto &table = report.table(
+        "fig02",
+        "Figure 2: GC overhead vs heap size "
+        "(GC time / mutator time, host + DDR4)",
+        {"workload", "min heap", "x1.00", "x1.25", "x1.50", "x2.00"});
+    std::vector<double> per_factor_sum(4, 0);
+    std::vector<int> per_factor_n(4, 0);
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto &params = workload::findWorkload(workloads[w]);
         std::vector<std::string> row{
-            name,
+            workloads[w],
             report::num(static_cast<double>(params.minHeapBytes)
                             / (1 << 20),
                         0)
                 + " MiB"};
-        for (int f = 0; f < 4; ++f) {
-            std::uint64_t heap = static_cast<std::uint64_t>(
-                factors[f] * static_cast<double>(params.minHeapBytes));
-            auto run = runWorkload(name, heap);
-            if (run.result.oom) {
+        for (std::size_t f = 0; f < 4; ++f) {
+            const auto &res = results[w * 4 + f];
+            // An OOM at tight over-provisioning is an expected cell
+            // outcome, not a run failure: print it and keep going.
+            if (res.oom) {
                 row.push_back("OOM");
                 continue;
             }
-            auto timing = replay(run, sim::PlatformKind::HostDdr4);
-            double overhead = timing.gcSeconds / timing.mutatorSeconds;
-            per_factor_sum[static_cast<std::size_t>(f)] += overhead;
+            if (!report.checkCell(cells[w * 4 + f], res)) {
+                row.push_back("-");
+                continue;
+            }
+            double overhead =
+                res.timing.gcSeconds / res.timing.mutatorSeconds;
+            per_factor_sum[f] += overhead;
+            ++per_factor_n[f];
             row.push_back(report::num(100.0 * overhead, 1) + "%");
         }
         table.addRow(row);
     }
-    table.addRow({"mean", "",
-                  report::num(100.0 * per_factor_sum[0] / 6, 1) + "%",
-                  report::num(100.0 * per_factor_sum[1] / 6, 1) + "%",
-                  report::num(100.0 * per_factor_sum[2] / 6, 1) + "%",
-                  report::num(100.0 * per_factor_sum[3] / 6, 1) + "%"});
-    table.print(std::cout);
-    std::cout << "\npaper: overhead can exceed 365% near the minimum "
-                 "heap and is ~15% at 2x over-provisioning\n";
-    return 0;
+    auto mean = [&](std::size_t f) {
+        return per_factor_n[f]
+                   ? report::num(100.0 * per_factor_sum[f]
+                                     / per_factor_n[f],
+                                 1)
+                         + "%"
+                   : std::string("-");
+    };
+    table.addRow({"mean", "", mean(0), mean(1), mean(2), mean(3)});
+    table.note("\npaper: overhead can exceed 365% near the minimum "
+               "heap and is ~15% at 2x over-provisioning");
+    return report.finish(std::cout);
 }

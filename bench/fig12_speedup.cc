@@ -16,29 +16,48 @@ using namespace charon;
 using namespace charon::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    report::heading(std::cout,
-                    "Figure 12: normalized GC performance "
-                    "(higher is better, DDR4 = 1)");
+    auto opt = harness::standardOptions(argc, argv);
+    ExperimentRunner runner(opt.runnerConfig());
+    Report report(opt);
 
-    report::Table table(
+    const sim::PlatformKind kinds[] = {
+        sim::PlatformKind::HostDdr4, sim::PlatformKind::HostHmc,
+        sim::PlatformKind::CharonNmp, sim::PlatformKind::Ideal};
+
+    std::vector<Cell> cells;
+    for (const auto &name : allWorkloads())
+        for (auto kind : kinds)
+            cells.push_back(cell(name, kind));
+    auto results = runner.run(cells);
+
+    auto &table = report.table(
+        "fig12",
+        "Figure 12: normalized GC performance "
+        "(higher is better, DDR4 = 1)",
         {"workload", "DDR4", "HMC", "Charon", "Ideal", "Charon/HMC"});
     std::vector<double> hmc_s, charon_s, ideal_s, vs_hmc;
 
-    for (const auto &name : allWorkloads()) {
-        auto run = runWorkload(name);
-        auto ddr4 = replay(run, sim::PlatformKind::HostDdr4);
-        auto hmc = replay(run, sim::PlatformKind::HostHmc);
-        auto charon = replay(run, sim::PlatformKind::CharonNmp);
-        auto ideal = replay(run, sim::PlatformKind::Ideal);
-
-        double base = ddr4.gcSeconds;
-        hmc_s.push_back(base / hmc.gcSeconds);
-        charon_s.push_back(base / charon.gcSeconds);
-        ideal_s.push_back(base / ideal.gcSeconds);
-        vs_hmc.push_back(hmc.gcSeconds / charon.gcSeconds);
-        table.addRow({name, "1.00x", report::times(hmc_s.back()),
+    const auto workloads = allWorkloads();
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        std::size_t base_i = w * 4;
+        bool ok = true;
+        for (std::size_t k = 0; k < 4; ++k)
+            ok &= report.checkCell(cells[base_i + k],
+                                   results[base_i + k]);
+        if (!ok)
+            continue;
+        double base = results[base_i].timing.gcSeconds;
+        double hmc = results[base_i + 1].timing.gcSeconds;
+        double charon = results[base_i + 2].timing.gcSeconds;
+        double ideal = results[base_i + 3].timing.gcSeconds;
+        hmc_s.push_back(base / hmc);
+        charon_s.push_back(base / charon);
+        ideal_s.push_back(base / ideal);
+        vs_hmc.push_back(hmc / charon);
+        table.addRow({workloads[w], "1.00x",
+                      report::times(hmc_s.back()),
                       report::times(charon_s.back()),
                       report::times(ideal_s.back()),
                       report::times(vs_hmc.back())});
@@ -48,8 +67,7 @@ main()
                   report::times(sim::geomean(charon_s)),
                   report::times(sim::geomean(ideal_s)),
                   report::times(sim::geomean(vs_hmc))});
-    table.print(std::cout);
-    std::cout << "\npaper geomeans: HMC 1.21x, Charon 3.29x over DDR4 "
-                 "and 2.70x over HMC\n";
-    return 0;
+    table.note("\npaper geomeans: HMC 1.21x, Charon 3.29x over DDR4 "
+               "and 2.70x over HMC");
+    return report.finish(std::cout);
 }

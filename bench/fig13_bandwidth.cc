@@ -15,31 +15,49 @@ using namespace charon;
 using namespace charon::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    report::heading(std::cout,
-                    "Figure 13: bandwidth utilized during GC and "
-                    "Charon's local-access ratio");
+    auto opt = harness::standardOptions(argc, argv);
+    ExperimentRunner runner(opt.runnerConfig());
+    Report report(opt);
 
-    report::Table table({"workload", "DDR4 GB/s", "HMC GB/s",
-                         "Charon GB/s", "local", "remote"});
-    for (const auto &name : allWorkloads()) {
-        auto run = runWorkload(name);
-        auto ddr4 = replay(run, sim::PlatformKind::HostDdr4);
-        auto hmc = replay(run, sim::PlatformKind::HostHmc);
-        auto charon = replay(run, sim::PlatformKind::CharonNmp);
+    const sim::PlatformKind kinds[] = {sim::PlatformKind::HostDdr4,
+                                       sim::PlatformKind::HostHmc,
+                                       sim::PlatformKind::CharonNmp};
+    const auto workloads = allWorkloads();
+    std::vector<Cell> cells;
+    for (const auto &name : workloads)
+        for (auto kind : kinds)
+            cells.push_back(cell(name, kind));
+    auto results = runner.run(cells);
+
+    auto &table = report.table(
+        "fig13",
+        "Figure 13: bandwidth utilized during GC and "
+        "Charon's local-access ratio",
+        {"workload", "DDR4 GB/s", "HMC GB/s", "Charon GB/s", "local",
+         "remote"});
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        std::size_t i = w * 3;
+        bool ok = true;
+        for (std::size_t k = 0; k < 3; ++k)
+            ok &= report.checkCell(cells[i + k], results[i + k]);
+        if (!ok)
+            continue;
+        const auto &ddr4 = results[i].timing;
+        const auto &hmc = results[i + 1].timing;
+        const auto &charon = results[i + 2].timing;
         table.addRow(
-            {name, report::num(ddr4.avgGcBandwidthGBs, 1),
+            {workloads[w], report::num(ddr4.avgGcBandwidthGBs, 1),
              report::num(hmc.avgGcBandwidthGBs, 1),
              report::num(charon.avgGcBandwidthGBs, 1),
              report::num(100 * charon.localAccessFraction, 0) + "%",
              report::num(100 * (1 - charon.localAccessFraction), 0)
                  + "%"});
     }
-    table.print(std::cout);
-    std::cout << "\noff-chip limits: DDR4 34 GB/s, HMC links 80 GB/s; "
-                 "Charon internal peak 4 x 320 GB/s\n"
-              << "paper: >70% local for most workloads; LR and CC "
-                 "closer to ~50%\n";
-    return 0;
+    table.note("\noff-chip limits: DDR4 34 GB/s, HMC links 80 GB/s; "
+               "Charon internal peak 4 x 320 GB/s");
+    table.note("paper: >70% local for most workloads; LR and CC "
+               "closer to ~50%");
+    return report.finish(std::cout);
 }

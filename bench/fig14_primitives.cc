@@ -19,19 +19,33 @@ using namespace charon;
 using namespace charon::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    report::heading(std::cout,
-                    "Figure 14: per-primitive Charon speedup over "
-                    "host + DDR4");
+    auto opt = harness::standardOptions(argc, argv);
+    ExperimentRunner runner(opt.runnerConfig());
+    Report report(opt);
 
-    report::Table table({"workload", "S", "SP", "C", "BC"});
+    const auto workloads = allWorkloads();
+    std::vector<Cell> cells;
+    for (const auto &name : workloads) {
+        cells.push_back(cell(name, sim::PlatformKind::HostDdr4));
+        cells.push_back(cell(name, sim::PlatformKind::CharonNmp));
+    }
+    auto results = runner.run(cells);
+
+    auto &table = report.table(
+        "fig14",
+        "Figure 14: per-primitive Charon speedup over host + DDR4",
+        {"workload", "S", "SP", "C", "BC"});
     std::vector<double> s, sp, c, bc;
-    for (const auto &name : allWorkloads()) {
-        auto run = runWorkload(name);
-        auto ddr4 = replay(run, sim::PlatformKind::HostDdr4).breakdown();
-        auto charon =
-            replay(run, sim::PlatformKind::CharonNmp).breakdown();
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        std::size_t i = w * 2;
+        bool ok = report.checkCell(cells[i], results[i])
+                  & report.checkCell(cells[i + 1], results[i + 1]);
+        if (!ok)
+            continue;
+        auto ddr4 = results[i].timing.breakdown();
+        auto charon = results[i + 1].timing.breakdown();
         auto ratio = [](double a, double b) {
             return b > 0 ? a / b : 0.0;
         };
@@ -39,7 +53,7 @@ main()
         sp.push_back(ratio(ddr4.scanPush, charon.scanPush));
         c.push_back(ratio(ddr4.copy, charon.copy));
         bc.push_back(ratio(ddr4.bitmapCount, charon.bitmapCount));
-        table.addRow({name, report::times(s.back()),
+        table.addRow({workloads[w], report::times(s.back()),
                       report::times(sp.back()),
                       report::times(c.back()),
                       report::times(bc.back())});
@@ -50,7 +64,10 @@ main()
             if (x > 0)
                 positive.push_back(x);
         }
-        double max = *std::max_element(positive.begin(), positive.end());
+        double max =
+            positive.empty()
+                ? 0.0
+                : *std::max_element(positive.begin(), positive.end());
         return std::pair{sim::geomean(positive), max};
     };
     auto [s_avg, s_max] = summary(s);
@@ -62,10 +79,8 @@ main()
                   report::times(bc_avg)});
     table.addRow({"max", report::times(s_max), report::times(sp_max),
                   report::times(c_max), report::times(bc_max)});
-    table.print(std::cout);
-    std::cout
-        << "\npaper: S avg 2.90x / max 4.09x; SP avg 1.20x / max "
-           "1.86x (degrades on BS, KM, LR, ALS); C avg 10.17x / max "
-           "26.15x; BC avg 5.63x / max 6.11x\n";
-    return 0;
+    table.note("\npaper: S avg 2.90x / max 4.09x; SP avg 1.20x / max "
+               "1.86x (degrades on BS, KM, LR, ALS); C avg 10.17x / "
+               "max 26.15x; BC avg 5.63x / max 6.11x");
+    return report.finish(std::cout);
 }

@@ -17,22 +17,21 @@ using namespace charon;
 using namespace charon::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    report::heading(std::cout,
-                    "Figure 15: GC throughput scalability "
-                    "(normalized to 1 thread on each platform)");
+    auto opt = harness::standardOptions(argc, argv);
+    ExperimentRunner runner(opt.runnerConfig());
+    Report report(opt);
 
     const int thread_counts[] = {1, 2, 4, 8, 16};
+    const std::string workloads[] = {"KM", "CC"};
+
     // Aggregate over one Spark-style and one GraphChi-style workload,
-    // as the paper plots both behaviours.
-    for (const std::string &name :
-         {std::string("KM"), std::string("CC")}) {
-        report::Table table({"threads", "DDR4", "Charon unified",
-                             "Charon distributed"});
-        double base_ddr4 = 0, base_uni = 0, base_dist = 0;
+    // as the paper plots both behaviours.  Every (workload, threads)
+    // pair is its own functional key; the three variants replay it.
+    std::vector<Cell> cells;
+    for (const auto &name : workloads) {
         for (int threads : thread_counts) {
-            auto run = runWorkload(name, 0, 1, threads);
             sim::SystemConfig cfg;
             cfg.gcThreads = threads;
             // Scale the unit population with the thread count, as in
@@ -41,31 +40,61 @@ main()
             cfg.charon.bitmapCountUnits = threads;
             cfg.charon.scanPushUnits = threads;
 
-            auto ddr4 =
-                replay(run, sim::PlatformKind::HostDdr4, cfg);
-            auto uni = replay(run, sim::PlatformKind::CharonNmp, cfg);
-            sim::SystemConfig dist_cfg = cfg;
-            dist_cfg.charon.distributedStructures = true;
-            auto dist =
-                replay(run, sim::PlatformKind::CharonNmp, dist_cfg);
+            Cell ddr4 = cell(name, sim::PlatformKind::HostDdr4, 0, 1,
+                             threads);
+            ddr4.config = cfg;
+            cells.push_back(ddr4);
 
-            if (threads == 1) {
-                base_ddr4 = ddr4.gcSeconds;
-                base_uni = uni.gcSeconds;
-                base_dist = dist.gcSeconds;
-            }
-            table.addRow(
-                {std::to_string(threads),
-                 report::times(base_ddr4 / ddr4.gcSeconds),
-                 report::times(base_uni / uni.gcSeconds),
-                 report::times(base_dist / dist.gcSeconds)});
+            Cell uni = cell(name, sim::PlatformKind::CharonNmp, 0, 1,
+                            threads);
+            uni.config = cfg;
+            cells.push_back(uni);
+
+            Cell dist = uni;
+            dist.config.charon.distributedStructures = true;
+            dist.label += " (distributed)";
+            cells.push_back(dist);
         }
-        std::cout << "workload " << name << ":\n";
-        table.print(std::cout);
-        std::cout << '\n';
     }
-    std::cout << "paper: DDR4 hardly scales (34 GB/s cap); Charon "
-                 "scales with internal bandwidth; distributed "
-                 "structures scale best\n";
-    return 0;
+    auto results = runner.run(cells);
+
+    std::size_t i = 0;
+    ResultSink *last = nullptr;
+    for (const auto &name : workloads) {
+        auto &table =
+            report.table("fig15." + name,
+                         "Figure 15 (" + name
+                             + "): GC throughput scalability "
+                               "(normalized to 1 thread)",
+                         {"threads", "DDR4", "Charon unified",
+                          "Charon distributed"});
+        double base_ddr4 = 0, base_uni = 0, base_dist = 0;
+        for (int threads : thread_counts) {
+            bool ok = true;
+            for (std::size_t k = 0; k < 3; ++k)
+                ok &= report.checkCell(cells[i + k], results[i + k]);
+            if (ok) {
+                double ddr4 = results[i].timing.gcSeconds;
+                double uni = results[i + 1].timing.gcSeconds;
+                double dist = results[i + 2].timing.gcSeconds;
+                if (threads == 1) {
+                    base_ddr4 = ddr4;
+                    base_uni = uni;
+                    base_dist = dist;
+                }
+                table.addRow({std::to_string(threads),
+                              report::times(base_ddr4 / ddr4),
+                              report::times(base_uni / uni),
+                              report::times(base_dist / dist)});
+            }
+            i += 3;
+        }
+        last = &table;
+    }
+    if (last) {
+        last->note("\npaper: DDR4 hardly scales (34 GB/s cap); Charon "
+                   "scales with internal bandwidth; distributed "
+                   "structures scale best");
+    }
+    return report.finish(std::cout);
 }

@@ -18,26 +18,46 @@ using namespace charon;
 using namespace charon::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    report::heading(std::cout,
-                    "Figure 16: CPU-side vs memory-side Charon "
-                    "(GC speedup over host + DDR4)");
+    auto opt = harness::standardOptions(argc, argv);
+    ExperimentRunner runner(opt.runnerConfig());
+    Report report(opt);
 
-    report::Table table({"workload", "CPU baseline", "Charon CPU-side",
-                         "Charon memory-side", "CPU-side loss"});
-    std::vector<double> cpu_side_s, nmp_s, loss;
-    for (const auto &name : allWorkloads()) {
-        auto run = runWorkload(name);
-        auto ddr4 = replay(run, sim::PlatformKind::HostDdr4);
-        auto side = replay(run, sim::PlatformKind::CharonCpuSide);
-        auto nmp = replay(run, sim::PlatformKind::CharonNmp);
-        cpu_side_s.push_back(ddr4.gcSeconds / side.gcSeconds);
-        nmp_s.push_back(ddr4.gcSeconds / nmp.gcSeconds);
-        loss.push_back(1.0 - nmp.gcSeconds / side.gcSeconds);
-        table.addRow({name, "1.00x", report::times(cpu_side_s.back()),
+    const sim::PlatformKind kinds[] = {
+        sim::PlatformKind::HostDdr4, sim::PlatformKind::CharonCpuSide,
+        sim::PlatformKind::CharonNmp};
+    const auto workloads = allWorkloads();
+    std::vector<Cell> cells;
+    for (const auto &name : workloads)
+        for (auto kind : kinds)
+            cells.push_back(cell(name, kind));
+    auto results = runner.run(cells);
+
+    auto &table = report.table(
+        "fig16",
+        "Figure 16: CPU-side vs memory-side Charon "
+        "(GC speedup over host + DDR4)",
+        {"workload", "CPU baseline", "Charon CPU-side",
+         "Charon memory-side", "CPU-side loss"});
+    std::vector<double> cpu_side_s, nmp_s;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        std::size_t i = w * 3;
+        bool ok = true;
+        for (std::size_t k = 0; k < 3; ++k)
+            ok &= report.checkCell(cells[i + k], results[i + k]);
+        if (!ok)
+            continue;
+        double ddr4 = results[i].timing.gcSeconds;
+        double side = results[i + 1].timing.gcSeconds;
+        double nmp = results[i + 2].timing.gcSeconds;
+        cpu_side_s.push_back(ddr4 / side);
+        nmp_s.push_back(ddr4 / nmp);
+        double loss = 1.0 - nmp / side;
+        table.addRow({workloads[w], "1.00x",
+                      report::times(cpu_side_s.back()),
                       report::times(nmp_s.back()),
-                      report::num(100 * loss.back(), 0) + "%"});
+                      report::num(100 * loss, 0) + "%"});
     }
     double avg_loss =
         1.0 - sim::geomean(cpu_side_s) / sim::geomean(nmp_s);
@@ -45,8 +65,7 @@ main()
                   report::times(sim::geomean(cpu_side_s)),
                   report::times(sim::geomean(nmp_s)),
                   report::num(100 * avg_loss, 0) + "%"});
-    table.print(std::cout);
-    std::cout << "\npaper: the CPU-side implementation delivers about "
-                 "37% less throughput than the memory-side one\n";
-    return 0;
+    table.note("\npaper: the CPU-side implementation delivers about "
+               "37% less throughput than the memory-side one");
+    return report.finish(std::cout);
 }

@@ -8,15 +8,13 @@
 namespace charon::gc
 {
 
-namespace
+namespace io
 {
-
-constexpr char kMagic[8] = {'C', 'H', 'A', 'R', 'O', 'N', 'T', 'R'};
 
 // --- little-endian primitives ---------------------------------------
 
 void
-put64(std::ostream &os, std::uint64_t v)
+putU64(std::ostream &os, std::uint64_t v)
 {
     char buf[8];
     for (int i = 0; i < 8; ++i)
@@ -29,11 +27,11 @@ putF64(std::ostream &os, double v)
 {
     std::uint64_t bits;
     std::memcpy(&bits, &v, 8);
-    put64(os, bits);
+    putU64(os, bits);
 }
 
 bool
-get64(std::istream &is, std::uint64_t &v)
+getU64(std::istream &is, std::uint64_t &v)
 {
     char buf[8];
     if (!is.read(buf, 8))
@@ -51,10 +49,53 @@ bool
 getF64(std::istream &is, double &v)
 {
     std::uint64_t bits;
-    if (!get64(is, bits))
+    if (!getU64(is, bits))
         return false;
     std::memcpy(&v, &bits, 8);
     return true;
+}
+
+void
+putString(std::ostream &os, const std::string &s)
+{
+    putU64(os, s.size());
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool
+getString(std::istream &is, std::string &s)
+{
+    std::uint64_t n;
+    if (!getU64(is, n))
+        return false;
+    // Cap so a corrupted length cannot trigger a huge allocation.
+    if (n > (1u << 20))
+        return false;
+    s.resize(n);
+    return static_cast<bool>(
+        is.read(s.data(), static_cast<std::streamsize>(n)));
+}
+
+} // namespace io
+
+namespace
+{
+
+constexpr char kMagic[8] = {'C', 'H', 'A', 'R', 'O', 'N', 'T', 'R'};
+
+using io::getF64;
+using io::putF64;
+
+void
+put64(std::ostream &os, std::uint64_t v)
+{
+    io::putU64(os, v);
+}
+
+bool
+get64(std::istream &is, std::uint64_t &v)
+{
+    return io::getU64(is, v);
 }
 
 void

@@ -42,6 +42,24 @@ bool loadTraceFile(const std::string &path, RunTrace &trace,
 /** Structural equality (for round-trip tests). */
 bool traceEquals(const RunTrace &a, const RunTrace &b);
 
+/**
+ * The little-endian stream primitives the trace format is built from,
+ * exposed so sibling formats (the harness trace cache wraps a trace
+ * in a keyed header) stay byte-compatible with this file's framing.
+ */
+namespace io
+{
+
+void putU64(std::ostream &os, std::uint64_t v);
+bool getU64(std::istream &is, std::uint64_t &v);
+void putF64(std::ostream &os, double v);
+bool getF64(std::istream &is, double &v);
+/** Length-prefixed UTF-8 string. */
+void putString(std::ostream &os, const std::string &s);
+bool getString(std::istream &is, std::string &s);
+
+} // namespace io
+
 } // namespace charon::gc
 
 #endif // CHARON_GC_TRACE_IO_HH

@@ -1,0 +1,237 @@
+#include "experiment_runner.hh"
+
+#include <atomic>
+#include <exception>
+#include <sstream>
+#include <thread>
+
+#include "platform/platform_sim.hh"
+#include "sim/logging.hh"
+#include "workload/g1_mutator.hh"
+#include "workload/mutator.hh"
+
+namespace charon::harness
+{
+
+const char *
+collectorKindName(CollectorKind kind)
+{
+    switch (kind) {
+      case CollectorKind::ParallelScavenge: return "ParallelScavenge";
+      case CollectorKind::G1:               return "G1";
+    }
+    return "?";
+}
+
+std::string
+FunctionalKey::str() const
+{
+    std::ostringstream os;
+    os << workload << '/'
+       << (collector == CollectorKind::G1 ? "g1" : "ps") << "/h"
+       << heapBytes << "/s" << seed << "/t" << gcThreads << "/c"
+       << numCubes << "/ct" << copyOffloadThreshold;
+    return os.str();
+}
+
+void
+parallelFor(int jobs, std::size_t count,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (jobs > static_cast<int>(count))
+        jobs = static_cast<int>(count);
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            fn(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+}
+
+ExperimentRunner::ExperimentRunner(RunnerConfig cfg)
+    : jobs_(cfg.jobs), cache_(cfg.cacheDir)
+{
+    if (jobs_ <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        jobs_ = hw ? static_cast<int>(hw) : 1;
+    }
+}
+
+FunctionalKey
+ExperimentRunner::resolve(FunctionalKey key)
+{
+    if (key.heapBytes == 0)
+        key.heapBytes = workload::findWorkload(key.workload).heapBytes;
+    return key;
+}
+
+FunctionalRun
+ExperimentRunner::executeFunctional(const FunctionalKey &key)
+{
+    const auto &params = workload::findWorkload(key.workload);
+    FunctionalRun out;
+    if (key.collector == CollectorKind::G1) {
+        workload::G1Mutator mut(params, key.heapBytes, key.seed,
+                                key.gcThreads, key.numCubes);
+        mut.recorder().setCopyOffloadThreshold(key.copyOffloadThreshold);
+        auto r = mut.run();
+        out.trace = mut.recorder().run();
+        out.cubeShift = mut.cubeShift();
+        out.oom = r.oom;
+        out.gcsMinor = r.youngGcs;
+        out.gcsMajor = r.mixedGcs;
+        out.markCycles = r.markCycles;
+        out.allocatedBytes = r.allocatedBytes;
+        out.mutatorInstructions = r.mutatorInstructions;
+    } else {
+        workload::Mutator mut(params, key.heapBytes, key.seed,
+                              key.gcThreads, key.numCubes);
+        mut.recorder().setCopyOffloadThreshold(key.copyOffloadThreshold);
+        auto r = mut.run();
+        out.trace = mut.recorder().run();
+        out.cubeShift = mut.cubeShift();
+        out.oom = r.oom;
+        out.gcsMinor = r.minorGcs;
+        out.gcsMajor = r.majorGcs;
+        out.allocatedBytes = r.allocatedBytes;
+        out.mutatorInstructions = r.mutatorInstructions;
+    }
+    return out;
+}
+
+std::shared_ptr<const FunctionalRun>
+ExperimentRunner::functional(FunctionalKey key)
+{
+    key = resolve(key);
+    const std::string id = key.str();
+    {
+        std::lock_guard<std::mutex> lock(memoMutex_);
+        auto it = memo_.find(id);
+        if (it != memo_.end())
+            return it->second;
+    }
+    auto run = std::make_shared<FunctionalRun>();
+    if (!cache_.load(key, *run)) {
+        *run = executeFunctional(key);
+        cache_.store(key, *run);
+    }
+    std::lock_guard<std::mutex> lock(memoMutex_);
+    // Another thread may have raced us here; first insert wins so all
+    // cells of one key observe the same object.
+    auto [it, inserted] = memo_.emplace(id, run);
+    return it->second;
+}
+
+std::vector<CellResult>
+ExperimentRunner::run(const std::vector<Cell> &cells)
+{
+    std::vector<CellResult> results(cells.size());
+
+    // Resolve keys on the main thread: findWorkload() is fatal() on a
+    // typo and must not fire inside a worker.
+    std::vector<FunctionalKey> keys(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!cells[i].customRun)
+            keys[i] = resolve(cells[i].key);
+    }
+
+    // Phase 1: every distinct functional key exactly once, in
+    // parallel.  Custom cells are their own single-shot jobs.
+    std::vector<std::size_t> key_owner; // cell index introducing a key
+    {
+        std::map<std::string, bool> seen;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i].customRun) {
+                key_owner.push_back(i);
+                continue;
+            }
+            if (!seen.emplace(keys[i].str(), true).second)
+                continue;
+            key_owner.push_back(i);
+        }
+    }
+    std::mutex custom_mutex;
+    std::map<std::size_t, std::shared_ptr<const FunctionalRun>> custom;
+    std::map<std::size_t, std::string> custom_error;
+    parallelFor(jobs_, key_owner.size(), [&](std::size_t j) {
+        std::size_t i = key_owner[j];
+        try {
+            if (cells[i].customRun) {
+                auto run = std::make_shared<FunctionalRun>(
+                    cells[i].customRun());
+                std::lock_guard<std::mutex> lock(custom_mutex);
+                custom[i] = std::move(run);
+            } else {
+                functional(keys[i]);
+            }
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lock(custom_mutex);
+            custom_error[i] = e.what();
+        }
+    });
+
+    // Phase 2: replay every cell on the pool; a private PlatformSim
+    // per cell keeps the event-driven simulation deterministic.
+    parallelFor(jobs_, cells.size(), [&](std::size_t i) {
+        const Cell &cell = cells[i];
+        CellResult &res = results[i];
+        try {
+            if (cell.customRun) {
+                auto it = custom.find(i);
+                if (it == custom.end()) {
+                    res.error = custom_error.count(i)
+                                    ? custom_error[i]
+                                    : "functional run failed";
+                    return;
+                }
+                res.run = it->second;
+            } else {
+                res.run = functional(keys[i]);
+            }
+            res.oom = res.run->oom;
+            if (res.oom) {
+                std::ostringstream os;
+                os << "OOM at "
+                   << (keys[i].heapBytes >> 20) << " MiB";
+                res.error = os.str();
+                return; // failed cell: no replay, no geomean entry
+            }
+            if (!cell.replay) {
+                res.ok = true;
+                return;
+            }
+            platform::PlatformSim sim(cell.platform, cell.config,
+                                      res.run->cubeShift);
+            if (cell.patchTrace) {
+                gc::RunTrace patched = res.run->trace;
+                cell.patchTrace(patched);
+                res.timing = sim.simulate(patched);
+            } else {
+                res.timing = sim.simulate(res.run->trace);
+            }
+            res.ok = true;
+        } catch (const std::exception &e) {
+            res.ok = false;
+            res.error = e.what();
+        }
+    });
+    return results;
+}
+
+} // namespace charon::harness

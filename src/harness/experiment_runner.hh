@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ExperimentRunner: record once, replay many, in parallel.
+ *
+ * Takes a declarative list of Cells, executes each distinct
+ * functional key exactly once (trace cache first, mutator run on a
+ * miss), then replays every cell's platform simulation on an N-thread
+ * pool.  Results come back in cell-submission order regardless of
+ * completion order, and each replay owns a private PlatformSim, so
+ * `--jobs 1` and `--jobs N` produce bit-identical results.
+ *
+ * Failure model (graceful degradation): a cell whose mutator hits OOM
+ * or whose replay throws is marked failed and carries a diagnostic;
+ * the other cells keep running.  Benches exclude failed cells from
+ * geomeans and report them in the summary.
+ */
+
+#ifndef CHARON_HARNESS_EXPERIMENT_RUNNER_HH
+#define CHARON_HARNESS_EXPERIMENT_RUNNER_HH
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "harness/cell.hh"
+#include "harness/trace_cache.hh"
+
+namespace charon::harness
+{
+
+/** Pool shape and cache location. */
+struct RunnerConfig
+{
+    /** Worker threads; <= 0 means std::thread::hardware_concurrency. */
+    int jobs = 0;
+    /** Trace cache directory; empty disables persistent caching. */
+    std::string cacheDir;
+};
+
+/** Run @p fn(0..count-1) on up to @p jobs threads (inline when 1). */
+void parallelFor(int jobs, std::size_t count,
+                 const std::function<void(std::size_t)> &fn);
+
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunnerConfig cfg = {});
+
+    /** Execute every cell; results align index-for-index with cells. */
+    std::vector<CellResult> run(const std::vector<Cell> &cells);
+
+    /**
+     * The functional run for @p key: in-memory memo, then trace
+     * cache, then a mutator run (which populates both).  Never
+     * returns null; an OOM run is a valid (partial) result with
+     * run->oom set.
+     */
+    std::shared_ptr<const FunctionalRun> functional(FunctionalKey key);
+
+    /** Execute the mutator for @p key (no caching; key pre-resolved). */
+    static FunctionalRun executeFunctional(const FunctionalKey &key);
+
+    /** Resolve heapBytes == 0 to the catalog default (fatal on an
+     *  unknown workload — call on the main thread). */
+    static FunctionalKey resolve(FunctionalKey key);
+
+    const TraceCache &cache() const { return cache_; }
+    int jobs() const { return jobs_; }
+
+  private:
+    int jobs_;
+    TraceCache cache_;
+    std::mutex memoMutex_;
+    std::map<std::string, std::shared_ptr<const FunctionalRun>> memo_;
+};
+
+} // namespace charon::harness
+
+#endif // CHARON_HARNESS_EXPERIMENT_RUNNER_HH

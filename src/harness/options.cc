@@ -1,0 +1,73 @@
+#include "options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/trace_cache.hh"
+
+namespace charon::harness
+{
+
+const char *
+optionsUsage()
+{
+    return "  --jobs=N             replay worker threads (default: all "
+           "cores)\n"
+           "  --cache-dir=DIR      persistent trace cache location\n"
+           "                       (default: $CHARON_CACHE_DIR or\n"
+           "                       ~/.cache/charon-traces)\n"
+           "  --no-cache           disable the persistent trace cache\n"
+           "  --csv                emit tables as CSV\n"
+           "  --json=FILE          also write the report as JSON\n"
+           "  --help               this text\n";
+}
+
+bool
+parseOptions(int argc, char **argv, Options &opt,
+             const std::function<bool(const std::string &)> &extra)
+{
+    opt.cacheDir = TraceCache::defaultDir();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            std::size_t n = std::char_traits<char>::length(prefix);
+            if (arg.rfind(prefix, 0) == 0)
+                return arg.c_str() + n;
+            return nullptr;
+        };
+        if (extra && extra(arg)) {
+            continue;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("%s: harness-backed experiment binary\n\n%s",
+                        argv[0], optionsUsage());
+            std::exit(0);
+        } else if (const char *v = value("--jobs=")) {
+            opt.jobs = std::atoi(v);
+        } else if (const char *v = value("--cache-dir=")) {
+            opt.cacheDir = v;
+        } else if (arg == "--no-cache") {
+            opt.noCache = true;
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (const char *v = value("--json=")) {
+            opt.jsonPath = v;
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n\n%s",
+                         argv[0], arg.c_str(), optionsUsage());
+            return false;
+        }
+    }
+    return true;
+}
+
+Options
+standardOptions(int argc, char **argv)
+{
+    Options opt;
+    if (!parseOptions(argc, argv, opt))
+        std::exit(2);
+    return opt;
+}
+
+} // namespace charon::harness

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The command-line surface every harness-backed binary shares:
+ * --jobs, --cache-dir / --no-cache, --csv, --json, --quiet.
+ */
+
+#ifndef CHARON_HARNESS_OPTIONS_HH
+#define CHARON_HARNESS_OPTIONS_HH
+
+#include <functional>
+#include <string>
+
+#include "harness/experiment_runner.hh"
+
+namespace charon::harness
+{
+
+struct Options
+{
+    /** Replay worker threads (0 = hardware concurrency). */
+    int jobs = 0;
+    /** Trace cache directory (defaults to TraceCache::defaultDir()). */
+    std::string cacheDir;
+    bool noCache = false;
+    /** Emit tables as CSV instead of aligned text. */
+    bool csv = false;
+    /** Also write the whole report as JSON to this path. */
+    std::string jsonPath;
+
+    RunnerConfig
+    runnerConfig() const
+    {
+        return RunnerConfig{jobs, noCache ? std::string() : cacheDir};
+    }
+};
+
+/** Usage text for the shared flags (appended to bench --help). */
+const char *optionsUsage();
+
+/**
+ * Parse the shared flags; exits on --help, returns false (after a
+ * diagnostic) on an unknown argument.  @p extra, when given, is
+ * called first for binary-specific arguments and returns true when
+ * it consumed one.
+ */
+bool parseOptions(int argc, char **argv, Options &opt,
+                  const std::function<bool(const std::string &)> &extra =
+                      nullptr);
+
+/** parseOptions + usage-and-exit(2) on failure: the bench one-liner. */
+Options standardOptions(int argc, char **argv);
+
+} // namespace charon::harness
+
+#endif // CHARON_HARNESS_OPTIONS_HH

@@ -1,0 +1,183 @@
+#include "result_sink.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "report/table.hh"
+#include "sim/logging.hh"
+
+namespace charon::harness
+{
+
+ResultSink::ResultSink(std::string id, std::string title,
+                       std::vector<std::string> headers)
+    : id_(std::move(id)), title_(std::move(title)),
+      headers_(std::move(headers))
+{
+}
+
+ResultSink &
+ResultSink::addRow(std::vector<std::string> cells)
+{
+    CHARON_ASSERT(cells.size() == headers_.size(),
+                  "row width %zu != header width %zu in table %s",
+                  cells.size(), headers_.size(), id_.c_str());
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+ResultSink &
+ResultSink::note(std::string text)
+{
+    notes_.push_back(std::move(text));
+    return *this;
+}
+
+ResultSink &
+Report::table(std::string id, std::string title,
+              std::vector<std::string> headers)
+{
+    sinks_.emplace_back(std::move(id), std::move(title),
+                        std::move(headers));
+    return sinks_.back();
+}
+
+void
+Report::cellFailed(const std::string &label, const CellResult &result)
+{
+    failures_.push_back(label + ": "
+                        + (result.error.empty() ? "failed"
+                                                : result.error));
+}
+
+bool
+Report::checkCell(const Cell &cell, const CellResult &result)
+{
+    if (result.ok) {
+        ++okCells_;
+        return true;
+    }
+    std::string label = cell.label;
+    if (label.empty()) {
+        label = cell.key.workload + " on "
+                + sim::platformName(cell.platform);
+    }
+    cellFailed(label, result);
+    return false;
+}
+
+namespace
+{
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+Report::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"tables\": [\n";
+    bool first_sink = true;
+    for (const auto &sink : sinks_) {
+        if (!first_sink)
+            os << ",\n";
+        first_sink = false;
+        os << "    {\n      \"id\": ";
+        jsonEscape(os, sink.id());
+        os << ",\n      \"title\": ";
+        jsonEscape(os, sink.title());
+        os << ",\n      \"rows\": [\n";
+        bool first_row = true;
+        for (const auto &row : sink.rows()) {
+            if (!first_row)
+                os << ",\n";
+            first_row = false;
+            os << "        {";
+            for (std::size_t c = 0; c < row.size(); ++c) {
+                if (c)
+                    os << ", ";
+                jsonEscape(os, sink.headers()[c]);
+                os << ": ";
+                jsonEscape(os, row[c]);
+            }
+            os << '}';
+        }
+        os << "\n      ]\n    }";
+    }
+    os << "\n  ],\n  \"failed_cells\": [";
+    for (std::size_t i = 0; i < failures_.size(); ++i) {
+        if (i)
+            os << ", ";
+        jsonEscape(os, failures_[i]);
+    }
+    os << "]\n}\n";
+}
+
+int
+Report::finish(std::ostream &os)
+{
+    for (const auto &sink : sinks_) {
+        if (opt_.csv) {
+            os << "# " << sink.id() << ": " << sink.title() << '\n';
+            report::Table table(sink.headers());
+            for (const auto &row : sink.rows())
+                table.addRow(row);
+            table.printCsv(os);
+        } else {
+            if (!sink.title().empty())
+                report::heading(os, sink.title());
+            report::Table table(sink.headers());
+            for (const auto &row : sink.rows())
+                table.addRow(row);
+            table.print(os);
+            for (const auto &n : sink.notes())
+                os << n << '\n';
+            os << '\n';
+        }
+    }
+    if (!failures_.empty()) {
+        if (opt_.csv) {
+            for (const auto &f : failures_)
+                os << "# failed-cell: " << f << '\n';
+        } else {
+            os << failures_.size()
+               << " cell(s) failed and were excluded from the "
+                  "aggregates:\n";
+            for (const auto &f : failures_)
+                os << "  - " << f << '\n';
+        }
+    }
+    if (!opt_.jsonPath.empty()) {
+        std::ofstream json(opt_.jsonPath);
+        if (!json) {
+            sim::warn("cannot write JSON report to %s",
+                      opt_.jsonPath.c_str());
+        } else {
+            writeJson(json);
+        }
+    }
+    return (okCells_ == 0 && !failures_.empty()) ? 1 : 0;
+}
+
+} // namespace charon::harness

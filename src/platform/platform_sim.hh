@@ -33,6 +33,11 @@ namespace charon::platform
 
 /**
  * One platform instance; simulate() may be called once per trace.
+ *
+ * Thread-compatible, not thread-safe: an instance owns its entire
+ * simulation state (event queue, memories, device) and touches no
+ * globals, so the harness replays many instances concurrently — but
+ * each instance must stay confined to one thread.
  */
 class PlatformSim
 {
@@ -46,6 +51,9 @@ class PlatformSim
     PlatformSim(sim::PlatformKind kind, const sim::SystemConfig &cfg,
                 int cube_shift);
     ~PlatformSim();
+
+    PlatformSim(const PlatformSim &) = delete;
+    PlatformSim &operator=(const PlatformSim &) = delete;
 
     /** Replay the whole run; returns aggregated timing and energy. */
     RunTiming simulate(const gc::RunTrace &trace);

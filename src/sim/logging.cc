@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,19 +10,22 @@ namespace charon::sim
 
 namespace
 {
-LogLevel g_level = LogLevel::Normal;
+// Atomic so the harness can replay platform cells on a thread pool
+// while any thread adjusts verbosity; relaxed ordering suffices for a
+// monotonic filter knob.
+std::atomic<LogLevel> g_level{LogLevel::Normal};
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 std::string

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for the experiment harness: the persistent trace cache
+ * (hit/miss, version invalidation, corruption fallback, collision
+ * rejection), the ExperimentRunner's determinism across thread
+ * counts, functional-run sharing, and OOM graceful degradation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "gc/trace_io.hh"
+#include "harness/experiment_runner.hh"
+#include "harness/trace_cache.hh"
+#include "workload/catalog.hh"
+
+using namespace charon;
+using namespace charon::harness;
+
+namespace
+{
+
+/** A unique per-test cache directory under the gtest temp root. */
+std::string
+freshDir(const char *name)
+{
+    auto dir = std::filesystem::path(::testing::TempDir())
+               / (std::string("charon-harness-") + name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+/** A tiny synthetic run: cache tests need bytes, not realism. */
+FunctionalRun
+syntheticRun()
+{
+    FunctionalRun run;
+    run.cubeShift = 26;
+    run.gcsMinor = 7;
+    run.gcsMajor = 2;
+    run.markCycles = 1;
+    run.allocatedBytes = 123456789;
+    run.mutatorInstructions = 987654321;
+
+    gc::GcTrace gc;
+    gc.major = true;
+    gc.liveObjects = 42;
+    gc::PhaseTrace phase;
+    phase.kind = gc::PhaseKind::MajorCompact;
+    phase.bitmapCacheHitRate = 0.5;
+    gc::ThreadWork work;
+    work.glueInstructions = 100;
+    gc::Bucket b;
+    b.kind = gc::PrimKind::Copy;
+    b.invocations = 3;
+    b.seqReadBytes = 1024;
+    b.writeBytes = 1024;
+    work.buckets.push_back(b);
+    phase.threads.push_back(work);
+    gc.phases.push_back(phase);
+    run.trace.gcs.push_back(gc);
+    run.trace.mutatorInstructions = {10, 20};
+    return run;
+}
+
+FunctionalKey
+syntheticKey()
+{
+    FunctionalKey key;
+    key.workload = "KM";
+    key.heapBytes = 64 * sim::kMiB;
+    key.seed = 3;
+    return key;
+}
+
+std::string
+traceBytes(const gc::RunTrace &trace)
+{
+    std::ostringstream os;
+    gc::writeTrace(os, trace);
+    return os.str();
+}
+
+} // namespace
+
+TEST(TraceCache, MissThenHitRoundTrip)
+{
+    TraceCache cache(freshDir("roundtrip"));
+    const FunctionalKey key = syntheticKey();
+    FunctionalRun out;
+    EXPECT_FALSE(cache.load(key, out)) << "empty cache must miss";
+
+    const FunctionalRun run = syntheticRun();
+    ASSERT_TRUE(cache.store(key, run));
+    ASSERT_TRUE(cache.load(key, out));
+    EXPECT_EQ(out.cubeShift, run.cubeShift);
+    EXPECT_EQ(out.oom, run.oom);
+    EXPECT_EQ(out.gcsMinor, run.gcsMinor);
+    EXPECT_EQ(out.gcsMajor, run.gcsMajor);
+    EXPECT_EQ(out.markCycles, run.markCycles);
+    EXPECT_EQ(out.allocatedBytes, run.allocatedBytes);
+    EXPECT_EQ(out.mutatorInstructions, run.mutatorInstructions);
+    EXPECT_EQ(traceBytes(out.trace), traceBytes(run.trace));
+}
+
+TEST(TraceCache, DistinctKeysAreDistinctEntries)
+{
+    TraceCache cache(freshDir("keys"));
+    FunctionalKey a = syntheticKey();
+    FunctionalKey b = a;
+    b.seed = 4;
+    FunctionalKey c = a;
+    c.collector = CollectorKind::G1;
+    EXPECT_NE(cache.path(a), cache.path(b));
+    EXPECT_NE(cache.path(a), cache.path(c));
+
+    ASSERT_TRUE(cache.store(a, syntheticRun()));
+    FunctionalRun out;
+    EXPECT_FALSE(cache.load(b, out));
+    EXPECT_FALSE(cache.load(c, out));
+    EXPECT_TRUE(cache.load(a, out));
+}
+
+TEST(TraceCache, HashCollisionRejectedByHeaderCheck)
+{
+    // Simulate a file-name collision (or a hand-renamed file): the
+    // stored header's key fields must still match the request.
+    TraceCache cache(freshDir("collision"));
+    FunctionalKey a = syntheticKey();
+    FunctionalKey b = a;
+    b.seed = 99;
+    ASSERT_TRUE(cache.store(a, syntheticRun()));
+    std::filesystem::copy_file(cache.path(a), cache.path(b));
+    FunctionalRun out;
+    EXPECT_FALSE(cache.load(b, out));
+}
+
+TEST(TraceCache, VersionBumpInvalidates)
+{
+    TraceCache cache(freshDir("version"));
+    const FunctionalKey key = syntheticKey();
+    ASSERT_TRUE(cache.store(key, syntheticRun()));
+
+    // Flip the stored format version in place (a little-endian u64
+    // right after the 8-byte magic), as if the entry were written by
+    // a build with a different kTraceFormatVersion.
+    {
+        std::fstream f(cache.path(key),
+                       std::ios::binary | std::ios::in | std::ios::out);
+        ASSERT_TRUE(f.is_open());
+        f.seekp(8);
+        std::uint64_t bogus = gc::kTraceFormatVersion + 1;
+        char bytes[8];
+        for (int i = 0; i < 8; ++i)
+            bytes[i] = static_cast<char>((bogus >> (8 * i)) & 0xff);
+        f.write(bytes, 8);
+    }
+    FunctionalRun out;
+    EXPECT_FALSE(cache.load(key, out))
+        << "a version mismatch must read as a miss";
+}
+
+TEST(TraceCache, CorruptedFileIsMiss)
+{
+    TraceCache cache(freshDir("corrupt"));
+    const FunctionalKey key = syntheticKey();
+    ASSERT_TRUE(cache.store(key, syntheticRun()));
+
+    // Truncate the payload: the header parses, the trace does not.
+    auto size = std::filesystem::file_size(cache.path(key));
+    std::filesystem::resize_file(cache.path(key), size - 9);
+    FunctionalRun out;
+    EXPECT_FALSE(cache.load(key, out));
+
+    // Garbage from the first byte: not even the magic matches.
+    {
+        std::ofstream f(cache.path(key), std::ios::binary);
+        f << "this is not a cache entry";
+    }
+    EXPECT_FALSE(cache.load(key, out));
+
+    // The cache self-heals: a store over the bad entry hits again.
+    ASSERT_TRUE(cache.store(key, syntheticRun()));
+    EXPECT_TRUE(cache.load(key, out));
+}
+
+TEST(TraceCache, DisabledCacheNeverHits)
+{
+    TraceCache cache{std::string()};
+    EXPECT_FALSE(cache.enabled());
+    FunctionalRun out;
+    EXPECT_FALSE(cache.store(syntheticKey(), syntheticRun()));
+    EXPECT_FALSE(cache.load(syntheticKey(), out));
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    std::mutex mu;
+    std::multiset<std::size_t> seen;
+    parallelFor(4, 1000, [&](std::size_t i) {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(i);
+    });
+    ASSERT_EQ(seen.size(), 1000u);
+    for (std::size_t i = 0; i < 1000; ++i)
+        EXPECT_EQ(seen.count(i), 1u);
+}
+
+namespace
+{
+
+/** Two cheap workloads x three platforms, heap shrunk for speed. */
+std::vector<Cell>
+determinismCells()
+{
+    std::vector<Cell> cells;
+    for (const char *name : {"CC", "ALS"}) {
+        std::uint64_t heap =
+            workload::findWorkload(name).minHeapBytes * 2;
+        for (auto kind : {sim::PlatformKind::HostDdr4,
+                          sim::PlatformKind::HostHmc,
+                          sim::PlatformKind::CharonNmp}) {
+            Cell c;
+            c.key.workload = name;
+            c.key.heapBytes = heap;
+            c.platform = kind;
+            cells.push_back(c);
+        }
+    }
+    return cells;
+}
+
+} // namespace
+
+TEST(ExperimentRunner, ParallelMatchesSerialBitForBit)
+{
+    const auto cells = determinismCells();
+    // No cache directory: both runners do the functional runs
+    // themselves, so this also exercises mutator determinism.
+    ExperimentRunner serial(RunnerConfig{1, std::string()});
+    ExperimentRunner parallel(RunnerConfig{4, std::string()});
+    auto a = serial.run(cells);
+    auto b = parallel.run(cells);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(cells[i].key.str());
+        ASSERT_TRUE(a[i].ok);
+        ASSERT_TRUE(b[i].ok);
+        EXPECT_EQ(a[i].timing.gcSeconds, b[i].timing.gcSeconds);
+        EXPECT_EQ(a[i].timing.minorSeconds, b[i].timing.minorSeconds);
+        EXPECT_EQ(a[i].timing.majorSeconds, b[i].timing.majorSeconds);
+        EXPECT_EQ(a[i].timing.dramBytes, b[i].timing.dramBytes);
+        EXPECT_EQ(a[i].timing.avgGcBandwidthGBs,
+                  b[i].timing.avgGcBandwidthGBs);
+        EXPECT_EQ(a[i].timing.localAccessFraction,
+                  b[i].timing.localAccessFraction);
+        EXPECT_EQ(a[i].timing.totalEnergyJ(),
+                  b[i].timing.totalEnergyJ());
+        EXPECT_EQ(traceBytes(a[i].run->trace),
+                  traceBytes(b[i].run->trace));
+    }
+}
+
+TEST(ExperimentRunner, CellsOfOneKeyShareOneFunctionalRun)
+{
+    std::uint64_t heap = workload::findWorkload("CC").minHeapBytes * 2;
+    std::vector<Cell> cells;
+    for (auto kind : {sim::PlatformKind::HostDdr4,
+                      sim::PlatformKind::HostHmc,
+                      sim::PlatformKind::CharonNmp}) {
+        Cell c;
+        c.key.workload = "CC";
+        c.key.heapBytes = heap;
+        c.platform = kind;
+        cells.push_back(c);
+    }
+    ExperimentRunner runner(RunnerConfig{2, std::string()});
+    auto results = runner.run(cells);
+    ASSERT_TRUE(results[0].ok);
+    EXPECT_EQ(results[0].run.get(), results[1].run.get());
+    EXPECT_EQ(results[0].run.get(), results[2].run.get());
+}
+
+TEST(ExperimentRunner, WarmCacheReproducesColdTimings)
+{
+    const std::string dir = freshDir("runner-cache");
+    std::uint64_t heap = workload::findWorkload("CC").minHeapBytes * 2;
+    Cell c;
+    c.key.workload = "CC";
+    c.key.heapBytes = heap;
+    c.platform = sim::PlatformKind::CharonNmp;
+
+    ExperimentRunner cold(RunnerConfig{1, dir});
+    auto a = cold.run({c});
+    ASSERT_TRUE(a[0].ok);
+
+    // A fresh runner on the same directory must hit the disk cache;
+    // prove the hit at the cache layer, then the timing equality.
+    TraceCache cache(dir);
+    FunctionalRun entry;
+    EXPECT_TRUE(
+        cache.load(ExperimentRunner::resolve(c.key), entry));
+
+    ExperimentRunner warm(RunnerConfig{1, dir});
+    auto b = warm.run({c});
+    ASSERT_TRUE(b[0].ok);
+    EXPECT_EQ(a[0].timing.gcSeconds, b[0].timing.gcSeconds);
+    EXPECT_EQ(a[0].timing.totalEnergyJ(), b[0].timing.totalEnergyJ());
+    EXPECT_EQ(a[0].run->gcsMinor, b[0].run->gcsMinor);
+}
+
+TEST(ExperimentRunner, OomCellFailsGracefullyOthersComplete)
+{
+    const auto &params = workload::findWorkload("CC");
+    Cell oom;
+    oom.key.workload = "CC";
+    oom.key.heapBytes = params.minHeapBytes / 3; // guaranteed OOM
+    oom.platform = sim::PlatformKind::CharonNmp;
+
+    Cell good;
+    good.key.workload = "CC";
+    good.key.heapBytes = params.minHeapBytes * 2;
+    good.platform = sim::PlatformKind::CharonNmp;
+
+    ExperimentRunner runner(RunnerConfig{2, std::string()});
+    auto results = runner.run({oom, good});
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_TRUE(results[0].oom);
+    EXPECT_NE(results[0].error.find("OOM"), std::string::npos);
+    ASSERT_TRUE(results[1].ok) << "the OOM cell must not poison the "
+                                  "rest of the run";
+    EXPECT_GT(results[1].timing.gcSeconds, 0.0);
+}
+
+TEST(ExperimentRunner, OomRunsAreCachedToo)
+{
+    const std::string dir = freshDir("oom-cache");
+    const auto &params = workload::findWorkload("CC");
+    Cell oom;
+    oom.key.workload = "CC";
+    oom.key.heapBytes = params.minHeapBytes / 3;
+    oom.platform = sim::PlatformKind::HostDdr4;
+
+    ExperimentRunner runner(RunnerConfig{1, dir});
+    auto results = runner.run({oom});
+    EXPECT_FALSE(results[0].ok);
+
+    TraceCache cache(dir);
+    FunctionalRun entry;
+    ASSERT_TRUE(cache.load(ExperimentRunner::resolve(oom.key), entry));
+    EXPECT_TRUE(entry.oom);
+}

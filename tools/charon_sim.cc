@@ -4,8 +4,10 @@
  *
  * Runs a catalog workload functionally (or loads a saved trace),
  * replays it on one or more platforms, and prints timing, breakdowns,
- * bandwidth, and energy.  Traces can be saved for later replay so an
- * expensive functional run pays for many timing configurations.
+ * bandwidth, and energy.  Functional runs go through the harness's
+ * persistent trace cache, so the second invocation of the same
+ * (workload, heap, seed, threads) tuple skips straight to the
+ * replays; --jobs fans the platform replays out over a thread pool.
  *
  * Usage examples:
  *   charon-sim --workload=KM
@@ -13,10 +15,10 @@
  *   charon-sim --workload=BS --save-trace=bs.trace
  *   charon-sim --load-trace=bs.trace --cube-shift=26 --csv
  *   charon-sim --workload=ALS --find-min-heap
+ *   charon-sim --workload=KM --jobs=8 --cache-dir=/tmp/traces
  */
 
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -24,6 +26,8 @@
 #include <vector>
 
 #include "gc/trace_io.hh"
+#include "harness/options.hh"
+#include "harness/result_sink.hh"
 #include "platform/platform_sim.hh"
 #include "report/table.hh"
 #include "workload/mutator.hh"
@@ -33,8 +37,9 @@ using namespace charon;
 namespace
 {
 
-struct Options
+struct SimOptions
 {
+    harness::Options common;
     std::string workload;
     std::uint64_t heapMib = 0;
     std::uint64_t seed = 1;
@@ -43,7 +48,6 @@ struct Options
     std::string saveTrace;
     std::string loadTrace;
     int cubeShift = 0;
-    bool csv = false;
     bool findMinHeap = false;
     bool dumpStats = false;
 };
@@ -67,8 +71,8 @@ usage()
         "                       trace (printed when saving)\n"
         "  --find-min-heap      report the smallest runnable heap\n"
         "  --dump-stats         per-channel byte/utilization stats\n"
-        "  --csv                machine-readable output\n"
-        "  --help               this text\n");
+        "%s",
+        harness::optionsUsage());
 }
 
 std::optional<sim::PlatformKind>
@@ -88,12 +92,13 @@ parsePlatform(const std::string &name)
 }
 
 bool
-parseArgs(int argc, char **argv, Options &opt)
+parseArgs(int argc, char **argv, SimOptions &opt)
 {
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto value = [&](const char *prefix) -> std::optional<std::string> {
-            std::size_t n = std::strlen(prefix);
+    bool ok = true;
+    auto extra = [&](const std::string &arg) {
+        auto value =
+            [&](const char *prefix) -> std::optional<std::string> {
+            std::size_t n = std::char_traits<char>::length(prefix);
             if (arg.rfind(prefix, 0) == 0)
                 return arg.substr(n);
             return std::nullopt;
@@ -123,22 +128,23 @@ parseArgs(int argc, char **argv, Options &opt)
                 if (!kind) {
                     std::fprintf(stderr, "unknown platform '%s'\n",
                                  item.c_str());
-                    return false;
+                    ok = false;
+                    return true;
                 }
                 opt.platforms.push_back(*kind);
             }
-        } else if (arg == "--csv") {
-            opt.csv = true;
         } else if (arg == "--dump-stats") {
             opt.dumpStats = true;
         } else if (arg == "--find-min-heap") {
             opt.findMinHeap = true;
         } else {
-            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-            return false;
+            return false; // hand over to the shared-flag parser
         }
-    }
-    return true;
+        return true;
+    };
+    if (!harness::parseOptions(argc, argv, opt.common, extra))
+        return false;
+    return ok;
 }
 
 } // namespace
@@ -146,7 +152,7 @@ parseArgs(int argc, char **argv, Options &opt)
 int
 main(int argc, char **argv)
 {
-    Options opt;
+    SimOptions opt;
     if (!parseArgs(argc, argv, opt)) {
         usage();
         return 2;
@@ -159,20 +165,33 @@ main(int argc, char **argv)
                          sim::PlatformKind::Ideal};
     }
 
-    gc::RunTrace trace;
-    int cube_shift = opt.cubeShift;
+    harness::ExperimentRunner runner(opt.common.runnerConfig());
+    harness::Report report(opt.common);
 
+    std::vector<harness::Cell> cells;
     if (!opt.loadTrace.empty()) {
-        std::string error;
-        if (!gc::loadTraceFile(opt.loadTrace, trace, &error)) {
-            std::fprintf(stderr, "error: %s\n", error.c_str());
-            return 1;
-        }
-        if (cube_shift == 0) {
+        // A saved trace sidesteps the keyed cache: wrap it in a
+        // customRun so the replays still fan out over the pool.
+        if (opt.cubeShift == 0) {
             std::fprintf(stderr,
                          "error: --cube-shift is required with "
                          "--load-trace\n");
             return 2;
+        }
+        auto loaded = std::make_shared<harness::FunctionalRun>();
+        std::string error;
+        if (!gc::loadTraceFile(opt.loadTrace, loaded->trace, &error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
+        loaded->cubeShift = opt.cubeShift;
+        for (auto kind : opt.platforms) {
+            harness::Cell c;
+            c.platform = kind;
+            c.customRun = [loaded] { return *loaded; };
+            c.label = std::string(sim::platformName(kind)) + " (trace "
+                      + opt.loadTrace + ")";
+            cells.push_back(c);
         }
     } else {
         if (opt.workload.empty()) {
@@ -191,56 +210,85 @@ main(int argc, char **argv)
                             params.minHeapBytes >> 20));
             return 0;
         }
-        std::uint64_t heap = opt.heapMib ? (opt.heapMib << 20)
-                                         : params.heapBytes;
-        workload::Mutator mut(params, heap, opt.seed, opt.gcThreads);
-        auto result = mut.run();
-        if (result.oom) {
-            std::fprintf(stderr,
-                         "workload hit OOM at %llu MiB; try a larger "
-                         "--heap-mib\n",
-                         static_cast<unsigned long long>(heap >> 20));
-            return 1;
-        }
-        std::printf("%s: %llu minor + %llu major GCs, %llu MiB "
-                    "allocated (cube shift %d)\n",
-                    params.name.c_str(),
-                    static_cast<unsigned long long>(result.minorGcs),
-                    static_cast<unsigned long long>(result.majorGcs),
-                    static_cast<unsigned long long>(
-                        result.allocatedBytes >> 20),
-                    mut.cubeShift());
-        trace = mut.recorder().run();
-        cube_shift = mut.cubeShift();
-        if (!opt.saveTrace.empty()) {
-            std::string error;
-            if (!gc::saveTraceFile(opt.saveTrace, trace, &error)) {
-                std::fprintf(stderr, "error: %s\n", error.c_str());
-                return 1;
-            }
-            std::printf("trace saved to %s (replay with "
-                        "--load-trace=%s --cube-shift=%d)\n",
-                        opt.saveTrace.c_str(), opt.saveTrace.c_str(),
-                        cube_shift);
+        for (auto kind : opt.platforms) {
+            harness::Cell c;
+            c.key.workload = opt.workload;
+            c.key.heapBytes = opt.heapMib << 20;
+            c.key.seed = opt.seed;
+            c.key.gcThreads = opt.gcThreads;
+            c.platform = kind;
+            c.label = opt.workload + " on " + sim::platformName(kind);
+            cells.push_back(c);
         }
     }
 
-    report::Table table({"platform", "GC ms", "minor ms", "major ms",
-                         "speedup", "GB/s", "local", "energy J"});
+    auto results = runner.run(cells);
+
+    // The functional facts line (and --save-trace) come from the
+    // shared run object, which every successful cell references.
+    const harness::FunctionalRun *run = nullptr;
+    for (const auto &res : results) {
+        if (res.run) {
+            run = res.run.get();
+            break;
+        }
+    }
+    if (run == nullptr) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            report.checkCell(cells[i], results[i]);
+        return report.finish(std::cout);
+    }
+    if (run->oom) {
+        std::fprintf(stderr,
+                     "workload hit OOM; try a larger --heap-mib\n");
+        return 1;
+    }
+    if (opt.loadTrace.empty()) {
+        std::printf("%s: %llu minor + %llu major GCs, %llu MiB "
+                    "allocated (cube shift %d)\n",
+                    opt.workload.c_str(),
+                    static_cast<unsigned long long>(run->gcsMinor),
+                    static_cast<unsigned long long>(run->gcsMajor),
+                    static_cast<unsigned long long>(
+                        run->allocatedBytes >> 20),
+                    run->cubeShift);
+    }
+    if (!opt.saveTrace.empty()) {
+        std::string error;
+        if (!gc::saveTraceFile(opt.saveTrace, run->trace, &error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("trace saved to %s (replay with --load-trace=%s "
+                    "--cube-shift=%d)\n",
+                    opt.saveTrace.c_str(), opt.saveTrace.c_str(),
+                    run->cubeShift);
+    }
+
+    auto &table = report.table(
+        "charon-sim", "",
+        {"platform", "GC ms", "minor ms", "major ms", "speedup",
+         "GB/s", "local", "energy J"});
     double baseline = 0;
-    for (auto kind : opt.platforms) {
-        platform::PlatformSim sim_(kind, sim::SystemConfig{},
-                                   cube_shift);
-        auto t = sim_.simulate(trace);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!report.checkCell(cells[i], results[i]))
+            continue;
+        const auto &t = results[i].timing;
         if (opt.dumpStats) {
-            std::cout << "--- " << sim::platformName(kind)
+            // Stats live inside the PlatformSim, which the runner
+            // owns per cell; re-simulate serially just for the dump.
+            platform::PlatformSim sim_(cells[i].platform,
+                                       cells[i].config,
+                                       results[i].run->cubeShift);
+            sim_.simulate(results[i].run->trace);
+            std::cout << "--- " << sim::platformName(cells[i].platform)
                       << " memory-system stats ---\n";
             sim_.dumpStats(std::cout);
         }
         if (baseline == 0)
             baseline = t.gcSeconds;
         table.addRow(
-            {sim::platformName(kind),
+            {sim::platformName(cells[i].platform),
              report::num(t.gcSeconds * 1e3, 2),
              report::num(t.minorSeconds * 1e3, 2),
              report::num(t.majorSeconds * 1e3, 2),
@@ -251,9 +299,5 @@ main(int argc, char **argv)
                  : "-",
              report::num(t.totalEnergyJ(), 3)});
     }
-    if (opt.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+    return report.finish(std::cout);
 }
