@@ -188,5 +188,7 @@ main(int argc, char **argv)
                     report::times(results[i].timing.gcSeconds
                                   / results[i + 1].timing.gcSeconds)});
     }
+    report.addRollups(cells, results);
+    harness::finishTimeline(runner, opt);
     return report.finish(std::cout);
 }

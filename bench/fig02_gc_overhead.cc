@@ -83,5 +83,7 @@ main(int argc, char **argv)
     table.addRow({"mean", "", mean(0), mean(1), mean(2), mean(3)});
     table.note("\npaper: overhead can exceed 365% near the minimum "
                "heap and is ~15% at 2x over-provisioning");
+    report.addRollups(cells, results);
+    harness::finishTimeline(runner, opt);
     return report.finish(std::cout);
 }

@@ -93,5 +93,7 @@ main(int argc, char **argv)
                    "Figure 4(b): MajorGC runtime breakdown "
                    "(host + DDR4)",
                    /*major=*/true, workloads, cells, results);
+    report.addRollups(cells, results);
+    harness::finishTimeline(runner, opt);
     return report.finish(std::cout);
 }

@@ -69,5 +69,7 @@ main(int argc, char **argv)
                   report::times(sim::geomean(vs_hmc))});
     table.note("\npaper geomeans: HMC 1.21x, Charon 3.29x over DDR4 "
                "and 2.70x over HMC");
+    report.addRollups(cells, results);
+    harness::finishTimeline(runner, opt);
     return report.finish(std::cout);
 }

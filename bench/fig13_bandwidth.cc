@@ -59,5 +59,7 @@ main(int argc, char **argv)
                "Charon internal peak 4 x 320 GB/s");
     table.note("paper: >70% local for most workloads; LR and CC "
                "closer to ~50%");
+    report.addRollups(cells, results);
+    harness::finishTimeline(runner, opt);
     return report.finish(std::cout);
 }

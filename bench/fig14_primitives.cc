@@ -82,5 +82,7 @@ main(int argc, char **argv)
     table.note("\npaper: S avg 2.90x / max 4.09x; SP avg 1.20x / max "
                "1.86x (degrades on BS, KM, LR, ALS); C avg 10.17x / "
                "max 26.15x; BC avg 5.63x / max 6.11x");
+    report.addRollups(cells, results);
+    harness::finishTimeline(runner, opt);
     return report.finish(std::cout);
 }

@@ -96,5 +96,7 @@ main(int argc, char **argv)
                    "scales with internal bandwidth; distributed "
                    "structures scale best");
     }
+    report.addRollups(cells, results);
+    harness::finishTimeline(runner, opt);
     return report.finish(std::cout);
 }

@@ -67,5 +67,7 @@ main(int argc, char **argv)
                   report::num(100 * avg_loss, 0) + "%"});
     table.note("\npaper: the CPU-side implementation delivers about "
                "37% less throughput than the memory-side one");
+    report.addRollups(cells, results);
+    harness::finishTimeline(runner, opt);
     return report.finish(std::cout);
 }

@@ -97,5 +97,7 @@ main(int argc, char **argv)
          << report::num(accel::PowerModel::kPassiveHeatsinkMwPerMm2, 0)
          << " mW/mm^2";
     table.note(note.str());
+    report.addRollups(cells, results);
+    harness::finishTimeline(runner, opt);
     return report.finish(std::cout);
 }

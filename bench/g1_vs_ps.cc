@@ -98,5 +98,7 @@ main(int argc, char **argv)
                   report::times(sim::geomean(g1_s))});
     table.note("\nTable 1's claim, quantified: the acceleration is a "
                "property of the primitives, not of one collector");
+    report.addRollups(cells, results);
+    harness::finishTimeline(runner, opt);
     return report.finish(std::cout);
 }

@@ -198,6 +198,8 @@ main(int argc, char **argv)
     table.note("\npaper Table 1: ParallelScavenge uses all three; G1 "
                "uses all three (Bitmap Count with a minor fix); CMS "
                "uses Copy/Search and Scan&Push but not Bitmap Count");
+    report.addRollups(cells, results);
+    harness::finishTimeline(runner, opt);
     int rc = report.finish(std::cout);
     // The load-bearing check: a compactor-free collector never calls
     // Bitmap Count.

@@ -75,6 +75,19 @@ CharonDevice::CharonDevice(sim::EventQueue &eq, hmc::HmcMemory &hmc,
     }
 }
 
+void
+CharonDevice::setTimeline(sim::Timeline *timeline)
+{
+    timeline_ = timeline;
+    for (auto &p : copySearchPools_)
+        p->setTimeline(timeline);
+    for (auto &p : bitmapCountPools_)
+        p->setTimeline(timeline);
+    for (auto &p : scanPushPools_)
+        p->setTimeline(timeline);
+    tlbTrack_ = timeline_ ? timeline_->track("charon.tlb.remote") : 0;
+}
+
 hmc::Origin
 CharonDevice::unitOrigin(int cube) const
 {
@@ -314,6 +327,7 @@ CharonDevice::execScanPush(const gc::Bucket &b, double hit_rate,
     const auto origin = unitOrigin(unit_cube);
     const int cubes = cfg_.hmc.cubes;
 
+    bool remote_tlb = false;
     // Per-invocation MLP is bounded by the references inside one
     // object: the host thread is blocked per offload, so requests
     // from different invocations never overlap (Section 5.2 explains
@@ -337,10 +351,16 @@ CharonDevice::execScanPush(const gc::Bucket &b, double hit_rate,
         if (!cfg_.charon.distributedStructures && !cfg_.charon.cpuSide
             && unit_cube != 0) {
             l += 2 * cfg_.hmc.linkLatency(); // remote TLB lookup
+            remote_tlb = true;
         }
         avg_lat += static_cast<double>(l);
     }
     avg_lat /= cubes;
+    if (timeline_ && remote_tlb) {
+        remoteTlbLookups_ += b.invocations;
+        timeline_->counter(tlbTrack_, eq_.now(),
+                           static_cast<double>(remoteTlbLookups_));
+    }
     double random_rate = std::max(mlp, 1.0) * 16.0 / avg_lat;
 
     auto join = std::make_shared<Join>();

@@ -70,6 +70,15 @@ class CharonDevice
     /** Offload request+response packet bytes issued so far. */
     double packetBytes() const { return packetBytes_; }
 
+    /**
+     * Attach a timeline: every unit pool becomes a counter track
+     * (busy == active flows > 0), and address-translation traffic
+     * gets a "charon.tlb.remote" counter of lookups that crossed a
+     * spoke link to the unified TLB / bitmap-cache on the central
+     * cube (Section 4.6; the contention Figure 15 distributes away).
+     */
+    void setTimeline(sim::Timeline *timeline);
+
     const sim::CharonConfig &config() const { return cfg_.charon; }
 
   private:
@@ -100,6 +109,10 @@ class CharonDevice
     std::vector<std::unique_ptr<mem::FluidChannel>> scanPushPools_;
 
     double packetBytes_ = 0;
+
+    sim::Timeline *timeline_ = nullptr;
+    sim::Timeline::TrackId tlbTrack_ = 0;
+    std::uint64_t remoteTlbLookups_ = 0;
 };
 
 } // namespace charon::accel

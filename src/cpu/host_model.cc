@@ -17,6 +17,13 @@ HostModel::HostModel(sim::EventQueue &eq, const sim::HostConfig &cfg,
 {
 }
 
+void
+HostModel::setTimeline(sim::Timeline *timeline)
+{
+    timeline_ = timeline;
+    stallTrack_ = timeline_ ? timeline_->track("host.memstall") : 0;
+}
+
 Tick
 HostModel::glueTicks(std::uint64_t instructions) const
 {
@@ -73,10 +80,19 @@ HostModel::execBucket(const gc::Bucket &bucket, mem::Addr synth_addr,
         });
         return;
     }
+    if (timeline_) {
+        timeline_->counter(stallTrack_, eq_.now(),
+                           static_cast<double>(++stalledThreads_));
+    }
     const Tick overhead =
         invocationOverhead(bucket.kind) * bucket.invocations;
     auto wrapped = [this, overhead, done](Tick t) {
-        eq_.schedule(t + overhead, [done, t, overhead] {
+        eq_.schedule(t + overhead, [done, t, overhead, this] {
+            if (timeline_) {
+                timeline_->counter(stallTrack_, eq_.now(),
+                                   static_cast<double>(
+                                       --stalledThreads_));
+            }
             if (done)
                 done(t + overhead);
         });

@@ -30,6 +30,7 @@
 #include "mem/mem_model.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/timeline.hh"
 
 namespace charon::cpu
 {
@@ -61,6 +62,14 @@ class HostModel
     /** Window-limited dependent-miss rate (bytes/tick, 64 B lines). */
     double randomRate() const;
 
+    /**
+     * Attach a timeline: a "host.memstall" counter track samples how
+     * many GC threads are currently stalled on an in-flight primitive
+     * bucket (the host-side MLP ceiling of Section 3.3, visible as a
+     * plateau at the thread count whenever memory binds).
+     */
+    void setTimeline(sim::Timeline *timeline);
+
     const sim::HostConfig &config() const { return cfg_; }
 
   private:
@@ -78,6 +87,10 @@ class HostModel
     mem::MemPort &port_;
     gc::GlueCosts costs_;
     sim::ClockDomain clock_;
+
+    sim::Timeline *timeline_ = nullptr;
+    sim::Timeline::TrackId stallTrack_ = 0;
+    int stalledThreads_ = 0;
 
     /**
      * Instructions per dependent probe in the traversal loop

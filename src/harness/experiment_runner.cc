@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -65,7 +66,7 @@ parallelFor(int jobs, std::size_t count,
 }
 
 ExperimentRunner::ExperimentRunner(RunnerConfig cfg)
-    : jobs_(cfg.jobs), cache_(cfg.cacheDir)
+    : jobs_(cfg.jobs), timeline_(cfg.timeline), cache_(cfg.cacheDir)
 {
     if (jobs_ <= 0) {
         unsigned hw = std::thread::hardware_concurrency();
@@ -187,7 +188,11 @@ ExperimentRunner::run(const std::vector<Cell> &cells)
     });
 
     // Phase 2: replay every cell on the pool; a private PlatformSim
-    // per cell keeps the event-driven simulation deterministic.
+    // per cell keeps the event-driven simulation deterministic.  Each
+    // worker fills a pre-sized timeline slot for the cells it owns, so
+    // the merged trace order (and bytes) is independent of --jobs.
+    std::vector<std::unique_ptr<sim::Timeline>> tls(
+        timeline_ ? cells.size() : 0);
     parallelFor(jobs_, cells.size(), [&](std::size_t i) {
         const Cell &cell = cells[i];
         CellResult &res = results[i];
@@ -218,6 +223,16 @@ ExperimentRunner::run(const std::vector<Cell> &cells)
             }
             platform::PlatformSim sim(cell.platform, cell.config,
                                       res.run->cubeShift);
+            if (timeline_) {
+                std::string label = cell.label;
+                if (label.empty()) {
+                    label = keys[i].str() + " on "
+                            + sim::platformName(cell.platform);
+                }
+                tls[i] = std::make_unique<sim::Timeline>(
+                    std::move(label));
+                sim.setTimeline(tls[i].get());
+            }
             if (cell.patchTrace) {
                 gc::RunTrace patched = res.run->trace;
                 cell.patchTrace(patched);
@@ -231,7 +246,33 @@ ExperimentRunner::run(const std::vector<Cell> &cells)
             res.error = e.what();
         }
     });
+    for (auto &tl : tls)
+        timelines_.push_back(std::move(tl));
     return results;
+}
+
+bool
+ExperimentRunner::writeTimeline(const std::string &path,
+                                std::string *error) const
+{
+    std::vector<const sim::Timeline *> list;
+    list.reserve(timelines_.size());
+    for (const auto &tl : timelines_)
+        list.push_back(tl.get());
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        if (error)
+            *error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    sim::Timeline::writeChromeTrace(os, list);
+    os.flush();
+    if (!os) {
+        if (error)
+            *error = "short write to '" + path + "'";
+        return false;
+    }
+    return true;
 }
 
 } // namespace charon::harness

@@ -19,11 +19,13 @@
 #define CHARON_HARNESS_EXPERIMENT_RUNNER_HH
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "harness/cell.hh"
 #include "harness/trace_cache.hh"
+#include "sim/timeline.hh"
 
 namespace charon::harness
 {
@@ -35,6 +37,12 @@ struct RunnerConfig
     int jobs = 0;
     /** Trace cache directory; empty disables persistent caching. */
     std::string cacheDir;
+    /**
+     * Collect a per-cell timeline during replays (--trace-out).  When
+     * false (the default) no Timeline object is ever constructed and
+     * the replay path is byte-for-byte the untraced one.
+     */
+    bool timeline = false;
 };
 
 /** Run @p fn(0..count-1) on up to @p jobs threads (inline when 1). */
@@ -67,11 +75,34 @@ class ExperimentRunner
     const TraceCache &cache() const { return cache_; }
     int jobs() const { return jobs_; }
 
+    /**
+     * Per-cell timelines collected so far, in cell-submission order
+     * across every run() call (empty unless RunnerConfig::timeline).
+     * Failed or replay-less cells leave a null entry so indices still
+     * line up with the submitted cells.
+     */
+    const std::vector<std::unique_ptr<sim::Timeline>> &
+    timelines() const
+    {
+        return timelines_;
+    }
+
+    /**
+     * Write every collected timeline as one Chrome/Perfetto JSON
+     * trace (one process per cell).  The merge order is the cell
+     * submission order, so the bytes are independent of --jobs.
+     * @retval false the file could not be written (@p error says why)
+     */
+    bool writeTimeline(const std::string &path,
+                       std::string *error = nullptr) const;
+
   private:
     int jobs_;
+    bool timeline_;
     TraceCache cache_;
     std::mutex memoMutex_;
     std::map<std::string, std::shared_ptr<const FunctionalRun>> memo_;
+    std::vector<std::unique_ptr<sim::Timeline>> timelines_;
 };
 
 } // namespace charon::harness

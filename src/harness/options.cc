@@ -20,6 +20,11 @@ optionsUsage()
            "  --no-cache           disable the persistent trace cache\n"
            "  --csv                emit tables as CSV\n"
            "  --json=FILE          also write the report as JSON\n"
+           "  --trace-out=FILE     write a Chrome/Perfetto timeline of\n"
+           "                       every replay (open in\n"
+           "                       ui.perfetto.dev)\n"
+           "  --rollup             print the per-phase primitive\n"
+           "                       roll-up table\n"
            "  --help               this text\n";
 }
 
@@ -52,6 +57,10 @@ parseOptions(int argc, char **argv, Options &opt,
             opt.csv = true;
         } else if (const char *v = value("--json=")) {
             opt.jsonPath = v;
+        } else if (const char *v = value("--trace-out=")) {
+            opt.traceOut = v;
+        } else if (arg == "--rollup") {
+            opt.rollup = true;
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n\n%s",
                          argv[0], arg.c_str(), optionsUsage());
@@ -68,6 +77,20 @@ standardOptions(int argc, char **argv)
     if (!parseOptions(argc, argv, opt))
         std::exit(2);
     return opt;
+}
+
+void
+finishTimeline(const ExperimentRunner &runner, const Options &opt)
+{
+    if (opt.traceOut.empty())
+        return;
+    std::string error;
+    if (runner.writeTimeline(opt.traceOut, &error)) {
+        std::fprintf(stderr, "timeline: wrote %zu cell timelines to %s\n",
+                     runner.timelines().size(), opt.traceOut.c_str());
+    } else {
+        std::fprintf(stderr, "timeline: %s\n", error.c_str());
+    }
 }
 
 } // namespace charon::harness

@@ -1,7 +1,8 @@
 /**
  * @file
  * The command-line surface every harness-backed binary shares:
- * --jobs, --cache-dir / --no-cache, --csv, --json, --quiet.
+ * --jobs, --cache-dir / --no-cache, --csv, --json, --trace-out,
+ * --rollup.
  */
 
 #ifndef CHARON_HARNESS_OPTIONS_HH
@@ -26,11 +27,16 @@ struct Options
     bool csv = false;
     /** Also write the whole report as JSON to this path. */
     std::string jsonPath;
+    /** Write a Chrome/Perfetto timeline of every replay here. */
+    std::string traceOut;
+    /** Print the per-phase primitive roll-up table. */
+    bool rollup = false;
 
     RunnerConfig
     runnerConfig() const
     {
-        return RunnerConfig{jobs, noCache ? std::string() : cacheDir};
+        return RunnerConfig{jobs, noCache ? std::string() : cacheDir,
+                            !traceOut.empty()};
     }
 };
 
@@ -49,6 +55,13 @@ bool parseOptions(int argc, char **argv, Options &opt,
 
 /** parseOptions + usage-and-exit(2) on failure: the bench one-liner. */
 Options standardOptions(int argc, char **argv);
+
+/**
+ * End-of-bench timeline hook: when --trace-out was given, write the
+ * runner's collected timelines there.  Messages go to stderr so they
+ * never disturb the (diffed) table output.
+ */
+void finishTimeline(const ExperimentRunner &runner, const Options &opt);
 
 } // namespace charon::harness
 

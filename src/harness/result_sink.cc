@@ -66,6 +66,59 @@ Report::checkCell(const Cell &cell, const CellResult &result)
     return false;
 }
 
+void
+Report::addRollups(const std::vector<Cell> &cells,
+                   const std::vector<CellResult> &results)
+{
+    if (!opt_.rollup)
+        return;
+    CHARON_ASSERT(cells.size() == results.size(),
+                  "rollup: %zu cells vs %zu results", cells.size(),
+                  results.size());
+    auto &sink = table("rollup", "Per-phase primitive roll-up",
+                       {"cell", "gc", "phase", "work", "seconds",
+                        "bytes", "invocations"});
+    auto fmt = [](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return std::string(buf);
+    };
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &cell = cells[i];
+        const CellResult &res = results[i];
+        if (!res.ok || !cell.replay)
+            continue;
+        std::string label = cell.label;
+        if (label.empty()) {
+            label = cell.key.workload + " on "
+                    + sim::platformName(cell.platform);
+        }
+        for (std::size_t g = 0; g < res.timing.gcs.size(); ++g) {
+            const gc::GcRollup &gc = res.timing.gcs[g].rollup;
+            std::string gc_id = "#" + std::to_string(g)
+                                + (gc.major ? " major" : " minor");
+            for (const auto &phase : gc.phases) {
+                const char *pname = gc::phaseKindName(phase.kind);
+                for (int k = 0; k < gc::kNumPrimKinds; ++k) {
+                    const auto &cellv = phase.prims[k];
+                    if (cellv.seconds == 0 && cellv.invocations == 0)
+                        continue;
+                    sink.addRow(
+                        {label, gc_id, pname,
+                         gc::primKindName(static_cast<gc::PrimKind>(k)),
+                         fmt(cellv.seconds),
+                         std::to_string(cellv.bytes),
+                         std::to_string(cellv.invocations)});
+                }
+                if (phase.glueSeconds != 0) {
+                    sink.addRow({label, gc_id, pname, "glue",
+                                 fmt(phase.glueSeconds), "-", "-"});
+                }
+            }
+        }
+    }
+}
+
 namespace
 {
 

@@ -65,6 +65,15 @@ class Report
     /** Record a failed cell for the end-of-run summary. */
     void cellFailed(const std::string &label, const CellResult &result);
 
+    /**
+     * Append the per-phase primitive roll-up table for @p cells
+     * (--rollup only; a no-op otherwise, so benches can call it
+     * unconditionally without disturbing their diffed default
+     * output).  One row per (cell, collection, phase, work kind).
+     */
+    void addRollups(const std::vector<Cell> &cells,
+                    const std::vector<CellResult> &results);
+
     /** Convenience: label from workload + platform when ok is false;
      *  returns true when the cell is usable. */
     bool checkCell(const Cell &cell, const CellResult &result);

@@ -369,6 +369,15 @@ HmcMemory::resetStats()
         l->resetStats();
 }
 
+void
+HmcMemory::setTimeline(sim::Timeline *timeline)
+{
+    for (auto &c : internal_)
+        c->setTimeline(timeline);
+    for (auto &l : links_)
+        l->setTimeline(timeline);
+}
+
 // ---------------------------------------------------------------------
 // HostPort
 

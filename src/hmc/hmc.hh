@@ -122,6 +122,10 @@ class HmcMemory
     /** Zero the byte/energy accounting. */
     void resetStats();
 
+    /** Attach a timeline: one counter track per cube TSV aggregate
+     *  and per serial link. */
+    void setTimeline(sim::Timeline *timeline);
+
     /** Print per-cube / per-link statistics. */
     void dumpStats(std::ostream &os) const;
 

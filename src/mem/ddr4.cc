@@ -154,4 +154,11 @@ Ddr4Memory::resetStats()
         ch->resetStats();
 }
 
+void
+Ddr4Memory::setTimeline(sim::Timeline *timeline)
+{
+    for (auto &ch : channels_)
+        ch->setTimeline(timeline);
+}
+
 } // namespace charon::mem

@@ -52,6 +52,9 @@ class Ddr4Memory : public MemPort
     /** Zero the byte/energy accounting. */
     void resetStats();
 
+    /** Attach a timeline: one counter track per channel. */
+    void setTimeline(sim::Timeline *timeline);
+
     /** Print per-channel statistics. */
     void dumpStats(std::ostream &os) const;
 

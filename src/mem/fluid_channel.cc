@@ -42,6 +42,13 @@ FluidChannel::FluidChannel(sim::EventQueue &eq, std::string name,
 }
 
 void
+FluidChannel::setTimeline(sim::Timeline *timeline)
+{
+    timeline_ = timeline;
+    track_ = timeline_ ? timeline_->track(stats_.name()) : 0;
+}
+
+void
 FluidChannel::startFlow(std::uint64_t bytes, double maxRate,
                         StreamCallback done)
 {
@@ -63,6 +70,10 @@ FluidChannel::startFlow(std::uint64_t bytes, double maxRate,
     flow.rate = 0;
     flow.done = std::move(done);
     flows_.emplace(nextFlowId_++, std::move(flow));
+    if (timeline_) {
+        timeline_->counter(track_, eq_.now(),
+                           static_cast<double>(flows_.size()));
+    }
     reallocate();
 }
 
@@ -161,6 +172,10 @@ FluidChannel::onTimer()
         }
     }
     sim::Tick now = eq_.now();
+    if (timeline_ && !done.empty()) {
+        timeline_->counter(track_, now,
+                           static_cast<double>(flows_.size()));
+    }
     for (auto &cb : done) {
         if (cb)
             cb(now);

@@ -26,6 +26,7 @@
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/timeline.hh"
 #include "sim/types.hh"
 
 namespace charon::mem
@@ -73,6 +74,14 @@ class FluidChannel
     /** Reset the accounting (not the in-flight flows). */
     void resetStats() { stats_.resetAll(); }
 
+    /**
+     * Attach a timeline: the channel becomes a counter track (named
+     * after its stat group) sampling the number of active flows, so
+     * busy/idle and contention are visible per channel.  Null detaches;
+     * with no timeline attached the emit path is one branch.
+     */
+    void setTimeline(sim::Timeline *timeline);
+
   private:
     struct Flow
     {
@@ -102,6 +111,9 @@ class FluidChannel
     sim::Counter bytesTransferred_;
     sim::Counter utilizedTicks_;
     sim::Counter flowCount_;
+
+    sim::Timeline *timeline_ = nullptr;
+    sim::Timeline::TrackId track_ = 0;
 };
 
 } // namespace charon::mem

@@ -48,6 +48,31 @@ PlatformSim::PlatformSim(PlatformKind kind, const sim::SystemConfig &cfg,
 
 PlatformSim::~PlatformSim() = default;
 
+void
+PlatformSim::setTimeline(sim::Timeline *timeline)
+{
+    timeline_ = timeline;
+    threadTracks_.clear();
+    gcTrack_ = timeline_ ? timeline_->track("gc") : 0;
+    if (ddr4_)
+        ddr4_->setTimeline(timeline);
+    if (hmc_)
+        hmc_->setTimeline(timeline);
+    if (device_)
+        device_->setTimeline(timeline);
+    host_->setTimeline(timeline);
+}
+
+sim::Timeline::TrackId
+PlatformSim::threadTrack(std::size_t thread)
+{
+    while (threadTracks_.size() <= thread) {
+        threadTracks_.push_back(timeline_->track(
+            "thread " + std::to_string(threadTracks_.size())));
+    }
+    return threadTracks_[thread];
+}
+
 bool
 PlatformSim::usesHmc() const
 {
@@ -65,15 +90,18 @@ PlatformSim::usesCharon() const
 }
 
 PrimBreakdown
-PlatformSim::runPhase(const gc::PhaseTrace &phase)
+PlatformSim::runPhase(const gc::PhaseTrace &phase,
+                      gc::PhaseRollup &rollup)
 {
+    const Tick phase_start = eq_.now();
     auto breakdown = std::make_shared<PrimBreakdown>();
     // Owns every thread's continuation for the duration of the phase;
     // the closures themselves hold only weak references so no cycle
     // outlives this function.
     std::vector<std::shared_ptr<std::function<void()>>> chains;
 
-    for (const auto &work : phase.threads) {
+    for (std::size_t ti = 0; ti < phase.threads.size(); ++ti) {
+        const auto &work = phase.threads[ti];
         // One agent per GC thread: glue first, then each bucket.
         struct ThreadRun
         {
@@ -83,11 +111,13 @@ PlatformSim::runPhase(const gc::PhaseTrace &phase)
         auto state = std::make_shared<ThreadRun>();
         state->work = &work;
 
+        const sim::Timeline::TrackId ttrack =
+            timeline_ ? threadTrack(ti) : 0;
         auto step = std::make_shared<std::function<void()>>();
         chains.push_back(step);
         std::weak_ptr<std::function<void()>> weak_step = step;
         double hit_rate = phase.bitmapCacheHitRate;
-        *step = [this, state, breakdown, hit_rate, weak_step] {
+        *step = [this, state, breakdown, hit_rate, weak_step, ttrack] {
             auto step = weak_step.lock();
             CHARON_ASSERT(step, "thread chain outlived its phase");
             if (state->next >= state->work->buckets.size())
@@ -95,10 +125,15 @@ PlatformSim::runPhase(const gc::PhaseTrace &phase)
             const gc::Bucket &bucket =
                 state->work->buckets[state->next++];
             Tick start = eq_.now();
-            auto finish = [this, breakdown, &bucket, start,
+            auto finish = [this, breakdown, &bucket, start, ttrack,
                            step](Tick t) {
                 breakdown->byKind(bucket.kind) +=
                     sim::ticksToSeconds(t - start);
+                if (timeline_) {
+                    timeline_->completeSpan(
+                        ttrack, gc::primKindName(bucket.kind), start,
+                        t);
+                }
                 (*step)();
             };
 
@@ -129,6 +164,9 @@ PlatformSim::runPhase(const gc::PhaseTrace &phase)
         // Kick off with the glue lump.
         Tick glue = host_->glueTicks(work.glueInstructions);
         glueSecondsTotal_ += sim::ticksToSeconds(glue);
+        if (timeline_ && glue > 0)
+            timeline_->completeSpan(ttrack, "glue", phase_start,
+                                    phase_start + glue);
         eq_.scheduleIn(glue, [breakdown, glue, step] {
             breakdown->glue += sim::ticksToSeconds(glue);
             (*step)();
@@ -136,6 +174,19 @@ PlatformSim::runPhase(const gc::PhaseTrace &phase)
     }
 
     eq_.run(); // phase barrier: drain every thread and flow
+
+    // Fill the roll-up from the very same doubles the breakdown
+    // accumulated (so rollup totals match PrimBreakdown exactly),
+    // joined with the functional trace's byte/invocation counts.
+    rollup.kind = phase.kind;
+    rollup.wallSeconds = sim::ticksToSeconds(eq_.now() - phase_start);
+    rollup.glueSeconds = breakdown->glue;
+    for (int k = 0; k < gc::kNumPrimKinds; ++k) {
+        auto kind = static_cast<PrimKind>(k);
+        rollup.prims[k].seconds = breakdown->byKind(kind);
+        rollup.prims[k].bytes = phase.totalBytes(kind);
+        rollup.prims[k].invocations = phase.totalInvocations(kind);
+    }
     return *breakdown;
 }
 
@@ -151,9 +202,25 @@ PlatformSim::simulateGc(const gc::GcTrace &trace)
         eq_.scheduleIn(device_->gcPrologueTicks(), [] {});
         eq_.run();
     }
-    for (const auto &phase : trace.phases)
-        timing.breakdown += runPhase(phase);
+    timing.rollup.major = trace.major;
+    timing.rollup.phases.reserve(trace.phases.size());
+    for (const auto &phase : trace.phases) {
+        Tick phase_start = eq_.now();
+        gc::PhaseRollup rollup;
+        timing.breakdown += runPhase(phase, rollup);
+        timing.rollup.phases.push_back(rollup);
+        if (timeline_) {
+            timeline_->completeSpan(gcTrack_,
+                                    gc::phaseKindName(phase.kind),
+                                    phase_start, eq_.now());
+        }
+    }
     timing.seconds = sim::ticksToSeconds(eq_.now() - start);
+    if (timeline_) {
+        timeline_->completeSpan(gcTrack_,
+                                trace.major ? "major GC" : "minor GC",
+                                start, eq_.now());
+    }
     return timing;
 }
 

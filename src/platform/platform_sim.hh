@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <ostream>
+#include <vector>
 
 #include "accel/device.hh"
 #include "cpu/host_model.hh"
@@ -27,6 +28,7 @@
 #include "platform/results.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/timeline.hh"
 
 namespace charon::platform
 {
@@ -67,6 +69,16 @@ class PlatformSim
     /** The HMC backing store (HMC-backed kinds only, else nullptr). */
     hmc::HmcMemory *hmcMemory() { return hmc_.get(); }
 
+    /**
+     * Attach a timeline sink (or nullptr to detach).  The simulator
+     * emits GC/phase spans on a "gc" track, per-thread primitive and
+     * glue spans on "thread N" tracks, and propagates the sink to the
+     * memory system, the device, and the host model for their counter
+     * tracks.  Must be called before simulate(); costs nothing when
+     * never called.
+     */
+    void setTimeline(sim::Timeline *timeline);
+
     /** Print the memory-system statistics accumulated so far. */
     void dumpStats(std::ostream &os) const;
 
@@ -75,7 +87,11 @@ class PlatformSim
     bool usesCharon() const;
 
     /** Run one phase to completion; returns its breakdown. */
-    PrimBreakdown runPhase(const gc::PhaseTrace &phase);
+    PrimBreakdown runPhase(const gc::PhaseTrace &phase,
+                           gc::PhaseRollup &rollup);
+
+    /** Lazily created "thread N" track (timeline attached only). */
+    sim::Timeline::TrackId threadTrack(std::size_t thread);
 
     sim::PlatformKind kind_;
     sim::SystemConfig cfg_;
@@ -89,6 +105,10 @@ class PlatformSim
     std::unique_ptr<cpu::HostModel> host_;
 
     double glueSecondsTotal_ = 0; ///< thread-seconds of host glue
+
+    sim::Timeline *timeline_ = nullptr;
+    sim::Timeline::TrackId gcTrack_ = 0;
+    std::vector<sim::Timeline::TrackId> threadTracks_;
 };
 
 } // namespace charon::platform

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "gc/rollup.hh"
 #include "gc/trace.hh"
 #include "sim/config.hh"
 
@@ -53,6 +54,7 @@ struct GcTiming
     bool major = false;
     double seconds = 0;          ///< pause wall-clock
     PrimBreakdown breakdown;     ///< summed thread time
+    gc::GcRollup rollup;         ///< per-phase primitive roll-up
 };
 
 /** Timing + energy of a whole run's GC activity on one platform. */
@@ -90,6 +92,17 @@ struct RunTiming
         PrimBreakdown b = minorBreakdown;
         b += majorBreakdown;
         return b;
+    }
+
+    /** The per-phase roll-ups of every collection, in order. */
+    gc::RunRollup
+    rollup() const
+    {
+        gc::RunRollup r;
+        r.gcs.reserve(gcs.size());
+        for (const auto &gc : gcs)
+            r.gcs.push_back(gc.rollup);
+        return r;
     }
 };
 

@@ -23,7 +23,16 @@ namespace charon::sim
 
 class StatGroup;
 
-/** A monotonically accumulating scalar statistic. */
+/**
+ * A monotonically accumulating scalar statistic.
+ *
+ * The accumulation contract is deliberately narrow: the only mutators
+ * are `+=` / `++` (which must be fed non-negative deltas) and
+ * `reset()`, which restarts the accumulation at zero.  There is no
+ * arbitrary-write `set()` — a stat that needs last-value semantics is
+ * a gauge, not a Counter, and sampling one belongs in Average or on a
+ * Timeline counter track.  test_stats.cc pins this surface down.
+ */
 class Counter
 {
   public:
@@ -32,7 +41,6 @@ class Counter
 
     Counter &operator+=(double v) { value_ += v; return *this; }
     Counter &operator++() { value_ += 1; return *this; }
-    void set(double v) { value_ = v; }
     double value() const { return value_; }
     void reset() { value_ = 0; }
     const std::string &name() const { return name_; }

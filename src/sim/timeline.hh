@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Timeline tracer: a low-overhead event timeline every timed component
+ * can emit into, exported as Chrome/Perfetto JSON ("trace event
+ * format") so a run can be opened in ui.perfetto.dev.
+ *
+ * Design rules:
+ *  - Zero cost when disabled.  Components hold a `Timeline *` that is
+ *    null unless the user asked for a trace (--trace-out); every emit
+ *    site guards on the pointer, so the disabled path is one
+ *    predictable branch and no allocation ever happens.
+ *  - One Timeline per simulation instance.  A PlatformSim owns its
+ *    whole event queue and is confined to one thread (the harness
+ *    replays many concurrently), so a Timeline is single-threaded by
+ *    construction; the exporter merges finished timelines on the main
+ *    thread, one Perfetto "process" per cell, in cell-submission
+ *    order — which makes the merged file byte-identical at any
+ *    --jobs count.
+ *  - Tracks are named lanes (a Perfetto "thread"): a GC-phase track,
+ *    one track per GC thread, one per DRAM channel / HMC link /
+ *    accelerator unit pool.  Spans must nest properly within a track;
+ *    counter tracks carry sampled values instead of spans.
+ *
+ * Timestamps are simulation Ticks (picoseconds); the exporter emits
+ * microseconds, the unit the trace-event format specifies.
+ */
+
+#ifndef CHARON_SIM_TIMELINE_HH
+#define CHARON_SIM_TIMELINE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace charon::sim
+{
+
+class EventQueue;
+
+class Timeline
+{
+  public:
+    /** Index of a track within this timeline. */
+    using TrackId = std::uint32_t;
+
+    enum class EventType : std::uint8_t
+    {
+        Begin,    ///< open a span (ph "B")
+        End,      ///< close the innermost open span (ph "E")
+        Complete, ///< a closed span with start and end (ph "X")
+        Instant,  ///< a point event (ph "i")
+        Counter,  ///< a sampled counter value (ph "C")
+    };
+
+    struct Event
+    {
+        EventType type;
+        TrackId track;
+        std::string name; ///< empty for End / Counter
+        Tick start = 0;
+        Tick end = 0;     ///< Complete only
+        double value = 0; ///< Counter only
+    };
+
+    /** @param process_name Perfetto process label (the cell label). */
+    explicit Timeline(std::string process_name);
+
+    const std::string &processName() const { return processName_; }
+
+    /** Find-or-create the track named @p name (creation-ordered). */
+    TrackId track(const std::string &name);
+
+    std::size_t trackCount() const { return trackNames_.size(); }
+    const std::string &trackName(TrackId id) const
+    {
+        return trackNames_[id];
+    }
+
+    void beginSpan(TrackId track, std::string name, Tick start);
+    void endSpan(TrackId track, Tick end);
+    void completeSpan(TrackId track, std::string name, Tick start,
+                      Tick end);
+    void instant(TrackId track, std::string name, Tick at);
+    /** Sample a counter track's value; the track name is the series. */
+    void counter(TrackId track, Tick at, double value);
+
+    const std::vector<Event> &events() const { return events_; }
+
+    /**
+     * Write one merged Chrome/Perfetto JSON document; each timeline
+     * becomes one process (pid = index + 1), each track one thread.
+     * Null entries are skipped without disturbing pid assignment, so
+     * the output is stable however many cells actually replayed.
+     */
+    static void writeChromeTrace(
+        std::ostream &os, const std::vector<const Timeline *> &timelines);
+
+    /**
+     * Process-wide instrumentation counters, for the zero-overhead
+     * tests: with tracing disabled nothing may construct a Timeline or
+     * record an event.  Monotone, relaxed, test-only.
+     */
+    static std::uint64_t totalInstancesCreated();
+    static std::uint64_t totalEventsRecorded();
+
+  private:
+    void record(Event e);
+
+    std::string processName_;
+    std::vector<std::string> trackNames_;
+    std::map<std::string, TrackId> trackIndex_;
+    std::vector<Event> events_;
+};
+
+/**
+ * RAII span for synchronous scopes (a GC, a phase): opens at
+ * construction, closes at destruction, reading time from the event
+ * queue.  Null-timeline safe, like every emit path.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(Timeline *timeline, const EventQueue &eq,
+               Timeline::TrackId track, std::string name);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    Timeline *timeline_;
+    const EventQueue &eq_;
+    Timeline::TrackId track_;
+    std::string name_;
+    Tick start_;
+};
+
+} // namespace charon::sim
+
+#endif // CHARON_SIM_TIMELINE_HH

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON parser for tests.
+ *
+ * Just enough of RFC 8259 to parse back what this repo writes (the
+ * Chrome/Perfetto timeline export, the golden-figure files): objects,
+ * arrays, strings with the common escapes, doubles, bools, null.
+ * Parse errors throw std::runtime_error with a byte offset — a test
+ * wants the loud failure, not a recovery path.  Header-only and
+ * test-only by design; production code has no business parsing JSON.
+ */
+
+#ifndef CHARON_TESTS_JSON_MINI_HH
+#define CHARON_TESTS_JSON_MINI_HH
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace charon::testjson
+{
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<ValuePtr> array;
+    std::map<std::string, ValuePtr> object;
+
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Object member or null when absent / not an object. */
+    ValuePtr
+    get(const std::string &key) const
+    {
+        if (type != Type::Object)
+            return nullptr;
+        auto it = object.find(key);
+        return it == object.end() ? nullptr : it->second;
+    }
+
+    /** Member as a number; @p fallback when absent or wrong type. */
+    double
+    num(const std::string &key, double fallback = 0) const
+    {
+        auto v = get(key);
+        return (v && v->isNumber()) ? v->number : fallback;
+    }
+
+    /** Member as a string; empty when absent or wrong type. */
+    std::string
+    str(const std::string &key) const
+    {
+        auto v = get(key);
+        return (v && v->isString()) ? v->string : std::string();
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    ValuePtr
+    parse()
+    {
+        ValuePtr v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *why) const
+    {
+        throw std::runtime_error("json parse error at byte "
+                                 + std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()
+               && (text_[pos_] == ' ' || text_[pos_] == '\t'
+                   || text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consume(const char *literal)
+    {
+        std::size_t n = std::char_traits<char>::length(literal);
+        if (text_.compare(pos_, n, literal) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    ValuePtr
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        auto v = std::make_shared<Value>();
+        switch (c) {
+          case '{': parseObject(*v); return v;
+          case '[': parseArray(*v); return v;
+          case '"':
+            v->type = Value::Type::String;
+            v->string = parseString();
+            return v;
+          case 't':
+            if (!consume("true"))
+                fail("bad literal");
+            v->type = Value::Type::Bool;
+            v->boolean = true;
+            return v;
+          case 'f':
+            if (!consume("false"))
+                fail("bad literal");
+            v->type = Value::Type::Bool;
+            return v;
+          case 'n':
+            if (!consume("null"))
+                fail("bad literal");
+            return v;
+          default:
+            v->type = Value::Type::Number;
+            v->number = parseNumber();
+            return v;
+        }
+    }
+
+    void
+    parseObject(Value &v)
+    {
+        v.type = Value::Type::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.object[key] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    void
+    parseArray(Value &v)
+    {
+        v.type = Value::Type::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return;
+        }
+        for (;;) {
+            v.array.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = static_cast<unsigned>(
+                    std::strtoul(text_.substr(pos_, 4).c_str(),
+                                 nullptr, 16));
+                pos_ += 4;
+                // The repo only emits \u00XX (control characters);
+                // anything wider would need UTF-8 encoding.
+                out += static_cast<char>(code & 0xff);
+                break;
+              }
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        double v = std::strtod(begin, &end);
+        if (end == begin)
+            fail("bad number");
+        pos_ += static_cast<std::size_t>(end - begin);
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+inline ValuePtr
+parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace charon::testjson
+
+#endif // CHARON_TESTS_JSON_MINI_HH

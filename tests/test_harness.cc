@@ -357,3 +357,119 @@ TEST(ExperimentRunner, OomRunsAreCachedToo)
     ASSERT_TRUE(cache.load(ExperimentRunner::resolve(oom.key), entry));
     EXPECT_TRUE(entry.oom);
 }
+
+// --- Timeline integration -------------------------------------------
+
+TEST(ExperimentRunner, DisabledTimelineCostsNothing)
+{
+    // The zero-overhead contract: with RunnerConfig::timeline false
+    // (the default), a full record+replay sweep must never construct
+    // a Timeline or record a single event.
+    const auto cells = determinismCells();
+    const std::uint64_t instances =
+        sim::Timeline::totalInstancesCreated();
+    const std::uint64_t events = sim::Timeline::totalEventsRecorded();
+
+    ExperimentRunner runner(RunnerConfig{2, std::string()});
+    auto results = runner.run(cells);
+    for (const auto &res : results)
+        ASSERT_TRUE(res.ok);
+
+    EXPECT_EQ(sim::Timeline::totalInstancesCreated(), instances);
+    EXPECT_EQ(sim::Timeline::totalEventsRecorded(), events);
+    EXPECT_TRUE(runner.timelines().empty());
+}
+
+TEST(ExperimentRunner, TimelineIsIdenticalAtAnyJobCount)
+{
+    // Each cell's replay is single-threaded and deterministic, and the
+    // exporter merges per-cell timelines in submission order — so the
+    // merged JSON must be byte-identical between --jobs=1 and
+    // --jobs=8.
+    const auto cells = determinismCells();
+    auto traced = [&](int jobs) {
+        ExperimentRunner runner(
+            RunnerConfig{jobs, std::string(), true});
+        auto results = runner.run(cells);
+        for (const auto &res : results)
+            EXPECT_TRUE(res.ok);
+        EXPECT_EQ(runner.timelines().size(), cells.size());
+        std::ostringstream os;
+        std::vector<const sim::Timeline *> list;
+        for (const auto &tl : runner.timelines())
+            list.push_back(tl.get());
+        sim::Timeline::writeChromeTrace(os, list);
+        return os.str();
+    };
+    const std::string serial = traced(1);
+    const std::string parallel = traced(8);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ExperimentRunner, TimelineCoversEveryInstrumentedLayer)
+{
+    // One Charon replay must produce the GC-phase track, per-thread
+    // primitive spans, DRAM/TSV counter tracks, unit-pool tracks, and
+    // the host stall counter.
+    std::uint64_t heap = workload::findWorkload("CC").minHeapBytes * 2;
+    Cell c;
+    c.key.workload = "CC";
+    c.key.heapBytes = heap;
+    c.platform = sim::PlatformKind::CharonNmp;
+    ExperimentRunner runner(RunnerConfig{1, std::string(), true});
+    auto results = runner.run({c});
+    ASSERT_TRUE(results[0].ok);
+    ASSERT_EQ(runner.timelines().size(), 1u);
+    const sim::Timeline &tl = *runner.timelines()[0];
+    std::set<std::string> tracks;
+    for (sim::Timeline::TrackId t = 0; t < tl.trackCount(); ++t)
+        tracks.insert(tl.trackName(t));
+    EXPECT_TRUE(tracks.count("gc"));
+    EXPECT_TRUE(tracks.count("thread 0"));
+    EXPECT_TRUE(tracks.count("host.memstall"));
+    EXPECT_TRUE(tracks.count("hmc.cube0.tsv"));
+    EXPECT_TRUE(tracks.count("charon.cs0"));
+    EXPECT_FALSE(tl.events().empty());
+}
+
+TEST(ExperimentRunner, RollupMatchesBreakdownExactly)
+{
+    // The roll-up is built from the same accumulators as the
+    // breakdown, so per-kind sums must agree to 1e-9, not just
+    // approximately.
+    const auto cells = determinismCells();
+    ExperimentRunner runner(RunnerConfig{2, std::string()});
+    auto results = runner.run(cells);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SCOPED_TRACE(cells[i].key.str());
+        ASSERT_TRUE(results[i].ok);
+        const auto &timing = results[i].timing;
+        gc::RunRollup rollup = timing.rollup();
+        platform::PrimBreakdown b = timing.breakdown();
+        EXPECT_NEAR(rollup.totalByKind(gc::PrimKind::Copy).seconds,
+                    b.copy, 1e-9);
+        EXPECT_NEAR(rollup.totalByKind(gc::PrimKind::Search).seconds,
+                    b.search, 1e-9);
+        EXPECT_NEAR(rollup.totalByKind(gc::PrimKind::ScanPush).seconds,
+                    b.scanPush, 1e-9);
+        EXPECT_NEAR(
+            rollup.totalByKind(gc::PrimKind::BitmapCount).seconds,
+            b.bitmapCount, 1e-9);
+        EXPECT_NEAR(rollup.glueSeconds(), b.glue, 1e-9);
+        // Wall-clock: the phases partition each pause exactly on
+        // host platforms; Charon pauses also carry the GC-prologue
+        // cache flush, which belongs to no phase.
+        const bool charon =
+            cells[i].platform == sim::PlatformKind::CharonNmp;
+        for (const auto &gc_timing : timing.gcs) {
+            double wall = 0;
+            for (const auto &phase : gc_timing.rollup.phases)
+                wall += phase.wallSeconds;
+            if (charon)
+                EXPECT_LE(wall, gc_timing.seconds + 1e-9);
+            else
+                EXPECT_NEAR(wall, gc_timing.seconds, 1e-9);
+        }
+    }
+}

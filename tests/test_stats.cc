@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <type_traits>
+#include <utility>
 
 #include "sim/stats.hh"
 
@@ -86,4 +88,44 @@ TEST(Geomean, IgnoresNonPositive)
 TEST(Geomean, EmptyIsZero)
 {
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+namespace
+{
+
+template <typename T, typename = void>
+struct HasArbitraryWrite : std::false_type
+{
+};
+
+template <typename T>
+struct HasArbitraryWrite<
+    T, std::void_t<decltype(std::declval<T &>().set(1.0))>>
+    : std::true_type
+{
+};
+
+} // namespace
+
+TEST(Counter, ContractIsAccumulateOnly)
+{
+    // The documented contract: a Counter only accumulates (+=, ++)
+    // and resets to zero.  Last-value semantics belong to a gauge
+    // (Average, or a Timeline counter track), so there must be no
+    // arbitrary-write set() to silently break monotonicity with.
+    static_assert(!HasArbitraryWrite<Counter>::value,
+                  "Counter::set() would break the monotone-"
+                  "accumulation contract; use a gauge instead");
+
+    StatGroup g("g");
+    Counter c(&g, "c", "contract");
+    c += 1.0;
+    c += 2.5;
+    ++c;
+    EXPECT_DOUBLE_EQ(c.value(), 4.5) << "accumulation must sum deltas";
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.value(), 0.0)
+        << "reset restarts accumulation at zero";
+    c += 0.25;
+    EXPECT_DOUBLE_EQ(c.value(), 0.25);
 }

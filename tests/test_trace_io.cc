@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "gc/rollup.hh"
 #include "gc/trace_io.hh"
 #include "platform/platform_sim.hh"
 #include "workload/mutator.hh"
@@ -180,4 +181,119 @@ TEST(TraceIo, MissingFileFails)
     EXPECT_FALSE(loadTraceFile("/nonexistent/path/trace.bin", loaded,
                                &error));
     EXPECT_FALSE(error.empty());
+}
+
+// --- Roll-up serialization ------------------------------------------
+
+namespace
+{
+
+RunRollup
+syntheticRollup()
+{
+    RunRollup rollup;
+    GcRollup minor;
+    minor.major = false;
+    PhaseRollup roots;
+    roots.kind = PhaseKind::MinorRoots;
+    roots.wallSeconds = 0.25;
+    roots.glueSeconds = 0.125;
+    roots.prims[static_cast<int>(PrimKind::Copy)] = {0.5, 4096, 7};
+    roots.prims[static_cast<int>(PrimKind::ScanPush)] = {0.0625, 128,
+                                                         3};
+    minor.phases.push_back(roots);
+    rollup.gcs.push_back(minor);
+
+    GcRollup major;
+    major.major = true;
+    PhaseRollup compact;
+    compact.kind = PhaseKind::MajorCompact;
+    compact.wallSeconds = 1.5;
+    compact.glueSeconds = 0.75;
+    compact.prims[static_cast<int>(PrimKind::BitmapCount)] = {
+        0.375, 1 << 20, 99};
+    major.phases.push_back(compact);
+    rollup.gcs.push_back(major);
+    return rollup;
+}
+
+} // namespace
+
+TEST(RollupIo, RoundTrip)
+{
+    const RunRollup original = syntheticRollup();
+    std::stringstream ss;
+    writeRollup(ss, original);
+    RunRollup loaded;
+    std::string error;
+    ASSERT_TRUE(readRollup(ss, loaded, &error)) << error;
+    EXPECT_TRUE(rollupEquals(original, loaded));
+}
+
+TEST(RollupIo, HelpersSumAcrossPhases)
+{
+    const RunRollup r = syntheticRollup();
+    EXPECT_DOUBLE_EQ(r.totalByKind(PrimKind::Copy).seconds, 0.5);
+    EXPECT_EQ(r.totalByKind(PrimKind::Copy).bytes, 4096u);
+    EXPECT_DOUBLE_EQ(r.totalByKind(PrimKind::BitmapCount).seconds,
+                     0.375);
+    EXPECT_DOUBLE_EQ(r.glueSeconds(), 0.875);
+    EXPECT_DOUBLE_EQ(r.gcs[0].phases[0].threadSeconds(),
+                     0.125 + 0.5 + 0.0625);
+    EXPECT_EQ(r.gcs[0].phases[0].totalBytes(), 4096u + 128u);
+}
+
+TEST(RollupIo, EqualityDetectsDifferences)
+{
+    RunRollup a = syntheticRollup();
+    RunRollup b = syntheticRollup();
+    EXPECT_TRUE(rollupEquals(a, b));
+    b.gcs[1].phases[0].prims[0].invocations += 1;
+    EXPECT_FALSE(rollupEquals(a, b));
+    b = syntheticRollup();
+    b.gcs[0].phases[0].wallSeconds += 1e-12;
+    EXPECT_FALSE(rollupEquals(a, b));
+}
+
+TEST(RollupIo, BadMagicRejected)
+{
+    std::stringstream ss;
+    writeRollup(ss, syntheticRollup());
+    std::string bytes = ss.str();
+    bytes[0] ^= 0xff;
+    std::stringstream bad(bytes);
+    RunRollup loaded;
+    std::string error;
+    EXPECT_FALSE(readRollup(bad, loaded, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(RollupIo, TruncationRejectedAtEveryPrefix)
+{
+    std::stringstream ss;
+    writeRollup(ss, syntheticRollup());
+    const std::string bytes = ss.str();
+    // Every strict prefix must fail cleanly, never crash or accept.
+    for (std::size_t n = 0; n < bytes.size(); n += 7) {
+        std::stringstream cut(bytes.substr(0, n));
+        RunRollup loaded;
+        std::string error;
+        EXPECT_FALSE(readRollup(cut, loaded, &error))
+            << "prefix of " << n << " bytes was accepted";
+    }
+}
+
+TEST(RollupIo, BadPhaseKindRejected)
+{
+    RunRollup r = syntheticRollup();
+    std::stringstream ss;
+    writeRollup(ss, r);
+    std::string bytes = ss.str();
+    // The first phase kind field sits right after magic + version +
+    // gc count + major flag + phase count: 5 u64 little-endian words.
+    bytes[5 * 8] = static_cast<char>(0x7f);
+    std::stringstream bad(bytes);
+    RunRollup loaded;
+    std::string error;
+    EXPECT_FALSE(readRollup(bad, loaded, &error));
 }

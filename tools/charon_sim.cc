@@ -236,6 +236,7 @@ main(int argc, char **argv)
     if (run == nullptr) {
         for (std::size_t i = 0; i < cells.size(); ++i)
             report.checkCell(cells[i], results[i]);
+        harness::finishTimeline(runner, opt.common);
         return report.finish(std::cout);
     }
     if (run->oom) {
@@ -299,5 +300,7 @@ main(int argc, char **argv)
                  : "-",
              report::num(t.totalEnergyJ(), 3)});
     }
+    report.addRollups(cells, results);
+    harness::finishTimeline(runner, opt.common);
     return report.finish(std::cout);
 }
