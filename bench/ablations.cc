@@ -113,9 +113,7 @@ main(int argc, char **argv)
             cells.push_back(d);
             Cell c = cell(name, sim::PlatformKind::CharonNmp, 0, 1, 8,
                           /*num_cubes=*/8);
-            c.config.hmc.cubes = 8;
-            c.config.charon.copySearchUnits = 16;
-            c.config.charon.bitmapCountUnits = 16;
+            c.config = sim::SystemConfig::scalability(8);
             c.label = name + ": 8 cubes";
             variants[w].push_back(Variant{
                 "8 cubes, 2x Copy/Search + BitmapCount units", c,

@@ -47,6 +47,7 @@ cell(std::string workload, sim::PlatformKind platform,
     c.key.gcThreads = gc_threads;
     c.key.numCubes = num_cubes;
     c.platform = platform;
+    c.config = sim::SystemConfig::table2();
     c.label = c.key.workload + " on " + sim::platformName(platform);
     return c;
 }

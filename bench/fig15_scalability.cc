@@ -32,13 +32,7 @@ main(int argc, char **argv)
     std::vector<Cell> cells;
     for (const auto &name : workloads) {
         for (int threads : thread_counts) {
-            sim::SystemConfig cfg;
-            cfg.gcThreads = threads;
-            // Scale the unit population with the thread count, as in
-            // the paper's scalability study.
-            cfg.charon.copySearchUnits = threads;
-            cfg.charon.bitmapCountUnits = threads;
-            cfg.charon.scanPushUnits = threads;
+            auto cfg = sim::SystemConfig::threadScaling(threads);
 
             Cell ddr4 = cell(name, sim::PlatformKind::HostDdr4, 0, 1,
                              threads);

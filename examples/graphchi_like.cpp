@@ -64,10 +64,8 @@ main()
             a.scan += phase.totalInvocations(gc::PrimKind::ScanPush);
             a.bitmap +=
                 phase.totalInvocations(gc::PrimKind::BitmapCount);
-            for (const auto &t : phase.threads) {
-                for (const auto &b : t.buckets)
-                    a.refs += b.refsVisited;
-            }
+            for (auto refs : phase.buckets.refsVisited)
+                a.refs += refs;
             a.hit += phase.bitmapCacheHitRate;
             a.phases += 1;
         }

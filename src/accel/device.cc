@@ -41,51 +41,44 @@ issueRate(double freq_hz, int bytes_per_cycle)
 } // namespace
 
 CharonDevice::CharonDevice(sim::EventQueue &eq, hmc::HmcMemory &hmc,
-                           const sim::SystemConfig &cfg)
-    : eq_(eq), hmc_(hmc), cfg_(cfg)
+                           const sim::SystemConfig &cfg,
+                           const sim::Instrumentation &instr)
+    : eq_(eq), hmc_(hmc), cfg_(cfg), timeline_(instr.timeline())
 {
     const auto &ch = cfg_.charon;
     const int cubes = cfg_.hmc.cubes;
     const int cs_per_cube = std::max(1, ch.copySearchUnits / cubes);
     const int bc_per_cube = std::max(1, ch.bitmapCountUnits / cubes);
 
+    // Pools are built kind-by-kind (not cube-by-cube) so the counter
+    // tracks appear grouped by kind in exported traces.
     for (int c = 0; c < cubes; ++c) {
         // A Copy/Search unit issues one 256 B request per cycle.
         copySearchPools_.push_back(std::make_unique<mem::FluidChannel>(
             eq_, sim::format("charon.cs%d", c),
-            cs_per_cube * issueRate(ch.unitFreqHz, 256)));
+            cs_per_cube * issueRate(ch.unitFreqHz, 256), instr));
+    }
+    for (int c = 0; c < cubes; ++c) {
         // A Bitmap Count unit consumes a 64-bit word pair (8 B from
         // each map) per cycle.
         bitmapCountPools_.push_back(std::make_unique<mem::FluidChannel>(
             eq_, sim::format("charon.bc%d", c),
-            bc_per_cube * issueRate(ch.unitFreqHz, 16)));
+            bc_per_cube * issueRate(ch.unitFreqHz, 16), instr));
     }
     if (ch.scanPushLocal) {
         const int sp_per_cube = std::max(1, ch.scanPushUnits / cubes);
         for (int c = 0; c < cubes; ++c) {
             scanPushPools_.push_back(std::make_unique<mem::FluidChannel>(
                 eq_, sim::format("charon.sp%d", c),
-                sp_per_cube * issueRate(ch.unitFreqHz, 16)));
+                sp_per_cube * issueRate(ch.unitFreqHz, 16), instr));
         }
     } else {
         // All Scan&Push units on the central cube (Section 4.4).
         scanPushPools_.push_back(std::make_unique<mem::FluidChannel>(
             eq_, "charon.sp0",
-            ch.scanPushUnits * issueRate(ch.unitFreqHz, 16)));
+            ch.scanPushUnits * issueRate(ch.unitFreqHz, 16), instr));
     }
-}
-
-void
-CharonDevice::setTimeline(sim::Timeline *timeline)
-{
-    timeline_ = timeline;
-    for (auto &p : copySearchPools_)
-        p->setTimeline(timeline);
-    for (auto &p : bitmapCountPools_)
-        p->setTimeline(timeline);
-    for (auto &p : scanPushPools_)
-        p->setTimeline(timeline);
-    tlbTrack_ = timeline_ ? timeline_->track("charon.tlb.remote") : 0;
+    tlbTrack_ = instr.track("charon.tlb.remote");
 }
 
 hmc::Origin

@@ -30,6 +30,7 @@
 #include "mem/fluid_channel.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/instrumentation.hh"
 
 namespace charon::accel
 {
@@ -41,8 +42,17 @@ namespace charon::accel
 class CharonDevice
 {
   public:
+    /**
+     * @param instr instrumentation: every unit pool becomes a counter
+     *        track (busy == active flows > 0), and address-translation
+     *        traffic gets a "charon.tlb.remote" counter of lookups
+     *        that crossed a spoke link to the unified TLB /
+     *        bitmap-cache on the central cube (Section 4.6; the
+     *        contention Figure 15 distributes away).
+     */
     CharonDevice(sim::EventQueue &eq, hmc::HmcMemory &hmc,
-                 const sim::SystemConfig &cfg);
+                 const sim::SystemConfig &cfg,
+                 const sim::Instrumentation &instr = {});
 
     /**
      * Execute one aggregated bucket.
@@ -69,15 +79,6 @@ class CharonDevice
 
     /** Offload request+response packet bytes issued so far. */
     double packetBytes() const { return packetBytes_; }
-
-    /**
-     * Attach a timeline: every unit pool becomes a counter track
-     * (busy == active flows > 0), and address-translation traffic
-     * gets a "charon.tlb.remote" counter of lookups that crossed a
-     * spoke link to the unified TLB / bitmap-cache on the central
-     * cube (Section 4.6; the contention Figure 15 distributes away).
-     */
-    void setTimeline(sim::Timeline *timeline);
 
     const sim::CharonConfig &config() const { return cfg_.charon; }
 

@@ -12,16 +12,11 @@ using gc::PrimKind;
 using sim::Tick;
 
 HostModel::HostModel(sim::EventQueue &eq, const sim::HostConfig &cfg,
-                     mem::MemPort &port, const gc::GlueCosts &costs)
-    : eq_(eq), cfg_(cfg), port_(port), costs_(costs), clock_(cfg.freqHz)
+                     mem::MemPort &port, const gc::GlueCosts &costs,
+                     const sim::Instrumentation &instr)
+    : eq_(eq), cfg_(cfg), port_(port), costs_(costs), clock_(cfg.freqHz),
+      timeline_(instr.timeline()), stallTrack_(instr.track("host.memstall"))
 {
-}
-
-void
-HostModel::setTimeline(sim::Timeline *timeline)
-{
-    timeline_ = timeline;
-    stallTrack_ = timeline_ ? timeline_->track("host.memstall") : 0;
 }
 
 Tick

@@ -30,6 +30,7 @@
 #include "mem/mem_model.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/instrumentation.hh"
 #include "sim/timeline.hh"
 
 namespace charon::cpu
@@ -41,8 +42,16 @@ namespace charon::cpu
 class HostModel
 {
   public:
+    /**
+     * @param instr instrumentation: a "host.memstall" counter track
+     *        samples how many GC threads are currently stalled on an
+     *        in-flight primitive bucket (the host-side MLP ceiling of
+     *        Section 3.3, visible as a plateau at the thread count
+     *        whenever memory binds).
+     */
     HostModel(sim::EventQueue &eq, const sim::HostConfig &cfg,
-              mem::MemPort &port, const gc::GlueCosts &costs);
+              mem::MemPort &port, const gc::GlueCosts &costs,
+              const sim::Instrumentation &instr = {});
 
     /** Ticks to retire @p instructions of glue at the GC IPC. */
     sim::Tick glueTicks(std::uint64_t instructions) const;
@@ -61,14 +70,6 @@ class HostModel
 
     /** Window-limited dependent-miss rate (bytes/tick, 64 B lines). */
     double randomRate() const;
-
-    /**
-     * Attach a timeline: a "host.memstall" counter track samples how
-     * many GC threads are currently stalled on an in-flight primitive
-     * bucket (the host-side MLP ceiling of Section 3.3, visible as a
-     * plateau at the thread count whenever memory binds).
-     */
-    void setTimeline(sim::Timeline *timeline);
 
     const sim::HostConfig &config() const { return cfg_; }
 

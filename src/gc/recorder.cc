@@ -39,10 +39,9 @@ void
 TraceRecorder::beginPhase(PhaseKind kind)
 {
     CHARON_ASSERT(gcOpen_ && !phaseOpen_, "beginPhase outside GC");
-    PhaseTrace p;
-    p.kind = kind;
-    p.threads.resize(static_cast<std::size_t>(numThreads_));
-    current_.phases.push_back(std::move(p));
+    openKind_ = kind;
+    open_.clear();
+    open_.resize(static_cast<std::size_t>(numThreads_));
     phaseOpen_ = true;
     cursor_ = 0;
     bitmapCache_.resetStats();
@@ -52,9 +51,10 @@ void
 TraceRecorder::endPhase()
 {
     CHARON_ASSERT(phaseOpen_, "endPhase without beginPhase");
-    PhaseTrace &p = current_.phases.back();
+    PhaseTrace p;
+    p.kind = openKind_;
     // Safepoint / task-spawn / termination cost at each barrier.
-    for (auto &t : p.threads)
+    for (auto &t : open_)
         t.glueInstructions += costs_.phaseOverhead;
     p.bitmapCacheHitRate = bitmapCache_.hitRate();
     // Section 4.5: the bitmap cache is flushed after completing either
@@ -63,6 +63,11 @@ TraceRecorder::endPhase()
         || p.kind == PhaseKind::MajorCompact) {
         p.bitmapCacheWritebacks = bitmapCache_.flush();
     }
+    // Seal the per-thread builders into the phase's columnar storage.
+    for (const auto &t : open_)
+        p.addThread(t);
+    open_.clear();
+    current_.phases.push_back(std::move(p));
     phaseOpen_ = false;
 }
 
@@ -92,15 +97,7 @@ ThreadWork &
 TraceRecorder::work()
 {
     CHARON_ASSERT(phaseOpen_, "primitive recorded outside a phase");
-    return current_.phases.back()
-        .threads[static_cast<std::size_t>(cursor_)];
-}
-
-PhaseTrace &
-TraceRecorder::phase()
-{
-    CHARON_ASSERT(phaseOpen_, "no open phase");
-    return current_.phases.back();
+    return open_[static_cast<std::size_t>(cursor_)];
 }
 
 void

@@ -117,7 +117,6 @@ class TraceRecorder
 
   private:
     ThreadWork &work();
-    PhaseTrace &phase();
 
     int numThreads_;
     int cubeShift_;
@@ -126,6 +125,9 @@ class TraceRecorder
 
     RunTrace run_;
     GcTrace current_;
+    /** Per-thread AoS builders of the open phase (sealed at endPhase). */
+    std::vector<ThreadWork> open_;
+    PhaseKind openKind_ = PhaseKind::MinorRoots;
     bool gcOpen_ = false;
     bool phaseOpen_ = false;
     int cursor_ = 0;

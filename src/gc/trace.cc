@@ -48,30 +48,94 @@ ThreadWork::bucket(PrimKind kind, int src_cube, int dst_cube,
     return buckets.back();
 }
 
+void
+BucketColumns::push(const Bucket &b)
+{
+    kind.push_back(b.kind);
+    srcCube.push_back(static_cast<std::int32_t>(b.srcCube));
+    dstCube.push_back(static_cast<std::int32_t>(b.dstCube));
+    hostOnly.push_back(b.hostOnly ? 1 : 0);
+    invocations.push_back(b.invocations);
+    seqReadBytes.push_back(b.seqReadBytes);
+    writeBytes.push_back(b.writeBytes);
+    randomAccesses.push_back(b.randomAccesses);
+    randomBytes.push_back(b.randomBytes);
+    refsVisited.push_back(b.refsVisited);
+    rangeBits.push_back(b.rangeBits);
+    bitmapRmwAccesses.push_back(b.bitmapRmwAccesses);
+    stackPushes.push_back(b.stackPushes);
+}
+
+Bucket
+BucketColumns::get(std::size_t i) const
+{
+    Bucket b;
+    b.kind = kind[i];
+    b.srcCube = srcCube[i];
+    b.dstCube = dstCube[i];
+    b.hostOnly = hostOnly[i] != 0;
+    b.invocations = invocations[i];
+    b.seqReadBytes = seqReadBytes[i];
+    b.writeBytes = writeBytes[i];
+    b.randomAccesses = randomAccesses[i];
+    b.randomBytes = randomBytes[i];
+    b.refsVisited = refsVisited[i];
+    b.rangeBits = rangeBits[i];
+    b.bitmapRmwAccesses = bitmapRmwAccesses[i];
+    b.stackPushes = stackPushes[i];
+    return b;
+}
+
+bool
+BucketColumns::operator==(const BucketColumns &o) const
+{
+    return kind == o.kind && srcCube == o.srcCube && dstCube == o.dstCube
+           && hostOnly == o.hostOnly && invocations == o.invocations
+           && seqReadBytes == o.seqReadBytes
+           && writeBytes == o.writeBytes
+           && randomAccesses == o.randomAccesses
+           && randomBytes == o.randomBytes
+           && refsVisited == o.refsVisited && rangeBits == o.rangeBits
+           && bitmapRmwAccesses == o.bitmapRmwAccesses
+           && stackPushes == o.stackPushes;
+}
+
+void
+PhaseTrace::addThread(const ThreadWork &work)
+{
+    ThreadSpan span;
+    span.firstBucket = static_cast<std::uint32_t>(buckets.size());
+    span.bucketCount = static_cast<std::uint32_t>(work.buckets.size());
+    span.glueInstructions = work.glueInstructions;
+    span.glueMemAccesses = work.glueMemAccesses;
+    for (const auto &b : work.buckets)
+        buckets.push(b);
+    threads.push_back(span);
+}
+
+PhaseTrace::PrimTotals
+PhaseTrace::primTotals() const
+{
+    PrimTotals t;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        auto k = static_cast<std::size_t>(buckets.kind[i]);
+        t.invocations[k] += buckets.invocations[i];
+        t.bytes[k] += buckets.seqReadBytes[i] + buckets.writeBytes[i]
+                      + buckets.randomBytes[i];
+    }
+    return t;
+}
+
 std::uint64_t
 PhaseTrace::totalInvocations(PrimKind kind) const
 {
-    std::uint64_t n = 0;
-    for (const auto &t : threads) {
-        for (const auto &b : t.buckets) {
-            if (b.kind == kind)
-                n += b.invocations;
-        }
-    }
-    return n;
+    return primTotals().invocations[static_cast<std::size_t>(kind)];
 }
 
 std::uint64_t
 PhaseTrace::totalBytes(PrimKind kind) const
 {
-    std::uint64_t n = 0;
-    for (const auto &t : threads) {
-        for (const auto &b : t.buckets) {
-            if (b.kind == kind)
-                n += b.totalBytes();
-        }
-    }
-    return n;
+    return primTotals().bytes[static_cast<std::size_t>(kind)];
 }
 
 std::uint64_t

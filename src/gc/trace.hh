@@ -97,7 +97,12 @@ struct Bucket
     }
 };
 
-/** One GC thread's share of a phase. */
+/**
+ * One GC thread's share of a phase, in builder (array-of-structs)
+ * form.  Collectors record into a ThreadWork; at the phase barrier
+ * the recorder seals it into the phase's columnar storage and the
+ * builder is discarded — sealed traces never hold Bucket structs.
+ */
 struct ThreadWork
 {
     std::vector<Bucket> buckets;
@@ -110,11 +115,66 @@ struct ThreadWork
                    bool host_only = false);
 };
 
+/**
+ * Columnar (structure-of-arrays) bucket storage: one parallel array
+ * per Bucket field, all buckets of a phase concatenated in
+ * thread-then-bucket order.  Replay and reporting walk whole columns
+ * sequentially, so the layout trades the AoS struct padding and
+ * per-thread vector headers for dense cache-friendly scans — and it
+ * serializes column-contiguous, which is what lets the on-disk format
+ * varint-pack each field tightly.
+ */
+struct BucketColumns
+{
+    std::vector<PrimKind> kind;
+    std::vector<std::int32_t> srcCube;
+    std::vector<std::int32_t> dstCube;
+    std::vector<std::uint8_t> hostOnly;
+    std::vector<std::uint64_t> invocations;
+    std::vector<std::uint64_t> seqReadBytes;
+    std::vector<std::uint64_t> writeBytes;
+    std::vector<std::uint64_t> randomAccesses;
+    std::vector<std::uint64_t> randomBytes;
+    std::vector<std::uint64_t> refsVisited;
+    std::vector<std::uint64_t> rangeBits;
+    std::vector<std::uint64_t> bitmapRmwAccesses;
+    std::vector<std::uint64_t> stackPushes;
+
+    std::size_t size() const { return kind.size(); }
+    bool empty() const { return kind.empty(); }
+
+    /** Append one bucket to every column. */
+    void push(const Bucket &b);
+
+    /** Materialize row @p i as a Bucket value. */
+    Bucket get(std::size_t i) const;
+
+    bool operator==(const BucketColumns &o) const;
+    bool operator!=(const BucketColumns &o) const { return !(*this == o); }
+};
+
+/**
+ * One GC thread's share of a sealed phase: a contiguous span of the
+ * phase's bucket columns plus the thread's glue work.
+ */
+struct ThreadSpan
+{
+    std::uint32_t firstBucket = 0;
+    std::uint32_t bucketCount = 0;
+    /** Host-only instructions (pop/push bookkeeping, dispatch, alloc). */
+    std::uint64_t glueInstructions = 0;
+    /** Cache-missing host accesses implied by the glue (approx). */
+    std::uint64_t glueMemAccesses = 0;
+};
+
 /** One phase: all threads run it concurrently, then barrier. */
 struct PhaseTrace
 {
     PhaseKind kind = PhaseKind::MinorRoots;
-    std::vector<ThreadWork> threads;
+    /** All threads' buckets, thread-major (see ThreadSpan). */
+    BucketColumns buckets;
+    /** Per-thread spans into @ref buckets, in thread order. */
+    std::vector<ThreadSpan> threads;
     /**
      * Hit rate Charon's bitmap cache achieved on this phase's bitmap
      * accesses (measured functionally while tracing; only meaningful
@@ -123,6 +183,26 @@ struct PhaseTrace
     double bitmapCacheHitRate = 0.0;
     /** Dirty bitmap-cache lines written back at the phase-end flush. */
     std::uint64_t bitmapCacheWritebacks = 0;
+
+    /** Seal one thread's builder as the next span (in thread order). */
+    void addThread(const ThreadWork &work);
+
+    /** Visit every bucket in storage order as a materialized value. */
+    template <typename Fn>
+    void
+    forEachBucket(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < buckets.size(); ++i)
+            fn(buckets.get(i));
+    }
+
+    /** Per-kind totals, accumulated in one pass over the columns. */
+    struct PrimTotals
+    {
+        std::uint64_t invocations[kNumPrimKinds] = {};
+        std::uint64_t bytes[kNumPrimKinds] = {};
+    };
+    PrimTotals primTotals() const;
 
     /** Sum a field across threads/buckets for reporting. */
     std::uint64_t totalInvocations(PrimKind kind) const;

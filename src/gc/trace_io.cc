@@ -98,44 +98,120 @@ get64(std::istream &is, std::uint64_t &v)
     return io::getU64(is, v);
 }
 
+// LEB128 varints: the body of the v3 format.  Counters in a trace are
+// overwhelmingly small, so most values take one byte instead of eight.
+
 void
-putBucket(std::ostream &os, const Bucket &b)
+putVar(std::ostream &os, std::uint64_t v)
 {
-    put64(os, static_cast<std::uint64_t>(b.kind));
-    put64(os, static_cast<std::uint64_t>(b.srcCube));
-    put64(os, static_cast<std::uint64_t>(b.dstCube));
-    put64(os, b.hostOnly ? 1 : 0);
-    put64(os, b.invocations);
-    put64(os, b.seqReadBytes);
-    put64(os, b.writeBytes);
-    put64(os, b.randomAccesses);
-    put64(os, b.randomBytes);
-    put64(os, b.refsVisited);
-    put64(os, b.rangeBits);
-    put64(os, b.bitmapRmwAccesses);
-    put64(os, b.stackPushes);
+    char buf[10];
+    int n = 0;
+    while (v >= 0x80) {
+        buf[n++] = static_cast<char>((v & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf[n++] = static_cast<char>(v);
+    os.write(buf, n);
 }
 
 bool
-getBucket(std::istream &is, Bucket &b)
+getVar(std::istream &is, std::uint64_t &v)
 {
-    std::uint64_t kind, src, dst, host_only;
-    if (!get64(is, kind) || !get64(is, src) || !get64(is, dst)
-        || !get64(is, host_only) || !get64(is, b.invocations)
-        || !get64(is, b.seqReadBytes) || !get64(is, b.writeBytes)
-        || !get64(is, b.randomAccesses) || !get64(is, b.randomBytes)
-        || !get64(is, b.refsVisited) || !get64(is, b.rangeBits)
-        || !get64(is, b.bitmapRmwAccesses)
-        || !get64(is, b.stackPushes)) {
-        return false;
+    v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+        int c = is.get();
+        if (c == std::char_traits<char>::eof())
+            return false;
+        v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+        if ((c & 0x80) == 0)
+            return true;
     }
-    if (kind >= static_cast<std::uint64_t>(kNumPrimKinds))
-        return false;
-    b.kind = static_cast<PrimKind>(kind);
-    b.srcCube = static_cast<int>(src);
-    b.dstCube = static_cast<int>(dst);
-    b.hostOnly = host_only != 0;
+    return false; // over-long encoding
+}
+
+/** Write a whole u64 column, varint-packed. */
+void
+putColumn(std::ostream &os, const std::vector<std::uint64_t> &col)
+{
+    for (auto v : col)
+        putVar(os, v);
+}
+
+bool
+getColumn(std::istream &is, std::vector<std::uint64_t> &col,
+          std::size_t n)
+{
+    col.resize(n);
+    for (auto &v : col) {
+        if (!getVar(is, v))
+            return false;
+    }
     return true;
+}
+
+void
+putColumns(std::ostream &os, const BucketColumns &c)
+{
+    for (auto k : c.kind)
+        os.put(static_cast<char>(k));
+    for (auto v : c.srcCube)
+        putVar(os, static_cast<std::uint64_t>(v));
+    for (auto v : c.dstCube)
+        putVar(os, static_cast<std::uint64_t>(v));
+    for (auto v : c.hostOnly)
+        os.put(static_cast<char>(v));
+    putColumn(os, c.invocations);
+    putColumn(os, c.seqReadBytes);
+    putColumn(os, c.writeBytes);
+    putColumn(os, c.randomAccesses);
+    putColumn(os, c.randomBytes);
+    putColumn(os, c.refsVisited);
+    putColumn(os, c.rangeBits);
+    putColumn(os, c.bitmapRmwAccesses);
+    putColumn(os, c.stackPushes);
+}
+
+bool
+getColumns(std::istream &is, BucketColumns &c, std::size_t n)
+{
+    c.kind.resize(n);
+    for (auto &k : c.kind) {
+        int v = is.get();
+        if (v == std::char_traits<char>::eof()
+            || v >= kNumPrimKinds) {
+            return false;
+        }
+        k = static_cast<PrimKind>(v);
+    }
+    std::uint64_t u;
+    c.srcCube.resize(n);
+    for (auto &v : c.srcCube) {
+        if (!getVar(is, u))
+            return false;
+        v = static_cast<std::int32_t>(u);
+    }
+    c.dstCube.resize(n);
+    for (auto &v : c.dstCube) {
+        if (!getVar(is, u))
+            return false;
+        v = static_cast<std::int32_t>(u);
+    }
+    c.hostOnly.resize(n);
+    for (auto &v : c.hostOnly) {
+        int b = is.get();
+        if (b == std::char_traits<char>::eof())
+            return false;
+        v = static_cast<std::uint8_t>(b);
+    }
+    return getColumn(is, c.invocations, n)
+           && getColumn(is, c.seqReadBytes, n)
+           && getColumn(is, c.writeBytes, n)
+           && getColumn(is, c.randomAccesses, n)
+           && getColumn(is, c.randomBytes, n)
+           && getColumn(is, c.refsVisited, n)
+           && getColumn(is, c.rangeBits, n)
+           && getColumn(is, c.bitmapRmwAccesses, n)
+           && getColumn(is, c.stackPushes, n);
 }
 
 } // namespace
@@ -145,34 +221,35 @@ writeTrace(std::ostream &os, const RunTrace &trace)
 {
     os.write(kMagic, sizeof(kMagic));
     put64(os, kTraceFormatVersion);
-    put64(os, trace.gcs.size());
+    putVar(os, trace.gcs.size());
     for (const auto &gc : trace.gcs) {
-        put64(os, gc.major ? 1 : 0);
-        put64(os, gc.liveObjects);
-        put64(os, gc.bytesCopied);
-        put64(os, gc.bytesPromoted);
-        put64(os, gc.objectsScanned);
-        put64(os, gc.refsVisited);
-        put64(os, gc.cardsSearched);
-        put64(os, gc.bitmapCountCalls);
-        put64(os, gc.phases.size());
+        putVar(os, gc.major ? 1 : 0);
+        putVar(os, gc.liveObjects);
+        putVar(os, gc.bytesCopied);
+        putVar(os, gc.bytesPromoted);
+        putVar(os, gc.objectsScanned);
+        putVar(os, gc.refsVisited);
+        putVar(os, gc.cardsSearched);
+        putVar(os, gc.bitmapCountCalls);
+        putVar(os, gc.phases.size());
         for (const auto &phase : gc.phases) {
-            put64(os, static_cast<std::uint64_t>(phase.kind));
+            putVar(os, static_cast<std::uint64_t>(phase.kind));
             putF64(os, phase.bitmapCacheHitRate);
-            put64(os, phase.bitmapCacheWritebacks);
-            put64(os, phase.threads.size());
+            putVar(os, phase.bitmapCacheWritebacks);
+            putVar(os, phase.threads.size());
+            // Spans: bucket counts are implicit starts (cumulative),
+            // so only the count and the glue pair are stored.
             for (const auto &t : phase.threads) {
-                put64(os, t.glueInstructions);
-                put64(os, t.glueMemAccesses);
-                put64(os, t.buckets.size());
-                for (const auto &b : t.buckets)
-                    putBucket(os, b);
+                putVar(os, t.bucketCount);
+                putVar(os, t.glueInstructions);
+                putVar(os, t.glueMemAccesses);
             }
+            putColumns(os, phase.buckets);
         }
     }
-    put64(os, trace.mutatorInstructions.size());
+    putVar(os, trace.mutatorInstructions.size());
     for (auto n : trace.mutatorInstructions)
-        put64(os, n);
+        putVar(os, n);
 }
 
 bool
@@ -194,28 +271,29 @@ readTrace(std::istream &is, RunTrace &trace, std::string *error)
 
     trace = RunTrace{};
     std::uint64_t gcs;
-    if (!get64(is, gcs))
+    if (!getVar(is, gcs))
         return fail("truncated header");
     trace.gcs.resize(gcs);
     for (auto &gc : trace.gcs) {
         std::uint64_t major, phases;
-        if (!get64(is, major) || !get64(is, gc.liveObjects)
-            || !get64(is, gc.bytesCopied)
-            || !get64(is, gc.bytesPromoted)
-            || !get64(is, gc.objectsScanned)
-            || !get64(is, gc.refsVisited)
-            || !get64(is, gc.cardsSearched)
-            || !get64(is, gc.bitmapCountCalls) || !get64(is, phases)) {
+        if (!getVar(is, major) || !getVar(is, gc.liveObjects)
+            || !getVar(is, gc.bytesCopied)
+            || !getVar(is, gc.bytesPromoted)
+            || !getVar(is, gc.objectsScanned)
+            || !getVar(is, gc.refsVisited)
+            || !getVar(is, gc.cardsSearched)
+            || !getVar(is, gc.bitmapCountCalls)
+            || !getVar(is, phases)) {
             return fail("truncated gc record");
         }
         gc.major = major != 0;
         gc.phases.resize(phases);
         for (auto &phase : gc.phases) {
             std::uint64_t kind, threads;
-            if (!get64(is, kind)
+            if (!getVar(is, kind)
                 || !getF64(is, phase.bitmapCacheHitRate)
-                || !get64(is, phase.bitmapCacheWritebacks)
-                || !get64(is, threads)) {
+                || !getVar(is, phase.bitmapCacheWritebacks)
+                || !getVar(is, threads)) {
                 return fail("truncated phase record");
             }
             if (kind > static_cast<std::uint64_t>(
@@ -224,27 +302,31 @@ readTrace(std::istream &is, RunTrace &trace, std::string *error)
             }
             phase.kind = static_cast<PhaseKind>(kind);
             phase.threads.resize(threads);
+            std::uint64_t total_buckets = 0;
             for (auto &t : phase.threads) {
-                std::uint64_t buckets;
-                if (!get64(is, t.glueInstructions)
-                    || !get64(is, t.glueMemAccesses)
-                    || !get64(is, buckets)) {
+                std::uint64_t count;
+                if (!getVar(is, count)
+                    || !getVar(is, t.glueInstructions)
+                    || !getVar(is, t.glueMemAccesses)) {
                     return fail("truncated thread record");
                 }
-                t.buckets.resize(buckets);
-                for (auto &b : t.buckets) {
-                    if (!getBucket(is, b))
-                        return fail("truncated bucket record");
-                }
+                t.firstBucket =
+                    static_cast<std::uint32_t>(total_buckets);
+                t.bucketCount = static_cast<std::uint32_t>(count);
+                total_buckets += count;
+            }
+            if (!getColumns(is, phase.buckets,
+                            static_cast<std::size_t>(total_buckets))) {
+                return fail("truncated bucket record");
             }
         }
     }
     std::uint64_t segments;
-    if (!get64(is, segments))
+    if (!getVar(is, segments))
         return fail("truncated mutator segments");
     trace.mutatorInstructions.resize(segments);
     for (auto &n : trace.mutatorInstructions) {
-        if (!get64(is, n))
+        if (!getVar(is, n))
             return fail("truncated mutator segment");
     }
     return true;
@@ -314,31 +396,15 @@ traceEquals(const RunTrace &a, const RunTrace &b)
             for (std::size_t t = 0; t < px.threads.size(); ++t) {
                 const auto &tx = px.threads[t];
                 const auto &ty = py.threads[t];
-                if (tx.glueInstructions != ty.glueInstructions
-                    || tx.glueMemAccesses != ty.glueMemAccesses
-                    || tx.buckets.size() != ty.buckets.size()) {
+                if (tx.firstBucket != ty.firstBucket
+                    || tx.bucketCount != ty.bucketCount
+                    || tx.glueInstructions != ty.glueInstructions
+                    || tx.glueMemAccesses != ty.glueMemAccesses) {
                     return false;
                 }
-                for (std::size_t i = 0; i < tx.buckets.size(); ++i) {
-                    const auto &bx = tx.buckets[i];
-                    const auto &by = ty.buckets[i];
-                    if (bx.kind != by.kind || bx.srcCube != by.srcCube
-                        || bx.dstCube != by.dstCube
-                        || bx.hostOnly != by.hostOnly
-                        || bx.invocations != by.invocations
-                        || bx.seqReadBytes != by.seqReadBytes
-                        || bx.writeBytes != by.writeBytes
-                        || bx.randomAccesses != by.randomAccesses
-                        || bx.randomBytes != by.randomBytes
-                        || bx.refsVisited != by.refsVisited
-                        || bx.rangeBits != by.rangeBits
-                        || bx.bitmapRmwAccesses
-                               != by.bitmapRmwAccesses
-                        || bx.stackPushes != by.stackPushes) {
-                        return false;
-                    }
-                }
             }
+            if (px.buckets != py.buckets)
+                return false;
         }
     }
     return true;

@@ -20,8 +20,16 @@
 namespace charon::gc
 {
 
-/** Current format version. */
-constexpr std::uint32_t kTraceFormatVersion = 2;
+/**
+ * Current format version.  Version 3 stores each phase's buckets
+ * column-contiguous (one run per Bucket field) with LEB128
+ * varint-packed integers, mirroring the in-memory BucketColumns
+ * layout; most bucket counters are small, so the on-disk stream is a
+ * fraction of the old fixed-width row format.  The 8-byte magic and
+ * 8-byte little-endian version header framing is unchanged across
+ * versions, so readers reject old/new files cleanly.
+ */
+constexpr std::uint32_t kTraceFormatVersion = 3;
 
 /** Serialize @p trace to @p os. */
 void writeTrace(std::ostream &os, const RunTrace &trace);

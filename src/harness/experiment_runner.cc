@@ -221,8 +221,7 @@ ExperimentRunner::run(const std::vector<Cell> &cells)
                 res.ok = true;
                 return;
             }
-            platform::PlatformSim sim(cell.platform, cell.config,
-                                      res.run->cubeShift);
+            sim::Timeline *tl = nullptr;
             if (timeline_) {
                 std::string label = cell.label;
                 if (label.empty()) {
@@ -231,8 +230,11 @@ ExperimentRunner::run(const std::vector<Cell> &cells)
                 }
                 tls[i] = std::make_unique<sim::Timeline>(
                     std::move(label));
-                sim.setTimeline(tls[i].get());
+                tl = tls[i].get();
             }
+            platform::PlatformSim sim(cell.platform, cell.config,
+                                      res.run->cubeShift,
+                                      sim::Instrumentation(tl));
             if (cell.patchTrace) {
                 gc::RunTrace patched = res.run->trace;
                 cell.patchTrace(patched);

@@ -1,5 +1,6 @@
 #include "options.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -8,6 +9,123 @@
 
 namespace charon::harness
 {
+
+namespace
+{
+
+bool
+parseInt(const std::string &v, long long &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoll(v.c_str(), &end, 10);
+    return errno == 0 && end != nullptr && *end == '\0' && !v.empty();
+}
+
+bool
+parseDouble(const std::string &v, double &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtod(v.c_str(), &end);
+    return errno == 0 && end != nullptr && *end == '\0' && !v.empty();
+}
+
+/** "  --name=METAVAR       help" in the shared two-column layout. */
+void
+formatFlag(std::string &out, const Options::FlagSpec &f)
+{
+    std::string head = "  " + f.name;
+    if (!f.metavar.empty())
+        head += "=" + f.metavar;
+    if (head.size() < 23)
+        head.resize(23, ' ');
+    else
+        head += ' ';
+    // Indent continuation lines to the help column.
+    std::string help;
+    for (char c : f.help) {
+        help += c;
+        if (c == '\n')
+            help.append(23, ' ');
+    }
+    out += head + help + "\n";
+}
+
+} // namespace
+
+void
+Options::flag(const std::string &name, bool *out,
+              const std::string &help)
+{
+    flags_.push_back({name, "", help, [out](const std::string &) {
+                          *out = true;
+                          return true;
+                      }});
+}
+
+void
+Options::flag(const std::string &name, int *out,
+              const std::string &help)
+{
+    flags_.push_back({name, "N", help, [out](const std::string &v) {
+                          long long n;
+                          if (!parseInt(v, n))
+                              return false;
+                          *out = static_cast<int>(n);
+                          return true;
+                      }});
+}
+
+void
+Options::flag(const std::string &name, std::uint64_t *out,
+              const std::string &help)
+{
+    flags_.push_back({name, "N", help, [out](const std::string &v) {
+                          long long n;
+                          if (!parseInt(v, n) || n < 0)
+                              return false;
+                          *out = static_cast<std::uint64_t>(n);
+                          return true;
+                      }});
+}
+
+void
+Options::flag(const std::string &name, double *out,
+              const std::string &help)
+{
+    flags_.push_back({name, "X", help, [out](const std::string &v) {
+                          return parseDouble(v, *out);
+                      }});
+}
+
+void
+Options::flag(const std::string &name, std::string *out,
+              const std::string &help)
+{
+    flags_.push_back({name, "STR", help, [out](const std::string &v) {
+                          *out = v;
+                          return true;
+                      }});
+}
+
+void
+Options::flag(const std::string &name,
+              std::function<bool(const std::string &)> parse,
+              const std::string &help, const std::string &metavar)
+{
+    flags_.push_back({name, metavar, help, std::move(parse)});
+}
+
+std::string
+Options::usageText() const
+{
+    std::string out;
+    for (const auto &f : flags_)
+        formatFlag(out, f);
+    out += optionsUsage();
+    return out;
+}
 
 const char *
 optionsUsage()
@@ -29,8 +147,7 @@ optionsUsage()
 }
 
 bool
-parseOptions(int argc, char **argv, Options &opt,
-             const std::function<bool(const std::string &)> &extra)
+parseOptions(int argc, char **argv, Options &opt)
 {
     opt.cacheDir = TraceCache::defaultDir();
     for (int i = 1; i < argc; ++i) {
@@ -41,11 +158,36 @@ parseOptions(int argc, char **argv, Options &opt,
                 return arg.c_str() + n;
             return nullptr;
         };
-        if (extra && extra(arg)) {
-            continue;
+        const Options::FlagSpec *matched = nullptr;
+        std::string flagValue;
+        for (const auto &f : opt.flags()) {
+            if (f.metavar.empty()) {
+                if (arg == f.name)
+                    matched = &f;
+            } else if (const char *v = value((f.name + "=").c_str())) {
+                matched = &f;
+                flagValue = v;
+            }
+            if (matched)
+                break;
+        }
+        if (matched) {
+            if (!matched->parse(flagValue)) {
+                std::fprintf(stderr,
+                             "%s: bad value for %s: '%s'\n\n%s",
+                             argv[0], matched->name.c_str(),
+                             flagValue.c_str(),
+                             opt.usageText().c_str());
+                return false;
+            }
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("%s: harness-backed experiment binary\n\n%s",
-                        argv[0], optionsUsage());
+            std::string header =
+                opt.helpHeader.empty()
+                    ? std::string(argv[0])
+                          + ": harness-backed experiment binary"
+                    : opt.helpHeader;
+            std::printf("%s\n\n%s", header.c_str(),
+                        opt.usageText().c_str());
             std::exit(0);
         } else if (const char *v = value("--jobs=")) {
             opt.jobs = std::atoi(v);
@@ -63,7 +205,8 @@ parseOptions(int argc, char **argv, Options &opt,
             opt.rollup = true;
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n\n%s",
-                         argv[0], arg.c_str(), optionsUsage());
+                         argv[0], arg.c_str(),
+                         opt.usageText().c_str());
             return false;
         }
     }

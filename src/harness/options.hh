@@ -3,13 +3,27 @@
  * The command-line surface every harness-backed binary shares:
  * --jobs, --cache-dir / --no-cache, --csv, --json, --trace-out,
  * --rollup.
+ *
+ * Binary-specific flags are registered declaratively on the Options
+ * object before parsing:
+ * @code
+ *   harness::Options opt;
+ *   int cubes = 4;
+ *   opt.flag("--cubes", &cubes, "HMC cube count");
+ *   if (!harness::parseOptions(argc, argv, opt))
+ *       return 2;
+ * @endcode
+ * Registered flags show up in --help automatically, formatted like
+ * the shared ones.
  */
 
 #ifndef CHARON_HARNESS_OPTIONS_HH
 #define CHARON_HARNESS_OPTIONS_HH
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "harness/experiment_runner.hh"
 
@@ -32,26 +46,68 @@ struct Options
     /** Print the per-phase primitive roll-up table. */
     bool rollup = false;
 
+    /** First line of --help ("name: what this binary does"). */
+    std::string helpHeader;
+
     RunnerConfig
     runnerConfig() const
     {
         return RunnerConfig{jobs, noCache ? std::string() : cacheDir,
                             !traceOut.empty()};
     }
+
+    // ------------------------------------------------------------------
+    // Declarative binary-specific flags
+
+    /** Presence flag: `--name` sets *out to true. */
+    void flag(const std::string &name, bool *out,
+              const std::string &help);
+
+    /** Value flags: `--name=VALUE` parsed into *out. */
+    void flag(const std::string &name, int *out,
+              const std::string &help);
+    void flag(const std::string &name, std::uint64_t *out,
+              const std::string &help);
+    void flag(const std::string &name, double *out,
+              const std::string &help);
+    void flag(const std::string &name, std::string *out,
+              const std::string &help);
+
+    /**
+     * Custom value flag: `--name=VALUE` hands VALUE to @p parse,
+     * which returns false to reject it (a diagnostic follows).
+     * @p metavar is the VALUE placeholder shown in --help.
+     */
+    void flag(const std::string &name,
+              std::function<bool(const std::string &)> parse,
+              const std::string &help,
+              const std::string &metavar = "VALUE");
+
+    /** --help body: registered flags first, then the shared ones. */
+    std::string usageText() const;
+
+    struct FlagSpec
+    {
+        std::string name;    ///< including the leading dashes
+        std::string metavar; ///< empty for presence flags
+        std::string help;
+        std::function<bool(const std::string &)> parse;
+    };
+
+    const std::vector<FlagSpec> &flags() const { return flags_; }
+
+  private:
+    std::vector<FlagSpec> flags_;
 };
 
-/** Usage text for the shared flags (appended to bench --help). */
+/** Usage text for the shared flags alone. */
 const char *optionsUsage();
 
 /**
- * Parse the shared flags; exits on --help, returns false (after a
- * diagnostic) on an unknown argument.  @p extra, when given, is
- * called first for binary-specific arguments and returns true when
- * it consumed one.
+ * Parse the registered and shared flags; exits on --help, returns
+ * false (after a diagnostic) on an unknown argument or a bad value.
  */
-bool parseOptions(int argc, char **argv, Options &opt,
-                  const std::function<bool(const std::string &)> &extra =
-                      nullptr);
+bool parseOptions(int argc, char **argv, Options &opt);
 
 /** parseOptions + usage-and-exit(2) on failure: the bench one-liner. */
 Options standardOptions(int argc, char **argv);

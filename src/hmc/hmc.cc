@@ -31,7 +31,8 @@ struct Join
 
 } // namespace
 
-HmcMemory::HmcMemory(sim::EventQueue &eq, const sim::HmcConfig &cfg)
+HmcMemory::HmcMemory(sim::EventQueue &eq, const sim::HmcConfig &cfg,
+                     const sim::Instrumentation &instr)
     : eq_(eq), cfg_(cfg), hostPort_(*this)
 {
     CHARON_ASSERT(mem::isPow2(static_cast<std::uint64_t>(cfg_.cubes)),
@@ -40,13 +41,14 @@ HmcMemory::HmcMemory(sim::EventQueue &eq, const sim::HmcConfig &cfg)
         sim::gbPerSecToBytesPerTick(cfg_.internalGBsPerCube);
     for (int c = 0; c < cfg_.cubes; ++c) {
         internal_.push_back(std::make_unique<mem::FluidChannel>(
-            eq_, sim::format("hmc.cube%d.tsv", c), internal_rate));
+            eq_, sim::format("hmc.cube%d.tsv", c), internal_rate,
+            instr));
     }
     double link_rate = sim::gbPerSecToBytesPerTick(cfg_.linkGBs);
     // links_[0] is host<->cube0; one more per satellite cube.
     for (int l = 0; l < cfg_.cubes; ++l) {
         links_.push_back(std::make_unique<mem::FluidChannel>(
-            eq_, sim::format("hmc.link%d", l), link_rate));
+            eq_, sim::format("hmc.link%d", l), link_rate, instr));
     }
 }
 
@@ -367,15 +369,6 @@ HmcMemory::resetStats()
         c->resetStats();
     for (auto &l : links_)
         l->resetStats();
-}
-
-void
-HmcMemory::setTimeline(sim::Timeline *timeline)
-{
-    for (auto &c : internal_)
-        c->setTimeline(timeline);
-    for (auto &l : links_)
-        l->setTimeline(timeline);
 }
 
 // ---------------------------------------------------------------------

@@ -47,7 +47,13 @@ struct Origin
 class HmcMemory
 {
   public:
-    HmcMemory(sim::EventQueue &eq, const sim::HmcConfig &cfg);
+    /**
+     * @param instr instrumentation: one counter track per cube TSV
+     *        aggregate and per serial link (creation order: all
+     *        cubes, then all links).
+     */
+    HmcMemory(sim::EventQueue &eq, const sim::HmcConfig &cfg,
+              const sim::Instrumentation &instr = {});
 
     /**
      * Configure the address-to-cube mapping: cube =
@@ -121,10 +127,6 @@ class HmcMemory
 
     /** Zero the byte/energy accounting. */
     void resetStats();
-
-    /** Attach a timeline: one counter track per cube TSV aggregate
-     *  and per serial link. */
-    void setTimeline(sim::Timeline *timeline);
 
     /** Print per-cube / per-link statistics. */
     void dumpStats(std::ostream &os) const;

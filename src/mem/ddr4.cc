@@ -7,7 +7,8 @@
 namespace charon::mem
 {
 
-Ddr4Memory::Ddr4Memory(sim::EventQueue &eq, const sim::Ddr4Config &cfg)
+Ddr4Memory::Ddr4Memory(sim::EventQueue &eq, const sim::Ddr4Config &cfg,
+                       const sim::Instrumentation &instr)
     : eq_(eq), cfg_(cfg)
 {
     double per_channel =
@@ -15,7 +16,7 @@ Ddr4Memory::Ddr4Memory(sim::EventQueue &eq, const sim::Ddr4Config &cfg)
     channels_.reserve(static_cast<std::size_t>(cfg_.channels));
     for (int ch = 0; ch < cfg_.channels; ++ch) {
         channels_.push_back(std::make_unique<FluidChannel>(
-            eq_, sim::format("ddr4.ch%d", ch), per_channel));
+            eq_, sim::format("ddr4.ch%d", ch), per_channel, instr));
     }
 }
 
@@ -152,13 +153,6 @@ Ddr4Memory::resetStats()
     usefulBytes_ = 0;
     for (auto &ch : channels_)
         ch->resetStats();
-}
-
-void
-Ddr4Memory::setTimeline(sim::Timeline *timeline)
-{
-    for (auto &ch : channels_)
-        ch->setTimeline(timeline);
 }
 
 } // namespace charon::mem

@@ -31,7 +31,9 @@ namespace charon::mem
 class Ddr4Memory : public MemPort
 {
   public:
-    Ddr4Memory(sim::EventQueue &eq, const sim::Ddr4Config &cfg);
+    /** @param instr instrumentation: one counter track per channel. */
+    Ddr4Memory(sim::EventQueue &eq, const sim::Ddr4Config &cfg,
+               const sim::Instrumentation &instr = {});
 
     // MemPort
     void stream(const StreamRequest &req, StreamCallback done) override;
@@ -51,9 +53,6 @@ class Ddr4Memory : public MemPort
 
     /** Zero the byte/energy accounting. */
     void resetStats();
-
-    /** Attach a timeline: one counter track per channel. */
-    void setTimeline(sim::Timeline *timeline);
 
     /** Print per-channel statistics. */
     void dumpStats(std::ostream &os) const;

@@ -29,23 +29,19 @@ patternName(AccessPattern p)
 }
 
 FluidChannel::FluidChannel(sim::EventQueue &eq, std::string name,
-                           double capacity)
+                           double capacity,
+                           const sim::Instrumentation &instr)
     : eq_(eq),
       capacity_(capacity),
       stats_(std::move(name)),
       bytesTransferred_(&stats_, "bytes", "total bytes transferred"),
       utilizedTicks_(&stats_, "utilized_ticks",
                      "integral of utilization over time"),
-      flowCount_(&stats_, "flows", "number of flows served")
+      flowCount_(&stats_, "flows", "number of flows served"),
+      timeline_(instr.timeline()),
+      track_(instr.track(stats_.name()))
 {
     CHARON_ASSERT(capacity_ > 0, "channel capacity must be positive");
-}
-
-void
-FluidChannel::setTimeline(sim::Timeline *timeline)
-{
-    timeline_ = timeline;
-    track_ = timeline_ ? timeline_->track(stats_.name()) : 0;
 }
 
 void
@@ -69,7 +65,7 @@ FluidChannel::startFlow(std::uint64_t bytes, double maxRate,
     flow.maxRate = maxRate;
     flow.rate = 0;
     flow.done = std::move(done);
-    flows_.emplace(nextFlowId_++, std::move(flow));
+    flows_.push_back(std::move(flow));
     if (timeline_) {
         timeline_->counter(track_, eq_.now(),
                            static_cast<double>(flows_.size()));
@@ -87,7 +83,7 @@ FluidChannel::advance()
     }
     double dt = static_cast<double>(now - lastAdvance_);
     double allocated = 0;
-    for (auto &[id, flow] : flows_) {
+    for (auto &flow : flows_) {
         flow.bytesLeft -= flow.rate * dt;
         if (flow.bytesLeft < 0)
             flow.bytesLeft = 0;
@@ -100,34 +96,38 @@ FluidChannel::advance()
 void
 FluidChannel::reallocate()
 {
-    // Max-min fair (progressive filling) with per-flow caps.
+    // Max-min fair (progressive filling) with per-flow caps.  The
+    // scratch index list is a member so the hot path never allocates.
     double remaining = capacity_;
-    std::vector<std::pair<std::uint64_t, double>> uncapped;
-    uncapped.reserve(flows_.size());
-    for (auto &[id, flow] : flows_) {
-        flow.rate = 0;
-        uncapped.emplace_back(id, flow.maxRate);
+    auto &uncapped = uncappedScratch_;
+    uncapped.clear();
+    for (std::uint32_t i = 0; i < flows_.size(); ++i) {
+        flows_[i].rate = 0;
+        uncapped.push_back(i);
     }
     bool progressed = true;
     while (!uncapped.empty() && remaining > 0 && progressed) {
         progressed = false;
         double share = remaining / static_cast<double>(uncapped.size());
-        // Give every flow whose cap is below the fair share its cap.
-        for (auto it = uncapped.begin(); it != uncapped.end();) {
-            auto &[id, cap] = *it;
-            if (cap > 0 && cap <= share) {
-                flows_.at(id).rate = cap;
-                remaining -= cap;
-                it = uncapped.erase(it);
+        // Give every flow whose cap is below the fair share its cap;
+        // compact the survivors stably so the accumulation order
+        // stays the insertion order.
+        std::size_t kept = 0;
+        for (std::size_t k = 0; k < uncapped.size(); ++k) {
+            Flow &flow = flows_[uncapped[k]];
+            if (flow.maxRate > 0 && flow.maxRate <= share) {
+                flow.rate = flow.maxRate;
+                remaining -= flow.maxRate;
                 progressed = true;
             } else {
-                ++it;
+                uncapped[kept++] = uncapped[k];
             }
         }
+        uncapped.resize(kept);
         if (!progressed) {
             // Everybody left can absorb the fair share.
-            for (auto &[id, cap] : uncapped)
-                flows_.at(id).rate = share;
+            for (std::uint32_t i : uncapped)
+                flows_[i].rate = share;
             remaining = 0;
             uncapped.clear();
         }
@@ -142,7 +142,7 @@ FluidChannel::reallocate()
     if (flows_.empty())
         return;
     double earliest = -1;
-    for (const auto &[id, flow] : flows_) {
+    for (const auto &flow : flows_) {
         if (flow.rate <= 0)
             continue;
         double eta = flow.bytesLeft / flow.rate;
@@ -161,16 +161,21 @@ FluidChannel::onTimer()
     timer_ = 0;
     advance();
     // Collect finished flows first, then fire callbacks (callbacks may
-    // reentrantly start new flows on this channel).
-    std::vector<StreamCallback> done;
-    for (auto it = flows_.begin(); it != flows_.end();) {
-        if (it->second.bytesLeft <= kFinishEpsilon) {
-            done.push_back(std::move(it->second.done));
-            it = flows_.erase(it);
+    // reentrantly start new flows on this channel).  Survivors are
+    // compacted stably to keep the insertion order.
+    auto &done = doneScratch_;
+    done.clear();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+        if (flows_[i].bytesLeft <= kFinishEpsilon) {
+            done.push_back(std::move(flows_[i].done));
         } else {
-            ++it;
+            if (kept != i)
+                flows_[kept] = std::move(flows_[i]);
+            ++kept;
         }
     }
+    flows_.resize(kept);
     sim::Tick now = eq_.now();
     if (timeline_ && !done.empty()) {
         timeline_->counter(track_, now,

@@ -20,11 +20,12 @@
 #define CHARON_MEM_FLUID_CHANNEL_HH
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
+#include "sim/instrumentation.hh"
 #include "sim/stats.hh"
 #include "sim/timeline.hh"
 #include "sim/types.hh"
@@ -42,8 +43,14 @@ class FluidChannel
      * @param eq global event queue
      * @param name stat-group name ("ddr4.ch0", "hmc.cube2.tsv", ...)
      * @param capacity peak capacity in bytes/tick
+     * @param instr instrumentation context; when enabled the channel
+     *        becomes a counter track (named after its stat group)
+     *        sampling the number of active flows, so busy/idle and
+     *        contention are visible per channel.  With the disabled
+     *        context the emit path is one branch.
      */
-    FluidChannel(sim::EventQueue &eq, std::string name, double capacity);
+    FluidChannel(sim::EventQueue &eq, std::string name, double capacity,
+                 const sim::Instrumentation &instr = {});
 
     FluidChannel(const FluidChannel &) = delete;
     FluidChannel &operator=(const FluidChannel &) = delete;
@@ -74,14 +81,6 @@ class FluidChannel
     /** Reset the accounting (not the in-flight flows). */
     void resetStats() { stats_.resetAll(); }
 
-    /**
-     * Attach a timeline: the channel becomes a counter track (named
-     * after its stat group) sampling the number of active flows, so
-     * busy/idle and contention are visible per channel.  Null detaches;
-     * with no timeline attached the emit path is one branch.
-     */
-    void setTimeline(sim::Timeline *timeline);
-
   private:
     struct Flow
     {
@@ -102,10 +101,18 @@ class FluidChannel
 
     sim::EventQueue &eq_;
     double capacity_;
-    std::map<std::uint64_t, Flow> flows_;
-    std::uint64_t nextFlowId_ = 0;
+    /**
+     * Active flows in insertion order — the order the progressive
+     * filling must visit them in so the floating-point accumulation
+     * sequence (and therefore every projected finish time) matches
+     * runs made with any earlier container choice.  Erases compact
+     * stably for the same reason.
+     */
+    std::vector<Flow> flows_;
     sim::Tick lastAdvance_ = 0;
     sim::EventId timer_ = 0;
+    std::vector<std::uint32_t> uncappedScratch_; ///< reallocate() reuse
+    std::vector<StreamCallback> doneScratch_;    ///< onTimer() reuse
 
     sim::StatGroup stats_;
     sim::Counter bytesTransferred_;

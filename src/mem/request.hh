@@ -13,9 +13,9 @@
 #define CHARON_MEM_REQUEST_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "mem/addr.hh"
+#include "sim/callback.hh"
 #include "sim/types.hh"
 
 namespace charon::mem
@@ -49,8 +49,12 @@ struct StreamRequest
     int granularity = 64;
 };
 
-/** Completion callback: invoked with the finish tick. */
-using StreamCallback = std::function<void(sim::Tick)>;
+/**
+ * Completion callback: invoked with the finish tick.  The inline
+ * budget holds the typical wrapper (a shared join handle, an owner
+ * pointer, and a couple of scalars) without heap allocation.
+ */
+using StreamCallback = sim::Function<void(sim::Tick), 48>;
 
 } // namespace charon::mem
 

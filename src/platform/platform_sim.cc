@@ -24,44 +24,44 @@ PrimBreakdown::byKind(PrimKind kind)
 }
 
 PlatformSim::PlatformSim(PlatformKind kind, const sim::SystemConfig &cfg,
-                         int cube_shift)
-    : kind_(kind), cfg_(cfg), cubeShift_(cube_shift)
+                         int cube_shift,
+                         const sim::Instrumentation &instr)
+    : kind_(kind),
+      cfg_(cfg),
+      cubeShift_(cube_shift),
+      timeline_(instr.timeline()),
+      gcTrack_(instr.track("gc"))
 {
+    // Components are built memory system first, then the device, then
+    // the host — also the order their instrumentation tracks appear
+    // in exported traces.
     if (usesHmc()) {
-        hmc_ = std::make_unique<hmc::HmcMemory>(eq_, cfg_.hmc);
+        hmc_ = std::make_unique<hmc::HmcMemory>(eq_, cfg_.hmc, instr);
         hmc_->setCubeShift(cube_shift);
-        host_ = std::make_unique<cpu::HostModel>(
-            eq_, cfg_.host, hmc_->hostPort(), costs_);
     } else {
-        ddr4_ = std::make_unique<mem::Ddr4Memory>(eq_, cfg_.ddr4);
-        host_ = std::make_unique<cpu::HostModel>(eq_, cfg_.host, *ddr4_,
-                                                 costs_);
+        ddr4_ = std::make_unique<mem::Ddr4Memory>(eq_, cfg_.ddr4, instr);
     }
     if (usesCharon()) {
         sim::SystemConfig dev_cfg = cfg_;
         dev_cfg.charon.cpuSide =
             (kind_ == PlatformKind::CharonCpuSide);
-        device_ =
-            std::make_unique<accel::CharonDevice>(eq_, *hmc_, dev_cfg);
+        device_ = std::make_unique<accel::CharonDevice>(eq_, *hmc_,
+                                                        dev_cfg, instr);
+    }
+    mem::MemPort &port =
+        usesHmc() ? static_cast<mem::MemPort &>(hmc_->hostPort())
+                  : *ddr4_;
+    host_ = std::make_unique<cpu::HostModel>(eq_, cfg_.host, port,
+                                             costs_, instr);
+    if (timeline_) {
+        for (int k = 0; k < gc::kNumPrimKinds; ++k)
+            primNames_[k] = timeline_->intern(
+                gc::primKindName(static_cast<PrimKind>(k)));
+        glueName_ = timeline_->intern("glue");
     }
 }
 
 PlatformSim::~PlatformSim() = default;
-
-void
-PlatformSim::setTimeline(sim::Timeline *timeline)
-{
-    timeline_ = timeline;
-    threadTracks_.clear();
-    gcTrack_ = timeline_ ? timeline_->track("gc") : 0;
-    if (ddr4_)
-        ddr4_->setTimeline(timeline);
-    if (hmc_)
-        hmc_->setTimeline(timeline);
-    if (device_)
-        device_->setTimeline(timeline);
-    host_->setTimeline(timeline);
-}
 
 sim::Timeline::TrackId
 PlatformSim::threadTrack(std::size_t thread)
@@ -89,87 +89,107 @@ PlatformSim::usesCharon() const
            || kind_ == PlatformKind::CharonCpuSide;
 }
 
+/**
+ * One event-driven GC thread: glue first, then each bucket in trace
+ * order.  Agents live in a vector owned by runPhase; every closure
+ * scheduled during the phase captures only the agent pointer, which
+ * stays valid because eq_.run() drains before runPhase returns.
+ */
+struct PlatformSim::ThreadAgent
+{
+    PlatformSim *sim = nullptr;
+    const gc::PhaseTrace *phase = nullptr;
+    gc::ThreadSpan span;
+    PrimBreakdown *breakdown = nullptr;
+    std::size_t next = 0;
+    double hitRate = 0;
+    sim::Timeline::TrackId ttrack = 0;
+    /**
+     * The in-flight bucket, materialized from the phase's columns
+     * into agent-owned storage (the device/host models read it only
+     * during the synchronous execBucket call, but the agent keeps it
+     * alive for the whole bucket anyway).
+     */
+    gc::Bucket cur;
+    Tick bucketStart = 0;
+
+    void
+    finish(Tick t)
+    {
+        breakdown->byKind(cur.kind) +=
+            sim::ticksToSeconds(t - bucketStart);
+        if (sim->timeline_) {
+            sim->timeline_->completeSpan(
+                ttrack, sim->primNames_[static_cast<int>(cur.kind)],
+                bucketStart, t);
+        }
+        step();
+    }
+
+    void
+    step()
+    {
+        if (next >= span.bucketCount)
+            return; // thread done
+        cur = phase->buckets.get(span.firstBucket + next++);
+        PlatformSim &ps = *sim;
+        bucketStart = ps.eq_.now();
+
+        const bool offload = ps.usesCharon() && !cur.hostOnly;
+        const bool ideal =
+            ps.kind_ == PlatformKind::Ideal && !cur.hostOnly;
+        if (ideal) {
+            // Zero-cycle offload: the primitive is free.
+            ps.eq_.schedule(ps.eq_.now(), [this] {
+                finish(sim->eq_.now());
+            });
+        } else if (offload) {
+            // The host packs and issues one offload call per
+            // invocation before blocking on the device.
+            Tick issue = ps.host_->glueTicks(cur.invocations
+                                             * ps.costs_.offloadIssue);
+            ps.eq_.scheduleIn(issue, [this] {
+                sim->device_->execBucket(
+                    cur, hitRate,
+                    [this](Tick t) { finish(t); });
+            });
+        } else {
+            const mem::Addr synth_addr =
+                static_cast<mem::Addr>(cur.srcCube)
+                << ps.cubeShift_;
+            ps.host_->execBucket(cur, synth_addr,
+                                 [this](Tick t) { finish(t); });
+        }
+    }
+};
+
 PrimBreakdown
 PlatformSim::runPhase(const gc::PhaseTrace &phase,
                       gc::PhaseRollup &rollup)
 {
     const Tick phase_start = eq_.now();
-    auto breakdown = std::make_shared<PrimBreakdown>();
-    // Owns every thread's continuation for the duration of the phase;
-    // the closures themselves hold only weak references so no cycle
-    // outlives this function.
-    std::vector<std::shared_ptr<std::function<void()>>> chains;
+    PrimBreakdown breakdown;
+    std::vector<ThreadAgent> agents(phase.threads.size());
 
     for (std::size_t ti = 0; ti < phase.threads.size(); ++ti) {
-        const auto &work = phase.threads[ti];
-        // One agent per GC thread: glue first, then each bucket.
-        struct ThreadRun
-        {
-            const gc::ThreadWork *work;
-            std::size_t next = 0;
-        };
-        auto state = std::make_shared<ThreadRun>();
-        state->work = &work;
-
-        const sim::Timeline::TrackId ttrack =
-            timeline_ ? threadTrack(ti) : 0;
-        auto step = std::make_shared<std::function<void()>>();
-        chains.push_back(step);
-        std::weak_ptr<std::function<void()>> weak_step = step;
-        double hit_rate = phase.bitmapCacheHitRate;
-        *step = [this, state, breakdown, hit_rate, weak_step, ttrack] {
-            auto step = weak_step.lock();
-            CHARON_ASSERT(step, "thread chain outlived its phase");
-            if (state->next >= state->work->buckets.size())
-                return; // thread done
-            const gc::Bucket &bucket =
-                state->work->buckets[state->next++];
-            Tick start = eq_.now();
-            auto finish = [this, breakdown, &bucket, start, ttrack,
-                           step](Tick t) {
-                breakdown->byKind(bucket.kind) +=
-                    sim::ticksToSeconds(t - start);
-                if (timeline_) {
-                    timeline_->completeSpan(
-                        ttrack, gc::primKindName(bucket.kind), start,
-                        t);
-                }
-                (*step)();
-            };
-
-            const mem::Addr synth_addr =
-                static_cast<mem::Addr>(bucket.srcCube) << cubeShift_;
-            const bool offload = usesCharon() && !bucket.hostOnly;
-            const bool ideal =
-                kind_ == PlatformKind::Ideal && !bucket.hostOnly;
-            if (ideal) {
-                // Zero-cycle offload: the primitive is free.
-                eq_.schedule(eq_.now(), [finish, this] {
-                    finish(eq_.now());
-                });
-            } else if (offload) {
-                // The host packs and issues one offload call per
-                // invocation before blocking on the device.
-                Tick issue = host_->glueTicks(bucket.invocations
-                                              * costs_.offloadIssue);
-                eq_.scheduleIn(issue, [this, &bucket, hit_rate,
-                                       finish] {
-                    device_->execBucket(bucket, hit_rate, finish);
-                });
-            } else {
-                host_->execBucket(bucket, synth_addr, finish);
-            }
-        };
+        const auto &span = phase.threads[ti];
+        ThreadAgent &agent = agents[ti];
+        agent.sim = this;
+        agent.phase = &phase;
+        agent.span = span;
+        agent.breakdown = &breakdown;
+        agent.hitRate = phase.bitmapCacheHitRate;
+        agent.ttrack = timeline_ ? threadTrack(ti) : 0;
 
         // Kick off with the glue lump.
-        Tick glue = host_->glueTicks(work.glueInstructions);
+        Tick glue = host_->glueTicks(span.glueInstructions);
         glueSecondsTotal_ += sim::ticksToSeconds(glue);
         if (timeline_ && glue > 0)
-            timeline_->completeSpan(ttrack, "glue", phase_start,
+            timeline_->completeSpan(agent.ttrack, glueName_, phase_start,
                                     phase_start + glue);
-        eq_.scheduleIn(glue, [breakdown, glue, step] {
-            breakdown->glue += sim::ticksToSeconds(glue);
-            (*step)();
+        eq_.scheduleIn(glue, [agentp = &agent, glue] {
+            agentp->breakdown->glue += sim::ticksToSeconds(glue);
+            agentp->step();
         });
     }
 
@@ -180,14 +200,16 @@ PlatformSim::runPhase(const gc::PhaseTrace &phase,
     // joined with the functional trace's byte/invocation counts.
     rollup.kind = phase.kind;
     rollup.wallSeconds = sim::ticksToSeconds(eq_.now() - phase_start);
-    rollup.glueSeconds = breakdown->glue;
+    rollup.glueSeconds = breakdown.glue;
+    // One columnar pass yields every kind's byte/invocation totals.
+    const auto totals = phase.primTotals();
     for (int k = 0; k < gc::kNumPrimKinds; ++k) {
         auto kind = static_cast<PrimKind>(k);
-        rollup.prims[k].seconds = breakdown->byKind(kind);
-        rollup.prims[k].bytes = phase.totalBytes(kind);
-        rollup.prims[k].invocations = phase.totalInvocations(kind);
+        rollup.prims[k].seconds = breakdown.byKind(kind);
+        rollup.prims[k].bytes = totals.bytes[k];
+        rollup.prims[k].invocations = totals.invocations[k];
     }
-    return *breakdown;
+    return breakdown;
 }
 
 GcTiming

@@ -28,6 +28,7 @@
 #include "platform/results.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/instrumentation.hh"
 #include "sim/timeline.hh"
 
 namespace charon::platform
@@ -49,9 +50,15 @@ class PlatformSim
      * @param cfg architectural parameters (Table 2)
      * @param cube_shift the address-to-cube mapping the trace was
      *        recorded with (HMC-backed platforms)
+     * @param instr instrumentation context, wired through every
+     *        component at construction.  When enabled the simulator
+     *        emits GC/phase spans on a "gc" track, per-thread
+     *        primitive and glue spans on "thread N" tracks, and the
+     *        memory system, device, and host contribute their counter
+     *        tracks.  The default (disabled) context costs nothing.
      */
     PlatformSim(sim::PlatformKind kind, const sim::SystemConfig &cfg,
-                int cube_shift);
+                int cube_shift, const sim::Instrumentation &instr = {});
     ~PlatformSim();
 
     PlatformSim(const PlatformSim &) = delete;
@@ -69,20 +76,19 @@ class PlatformSim
     /** The HMC backing store (HMC-backed kinds only, else nullptr). */
     hmc::HmcMemory *hmcMemory() { return hmc_.get(); }
 
-    /**
-     * Attach a timeline sink (or nullptr to detach).  The simulator
-     * emits GC/phase spans on a "gc" track, per-thread primitive and
-     * glue spans on "thread N" tracks, and propagates the sink to the
-     * memory system, the device, and the host model for their counter
-     * tracks.  Must be called before simulate(); costs nothing when
-     * never called.
-     */
-    void setTimeline(sim::Timeline *timeline);
+    /** Events the simulation kernel has executed (perf metric). */
+    std::uint64_t executedEvents() const
+    {
+        return eq_.executedEvents();
+    }
 
     /** Print the memory-system statistics accumulated so far. */
     void dumpStats(std::ostream &os) const;
 
   private:
+    /** Per-phase event-driven GC thread agent (defined in the .cc). */
+    struct ThreadAgent;
+
     bool usesHmc() const;
     bool usesCharon() const;
 
@@ -109,6 +115,9 @@ class PlatformSim
     sim::Timeline *timeline_ = nullptr;
     sim::Timeline::TrackId gcTrack_ = 0;
     std::vector<sim::Timeline::TrackId> threadTracks_;
+    /** Pre-interned span names for the per-bucket emit path. */
+    sim::Timeline::NameId primNames_[gc::kNumPrimKinds] = {};
+    sim::Timeline::NameId glueName_ = 0;
 };
 
 } // namespace charon::platform

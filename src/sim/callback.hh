@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A small-buffer-optimized std::function replacement for simulation
+ * callbacks.
+ *
+ * The event queue schedules hundreds of thousands of callbacks per
+ * replay; std::function heap-allocates every capture larger than two
+ * words, which gprof shows as one of the dominant costs of a replay.
+ * sim::Function keeps captures up to the inline budget in the object
+ * itself (falling back to the heap above it), so the common wrappers
+ * — "this plus a continuation plus a couple of scalars" — schedule
+ * without touching the allocator.
+ */
+
+#ifndef CHARON_SIM_CALLBACK_HH
+#define CHARON_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace charon::sim
+{
+
+template <typename Sig, std::size_t Inline = 96> class Function;
+
+/**
+ * Copyable type-erased callable with @p Inline bytes of in-object
+ * capture storage.
+ */
+template <typename R, typename... Args, std::size_t Inline>
+class Function<R(Args...), Inline>
+{
+  public:
+    Function() = default;
+    Function(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, Function>
+                  && std::is_invocable_r_v<R, std::decay_t<F> &,
+                                           Args...>>>
+    Function(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= Inline
+                      && alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (storage()) Fn(std::forward<F>(f));
+            vt_ = &inlineVt<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(storage()) =
+                new Fn(std::forward<F>(f));
+            vt_ = &heapVt<Fn>;
+        }
+    }
+
+    Function(const Function &o)
+    {
+        if (o.vt_) {
+            o.vt_->copy(storage(), o.storage());
+            vt_ = o.vt_;
+        }
+    }
+
+    Function(Function &&o) noexcept
+    {
+        if (o.vt_) {
+            o.vt_->move(storage(), o.storage());
+            vt_ = o.vt_;
+            o.vt_ = nullptr;
+        }
+    }
+
+    Function &
+    operator=(const Function &o)
+    {
+        if (this != &o) {
+            reset();
+            if (o.vt_) {
+                o.vt_->copy(storage(), o.storage());
+                vt_ = o.vt_;
+            }
+        }
+        return *this;
+    }
+
+    Function &
+    operator=(Function &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            if (o.vt_) {
+                o.vt_->move(storage(), o.storage());
+                vt_ = o.vt_;
+                o.vt_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    ~Function() { reset(); }
+
+    explicit operator bool() const { return vt_ != nullptr; }
+
+    R
+    operator()(Args... args) const
+    {
+        return vt_->invoke(storage(), std::forward<Args>(args)...);
+    }
+
+  private:
+    struct VTable
+    {
+        R (*invoke)(void *, Args &&...);
+        void (*copy)(void *dst, const void *src);
+        void (*move)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn> static constexpr VTable inlineVt = {
+        [](void *s, Args &&...args) -> R {
+            return (*static_cast<Fn *>(s))(
+                std::forward<Args>(args)...);
+        },
+        [](void *dst, const void *src) {
+            ::new (dst) Fn(*static_cast<const Fn *>(src));
+        },
+        [](void *dst, void *src) {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *s) { static_cast<Fn *>(s)->~Fn(); },
+    };
+
+    template <typename Fn> static constexpr VTable heapVt = {
+        [](void *s, Args &&...args) -> R {
+            return (**static_cast<Fn **>(s))(
+                std::forward<Args>(args)...);
+        },
+        [](void *dst, const void *src) {
+            *static_cast<Fn **>(dst) =
+                new Fn(**static_cast<Fn *const *>(src));
+        },
+        [](void *dst, void *src) {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *s) { delete *static_cast<Fn **>(s); },
+    };
+
+    void
+    reset()
+    {
+        if (vt_) {
+            vt_->destroy(storage());
+            vt_ = nullptr;
+        }
+    }
+
+    void *storage() const { return const_cast<unsigned char *>(buf_); }
+
+    const VTable *vt_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[Inline];
+};
+
+} // namespace charon::sim
+
+#endif // CHARON_SIM_CALLBACK_HH

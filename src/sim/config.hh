@@ -261,6 +261,61 @@ struct SystemConfig
     HmcConfig hmc;
     CharonConfig charon;
     int gcThreads = 8;
+
+    // ------------------------------------------------------------------
+    // Named presets: the configurations the paper evaluates.  Benches
+    // use these instead of hand-rolling field overrides so the setup
+    // each figure measures is stated once.
+
+    /** The Table 2 evaluation configuration (same as the defaults). */
+    static SystemConfig
+    table2()
+    {
+        return SystemConfig{};
+    }
+
+    /**
+     * Section 4.6 cube scaling: @p cubes cubes carrying 2 Copy/Search
+     * and 2 BitmapCount units each (Scan&Push stays central).  The
+     * paired trace must be re-recorded with numCubes = @p cubes.
+     */
+    static SystemConfig
+    scalability(int cubes)
+    {
+        SystemConfig cfg;
+        cfg.hmc.cubes = cubes;
+        cfg.charon.copySearchUnits = 2 * cubes;
+        cfg.charon.bitmapCountUnits = 2 * cubes;
+        return cfg;
+    }
+
+    /**
+     * Figure 15 thread-scaling point: @p threads GC threads matched
+     * by @p threads units of each kind.
+     */
+    static SystemConfig
+    threadScaling(int threads)
+    {
+        SystemConfig cfg;
+        cfg.gcThreads = threads;
+        cfg.charon.copySearchUnits = threads;
+        cfg.charon.bitmapCountUnits = threads;
+        cfg.charon.scanPushUnits = threads;
+        return cfg;
+    }
+
+    /**
+     * Figure 16 CPU-side placement: units beside the host memory
+     * controller, seeing only off-chip link bandwidth.  PlatformSim
+     * applies this automatically for PlatformKind::CharonCpuSide.
+     */
+    static SystemConfig
+    cpuSide()
+    {
+        SystemConfig cfg;
+        cfg.charon.cpuSide = true;
+        return cfg;
+    }
 };
 
 } // namespace charon::sim

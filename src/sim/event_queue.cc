@@ -1,63 +1,198 @@
 #include "event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace charon::sim
 {
 
+namespace
+{
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+} // namespace
+
+EventQueue::EventQueue() : buckets_(16) {}
+
+std::size_t
+EventQueue::bucketOf(Tick when) const
+{
+    return (when / width_) & (buckets_.size() - 1);
+}
+
 EventId
-EventQueue::schedule(Tick when, std::function<void()> fn)
+EventQueue::schedule(Tick when, Callback fn)
 {
     CHARON_ASSERT(when >= now_,
                   "scheduling at %llu before now %llu",
                   static_cast<unsigned long long>(when),
                   static_cast<unsigned long long>(now_));
     EventId id = nextId_++;
-    heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
-    live_.insert(id);
+    state_.push_back(Pending);
+    ++pending_;
+    maybeGrow();
+    // A locateMin jump may have moved the cursor window past this
+    // event's; pull it back so nothing pending sits behind it.
+    if (when < cursorTop_) {
+        cursorTop_ = when / width_ * width_;
+        cursor_ = bucketOf(when);
+    }
+    buckets_[bucketOf(when)].push_back(
+        Entry{when, nextSeq_++, id, std::move(fn)});
     return id;
 }
 
 bool
 EventQueue::deschedule(EventId id)
 {
-    // An id is cancellable iff it is still pending; erase() tells us.
-    return live_.erase(id) != 0;
+    // An id is cancellable iff it is still pending; its entry stays
+    // behind as a tombstone and is swept on the next bucket scan.
+    if (id == 0 || id >= nextId_ || state_[id - 1] != Pending)
+        return false;
+    state_[id - 1] = Cancelled;
+    --pending_;
+    return true;
+}
+
+bool
+EventQueue::locateMin(std::size_t &bucket, std::size_t &index)
+{
+    if (pending_ == 0)
+        return false;
+    const std::size_t nb = buckets_.size();
+    auto earlier = [](const Entry &a, const Entry &b) {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    };
+    // One pass over the calendar year starting at the cursor window.
+    for (std::size_t i = 0; i < nb; ++i) {
+        std::size_t b = (cursor_ + i) & (nb - 1);
+        Tick top = cursorTop_ + width_ * i;
+        auto &vec = buckets_[b];
+        std::size_t best = npos;
+        for (std::size_t j = 0; j < vec.size();) {
+            if (state_[vec[j].id - 1] != Pending) {
+                vec[j] = std::move(vec.back());
+                vec.pop_back();
+                continue;
+            }
+            if (vec[j].when < top + width_
+                && (best == npos || earlier(vec[j], vec[best])))
+                best = j;
+            ++j;
+        }
+        if (best != npos) {
+            cursor_ = b;
+            cursorTop_ = top;
+            bucket = b;
+            index = best;
+            return true;
+        }
+    }
+    // Nothing due within a year: jump straight to the earliest
+    // pending event instead of stepping window by window.
+    std::size_t bb = npos, be = npos;
+    for (std::size_t b = 0; b < nb; ++b) {
+        auto &vec = buckets_[b];
+        for (std::size_t j = 0; j < vec.size();) {
+            if (state_[vec[j].id - 1] != Pending) {
+                vec[j] = std::move(vec.back());
+                vec.pop_back();
+                continue;
+            }
+            if (be == npos || earlier(vec[j], buckets_[bb][be])) {
+                bb = b;
+                be = j;
+            }
+            ++j;
+        }
+    }
+    CHARON_ASSERT(be != npos, "pending count %llu but no entry found",
+                  static_cast<unsigned long long>(pending_));
+    cursor_ = bb;
+    cursorTop_ = buckets_[bb][be].when / width_ * width_;
+    bucket = bb;
+    index = be;
+    return true;
+}
+
+EventQueue::Entry
+EventQueue::take(std::vector<Entry> &bucket, std::size_t i)
+{
+    Entry e = std::move(bucket[i]);
+    if (i + 1 != bucket.size())
+        bucket[i] = std::move(bucket.back());
+    bucket.pop_back();
+    return e;
+}
+
+void
+EventQueue::resize(std::size_t nb)
+{
+    std::vector<Entry> all;
+    all.reserve(pending_);
+    Tick lo = maxTick, hi = 0;
+    for (auto &vec : buckets_) {
+        for (auto &e : vec) {
+            if (state_[e.id - 1] != Pending)
+                continue;
+            lo = std::min(lo, e.when);
+            hi = std::max(hi, e.when);
+            all.push_back(std::move(e));
+        }
+    }
+    // Width ~ the average spacing of the pending population, so each
+    // window holds O(1) events under the near-monotonic load.
+    width_ = all.empty()
+                 ? Tick{1}
+                 : std::max<Tick>(1, (hi - lo) / all.size() + 1);
+    buckets_.assign(nb, {});
+    cursorTop_ = now_ / width_ * width_;
+    cursor_ = bucketOf(now_);
+    for (auto &e : all)
+        buckets_[bucketOf(e.when)].push_back(std::move(e));
+}
+
+void
+EventQueue::maybeGrow()
+{
+    if (pending_ > 2 * buckets_.size())
+        resize(2 * buckets_.size());
 }
 
 bool
 EventQueue::step()
 {
-    while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        auto it = live_.find(e.id);
-        if (it == live_.end())
-            continue; // cancelled
-        live_.erase(it);
-        now_ = e.when;
-        e.fn();
-        return true;
-    }
-    return false;
+    std::size_t b, i;
+    if (!locateMin(b, i))
+        return false;
+    Entry e = take(buckets_[b], i);
+    state_[e.id - 1] = Fired;
+    --pending_;
+    now_ = e.when;
+    ++executed_;
+    e.fn();
+    return true;
 }
 
 std::uint64_t
 EventQueue::run(Tick until)
 {
     std::uint64_t executed = 0;
-    while (!heap_.empty()) {
-        const Entry &top = heap_.top();
-        if (!live_.count(top.id)) {
-            heap_.pop();
-            continue;
-        }
-        if (top.when > until) {
+    std::size_t b, i;
+    while (locateMin(b, i)) {
+        if (buckets_[b][i].when > until) {
             now_ = until;
             return executed;
         }
-        if (step())
-            ++executed;
+        Entry e = take(buckets_[b], i);
+        state_[e.id - 1] = Fired;
+        --pending_;
+        now_ = e.when;
+        ++executed_;
+        e.fn();
+        ++executed;
     }
     return executed;
 }

@@ -2,22 +2,27 @@
  * @file
  * A small discrete-event simulation kernel.
  *
- * Events are std::function callbacks scheduled at absolute ticks.
- * Same-tick events fire in FIFO (insertion) order, which keeps every run
- * bit-for-bit deterministic. The queue is single-threaded by design: all
- * simulated concurrency (GC threads, Charon units, memory channels) is
- * expressed through event interleaving, never host threads.
+ * Events are callbacks scheduled at absolute ticks.  Same-tick events
+ * fire in FIFO (insertion) order, which keeps every run bit-for-bit
+ * deterministic.  The queue is single-threaded by design: all
+ * simulated concurrency (GC threads, Charon units, memory channels)
+ * is expressed through event interleaving, never host threads.
+ *
+ * Storage is a calendar (bucketed) queue rather than a binary heap:
+ * the memory models and thread agents schedule near-monotonically,
+ * so each event lands a small number of bucket widths ahead of the
+ * cursor and schedule/pop are O(1) amortized.  The bucket count and
+ * width adapt to the pending population (classic Brown calendar
+ * queue); cancellation is a lazy tombstone swept during bucket scans.
  */
 
 #ifndef CHARON_SIM_EVENT_QUEUE_HH
 #define CHARON_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/types.hh"
 
 namespace charon::sim
@@ -39,7 +44,14 @@ using EventId = std::uint64_t;
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /**
+     * Event callback.  The inline budget covers the simulator's
+     * common wrappers (a continuation plus a few scalars) without a
+     * heap allocation per scheduled event.
+     */
+    using Callback = Function<void(), 104>;
+
+    EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -53,11 +65,11 @@ class EventQueue
      * @pre when >= now() (scheduling in the past is a simulator bug).
      * @return handle usable with deschedule().
      */
-    EventId schedule(Tick when, std::function<void()> fn);
+    EventId schedule(Tick when, Callback fn);
 
     /** Schedule @p fn @p delay ticks from now. */
     EventId
-    scheduleIn(Tick delay, std::function<void()> fn)
+    scheduleIn(Tick delay, Callback fn)
     {
         return schedule(now_ + delay, std::move(fn));
     }
@@ -71,10 +83,13 @@ class EventQueue
     bool deschedule(EventId id);
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t pendingEvents() const { return live_.size(); }
+    std::size_t pendingEvents() const { return pending_; }
 
     /** True when no events remain. */
-    bool empty() const { return live_.empty(); }
+    bool empty() const { return pending_ == 0; }
+
+    /** Events executed over the queue's lifetime (perf metric). */
+    std::uint64_t executedEvents() const { return executed_; }
 
     /**
      * Run until the queue drains or @p until is reached (whichever is
@@ -97,27 +112,40 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         EventId id;
-        std::function<void()> fn;
+        Callback fn;
     };
 
-    struct Later
+    enum State : std::uint8_t
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            // std::priority_queue is a max-heap; invert for earliest-first,
-            // breaking ties by insertion order.
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        Pending,
+        Fired,
+        Cancelled,
     };
+
+    std::size_t bucketOf(Tick when) const;
+    /**
+     * Locate the earliest pending (when, seq) and advance the cursor
+     * to its window; sweeps tombstones along the way.
+     * @retval false no pending events.
+     */
+    bool locateMin(std::size_t &bucket, std::size_t &index);
+    /** Pull entry @p i out of @p bucket (swap-remove). */
+    Entry take(std::vector<Entry> &bucket, std::size_t i);
+    /** Re-bucket everything for the current population. */
+    void resize(std::size_t buckets);
+    void maybeGrow();
 
     Tick now_ = 0;
+    std::uint64_t executed_ = 0;
     std::uint64_t nextSeq_ = 0;
     EventId nextId_ = 1;
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<EventId> live_; // ids still pending (not cancelled)
+    std::size_t pending_ = 0;
+
+    std::vector<std::vector<Entry>> buckets_;
+    Tick width_ = 1;          ///< ticks per bucket
+    std::size_t cursor_ = 0;  ///< bucket the cursor window is in
+    Tick cursorTop_ = 0;      ///< start tick of the cursor window
+    std::vector<std::uint8_t> state_; ///< per-id lifecycle, id-indexed
 };
 
 } // namespace charon::sim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Construction-time instrumentation context.
+ *
+ * Every timed component receives an Instrumentation at construction
+ * and resolves its timeline pointer and track ids right there — there
+ * is no post-hoc "attach a sink" phase, so a component can never be
+ * observed half-wired and the track creation order is exactly the
+ * component construction order (which keeps exported traces
+ * byte-stable).  A default-constructed context is the disabled state:
+ * track() returns 0 and timeline() is null, so emit sites keep their
+ * single-branch zero-cost guard.
+ */
+
+#ifndef CHARON_SIM_INSTRUMENTATION_HH
+#define CHARON_SIM_INSTRUMENTATION_HH
+
+#include <string>
+
+#include "sim/timeline.hh"
+
+namespace charon::sim
+{
+
+/**
+ * A cheap value type (one pointer) passed down component constructor
+ * chains; copy it freely.
+ */
+class Instrumentation
+{
+  public:
+    /** Disabled context: no timeline, every track id is 0. */
+    constexpr Instrumentation() = default;
+
+    /** Context emitting into @p timeline (may be null == disabled). */
+    explicit constexpr Instrumentation(Timeline *timeline)
+        : timeline_(timeline)
+    {
+    }
+
+    /** The sink, or null when tracing is off. */
+    Timeline *timeline() const { return timeline_; }
+
+    explicit operator bool() const { return timeline_ != nullptr; }
+
+    /** Find-or-create the track @p name; 0 when disabled. */
+    Timeline::TrackId
+    track(const std::string &name) const
+    {
+        return timeline_ ? timeline_->track(name) : 0;
+    }
+
+  private:
+    Timeline *timeline_ = nullptr;
+};
+
+} // namespace charon::sim
+
+#endif // CHARON_SIM_INSTRUMENTATION_HH

@@ -65,6 +65,20 @@ Timeline::Timeline(std::string process_name)
     : processName_(std::move(process_name))
 {
     instancesCreated.fetch_add(1, std::memory_order_relaxed);
+    names_.emplace_back(); // kEmptyName
+    nameIndex_.emplace(std::string(), kEmptyName);
+}
+
+Timeline::NameId
+Timeline::intern(const std::string &name)
+{
+    auto it = nameIndex_.find(name);
+    if (it != nameIndex_.end())
+        return it->second;
+    NameId id = static_cast<NameId>(names_.size());
+    names_.push_back(name);
+    nameIndex_.emplace(name, id);
+    return id;
 }
 
 Timeline::TrackId
@@ -87,36 +101,54 @@ Timeline::record(Event e)
 }
 
 void
-Timeline::beginSpan(TrackId track, std::string name, Tick start)
+Timeline::beginSpan(TrackId track, const std::string &name, Tick start)
 {
-    record({EventType::Begin, track, std::move(name), start, 0, 0});
+    beginSpan(track, intern(name), start);
+}
+
+void
+Timeline::beginSpan(TrackId track, NameId name, Tick start)
+{
+    record({EventType::Begin, track, name, start, 0, 0});
 }
 
 void
 Timeline::endSpan(TrackId track, Tick end)
 {
-    record({EventType::End, track, std::string(), end, 0, 0});
+    record({EventType::End, track, kEmptyName, end, 0, 0});
 }
 
 void
-Timeline::completeSpan(TrackId track, std::string name, Tick start,
+Timeline::completeSpan(TrackId track, const std::string &name, Tick start,
                        Tick end)
+{
+    completeSpan(track, intern(name), start, end);
+}
+
+void
+Timeline::completeSpan(TrackId track, NameId name, Tick start, Tick end)
 {
     CHARON_ASSERT(end >= start, "span on '%s' ends before it starts",
                   trackNames_[track].c_str());
-    record({EventType::Complete, track, std::move(name), start, end, 0});
+    record({EventType::Complete, track, name, start, end, 0});
 }
 
 void
-Timeline::instant(TrackId track, std::string name, Tick at)
+Timeline::instant(TrackId track, const std::string &name, Tick at)
 {
-    record({EventType::Instant, track, std::move(name), at, 0, 0});
+    instant(track, intern(name), at);
+}
+
+void
+Timeline::instant(TrackId track, NameId name, Tick at)
+{
+    record({EventType::Instant, track, name, at, 0, 0});
 }
 
 void
 Timeline::counter(TrackId track, Tick at, double value)
 {
-    record({EventType::Counter, track, std::string(), at, 0, value});
+    record({EventType::Counter, track, kEmptyName, at, 0, value});
 }
 
 std::uint64_t
@@ -166,7 +198,7 @@ Timeline::writeChromeTrace(std::ostream &os,
               case EventType::Begin:
                 os << "{\"ph\":\"B\",\"pid\":" << pid << ",\"tid\":"
                    << e.track + 1 << ",\"name\":";
-                putJsonString(os, e.name);
+                putJsonString(os, tl->eventName(e.name));
                 os << ",\"ts\":";
                 putMicros(os, e.start);
                 os << "}";
@@ -180,7 +212,7 @@ Timeline::writeChromeTrace(std::ostream &os,
               case EventType::Complete:
                 os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":"
                    << e.track + 1 << ",\"name\":";
-                putJsonString(os, e.name);
+                putJsonString(os, tl->eventName(e.name));
                 os << ",\"ts\":";
                 putMicros(os, e.start);
                 os << ",\"dur\":";
@@ -190,7 +222,7 @@ Timeline::writeChromeTrace(std::ostream &os,
               case EventType::Instant:
                 os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
                    << ",\"tid\":" << e.track + 1 << ",\"name\":";
-                putJsonString(os, e.name);
+                putJsonString(os, tl->eventName(e.name));
                 os << ",\"ts\":";
                 putMicros(os, e.start);
                 os << "}";
@@ -211,17 +243,17 @@ Timeline::writeChromeTrace(std::ostream &os,
 }
 
 ScopedSpan::ScopedSpan(Timeline *timeline, const EventQueue &eq,
-                       Timeline::TrackId track, std::string name)
+                       Timeline::TrackId track, const std::string &name)
     : timeline_(timeline), eq_(eq), track_(track),
-      name_(std::move(name)), start_(eq.now())
+      name_(timeline ? timeline->intern(name) : Timeline::kEmptyName),
+      start_(eq.now())
 {
 }
 
 ScopedSpan::~ScopedSpan()
 {
     if (timeline_)
-        timeline_->completeSpan(track_, std::move(name_), start_,
-                                eq_.now());
+        timeline_->completeSpan(track_, name_, start_, eq_.now());
 }
 
 } // namespace charon::sim

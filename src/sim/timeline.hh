@@ -47,6 +47,9 @@ class Timeline
     /** Index of a track within this timeline. */
     using TrackId = std::uint32_t;
 
+    /** Index of an interned event name within this timeline. */
+    using NameId = std::uint32_t;
+
     enum class EventType : std::uint8_t
     {
         Begin,    ///< open a span (ph "B")
@@ -60,11 +63,14 @@ class Timeline
     {
         EventType type;
         TrackId track;
-        std::string name; ///< empty for End / Counter
+        NameId name;      ///< interned; kEmptyName for End / Counter
         Tick start = 0;
         Tick end = 0;     ///< Complete only
         double value = 0; ///< Counter only
     };
+
+    /** The id the empty string interns to, in every timeline. */
+    static constexpr NameId kEmptyName = 0;
 
     /** @param process_name Perfetto process label (the cell label). */
     explicit Timeline(std::string process_name);
@@ -80,11 +86,24 @@ class Timeline
         return trackNames_[id];
     }
 
-    void beginSpan(TrackId track, std::string name, Tick start);
+    /**
+     * Find-or-create the interned id for @p name.  Each distinct name
+     * is stored once per timeline however many events carry it, so a
+     * million "glue" spans cost a million 32-byte Event records and
+     * one string.  Hot emitters may intern once up front and use the
+     * NameId overloads below.
+     */
+    NameId intern(const std::string &name);
+    const std::string &eventName(NameId id) const { return names_[id]; }
+
+    void beginSpan(TrackId track, const std::string &name, Tick start);
+    void beginSpan(TrackId track, NameId name, Tick start);
     void endSpan(TrackId track, Tick end);
-    void completeSpan(TrackId track, std::string name, Tick start,
+    void completeSpan(TrackId track, const std::string &name, Tick start,
                       Tick end);
-    void instant(TrackId track, std::string name, Tick at);
+    void completeSpan(TrackId track, NameId name, Tick start, Tick end);
+    void instant(TrackId track, const std::string &name, Tick at);
+    void instant(TrackId track, NameId name, Tick at);
     /** Sample a counter track's value; the track name is the series. */
     void counter(TrackId track, Tick at, double value);
 
@@ -113,6 +132,8 @@ class Timeline
     std::string processName_;
     std::vector<std::string> trackNames_;
     std::map<std::string, TrackId> trackIndex_;
+    std::vector<std::string> names_; ///< interned, names_[0] == ""
+    std::map<std::string, NameId> nameIndex_;
     std::vector<Event> events_;
 };
 
@@ -125,7 +146,7 @@ class ScopedSpan
 {
   public:
     ScopedSpan(Timeline *timeline, const EventQueue &eq,
-               Timeline::TrackId track, std::string name);
+               Timeline::TrackId track, const std::string &name);
     ~ScopedSpan();
 
     ScopedSpan(const ScopedSpan &) = delete;
@@ -135,7 +156,7 @@ class ScopedSpan
     Timeline *timeline_;
     const EventQueue &eq_;
     Timeline::TrackId track_;
-    std::string name_;
+    Timeline::NameId name_;
     Tick start_;
 };
 

@@ -6,9 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/rng.hh"
 
 using charon::sim::EventQueue;
 using charon::sim::Tick;
@@ -158,4 +163,83 @@ TEST(EventQueue, CancelledEventDoesNotBlockSameTickSiblings)
     eq.deschedule(a);
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RandomizedStressMatchesSortedOracle)
+{
+    // Adversarial mix of schedules (including reentrant ones from
+    // inside callbacks), cancellations, and bounded runs.  The
+    // calendar queue's firing order must match the specification
+    // oracle exactly: every non-cancelled event fires at its own
+    // tick, globally ordered by (when, insertion seq).  The mix
+    // forces bucket growth, cursor wrap-around, tombstone sweeps,
+    // and same-tick FIFO chains.
+    for (std::uint64_t seed : {1ull, 42ull, 0xDEADull, 31337ull}) {
+        charon::sim::Rng rng(seed);
+        EventQueue eq;
+
+        std::uint64_t seq = 0;
+        std::vector<std::pair<Tick, std::uint64_t>> scheduled;
+        std::set<std::uint64_t> cancelled;
+        std::set<std::uint64_t> fired_set;
+        std::vector<std::uint64_t> fired;
+        std::vector<std::pair<charon::sim::EventId, std::uint64_t>> live;
+
+        std::function<void(Tick, int)> scheduleEvent =
+            [&](Tick when, int depth) {
+                const std::uint64_t s = seq++;
+                scheduled.emplace_back(when, s);
+                auto id = eq.schedule(when, [&, when, s, depth] {
+                    EXPECT_EQ(eq.now(), when) << "seed " << seed;
+                    fired.push_back(s);
+                    fired_set.insert(s);
+                    if (depth > 0 && rng.chance(0.25))
+                        scheduleEvent(eq.now() + rng.below(3000),
+                                      depth - 1);
+                });
+                live.emplace_back(id, s);
+            };
+
+        for (int round = 0; round < 40; ++round) {
+            const std::uint64_t burst = 1 + rng.below(25);
+            for (std::uint64_t i = 0; i < burst; ++i) {
+                // Mostly near-future (the calendar queue's sweet
+                // spot), sometimes far ahead to force a cursor skip
+                // or a resize, sometimes exactly "now".
+                Tick delta = rng.chance(0.1) ? rng.below(200000)
+                                             : rng.below(4000);
+                scheduleEvent(eq.now() + delta, 2);
+            }
+            while (!live.empty() && rng.chance(0.4)) {
+                const std::size_t i = rng.below(live.size());
+                const auto [id, s] = live[i];
+                const bool was_pending = fired_set.count(s) == 0
+                                         && cancelled.count(s) == 0;
+                EXPECT_EQ(eq.deschedule(id), was_pending)
+                    << "seed " << seed << " seq " << s;
+                if (was_pending)
+                    cancelled.insert(s);
+                live.erase(live.begin() + i);
+            }
+            eq.run(eq.now() + rng.below(8000));
+        }
+        eq.run();
+        EXPECT_TRUE(eq.empty());
+        EXPECT_EQ(eq.pendingEvents(), 0u);
+
+        // The oracle: stable specification order over what survived.
+        std::vector<std::pair<Tick, std::uint64_t>> expected_events;
+        for (const auto &e : scheduled) {
+            if (cancelled.count(e.second) == 0)
+                expected_events.push_back(e);
+        }
+        std::sort(expected_events.begin(), expected_events.end());
+        std::vector<std::uint64_t> expected;
+        expected.reserve(expected_events.size());
+        for (const auto &e : expected_events)
+            expected.push_back(e.second);
+        EXPECT_EQ(fired, expected) << "seed " << seed;
+        EXPECT_EQ(eq.executedEvents(), expected.size())
+            << "seed " << seed;
+    }
 }

@@ -226,12 +226,10 @@ TEST_F(GcTest, TraceCopyBytesMatchFunctionalBytes)
     auto result = Scavenge(*heap, *rec).collect();
     const auto &gc = rec->run().gcs.back();
     std::uint64_t trace_bytes = 0;
-    for (const auto &t : gc.phases[2].threads) {
-        for (const auto &b : t.buckets) {
-            if (b.kind == PrimKind::Copy)
-                trace_bytes += b.seqReadBytes;
-        }
-    }
+    gc.phases[2].forEachBucket([&](const gc::Bucket &b) {
+        if (b.kind == PrimKind::Copy)
+            trace_bytes += b.seqReadBytes;
+    });
     EXPECT_EQ(trace_bytes, result.bytesCopied + result.bytesPromoted);
 }
 

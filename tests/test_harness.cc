@@ -63,7 +63,7 @@ syntheticRun()
     b.seqReadBytes = 1024;
     b.writeBytes = 1024;
     work.buckets.push_back(b);
-    phase.threads.push_back(work);
+    phase.addThread(work);
     gc.phases.push_back(phase);
     run.trace.gcs.push_back(gc);
     run.trace.mutatorInstructions = {10, 20};

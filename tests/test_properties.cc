@@ -131,12 +131,10 @@ TEST(TraceIdentity, CopyBytesMatchFunctionalOutcome)
         // of Copy bucket payloads in the trace.
         std::uint64_t bucket_bytes = 0;
         for (const auto &phase : gc.phases) {
-            for (const auto &t : phase.threads) {
-                for (const auto &b : t.buckets) {
-                    if (b.kind == gc::PrimKind::Copy)
-                        bucket_bytes += b.seqReadBytes;
-                }
-            }
+            phase.forEachBucket([&](const gc::Bucket &b) {
+                if (b.kind == gc::PrimKind::Copy)
+                    bucket_bytes += b.seqReadBytes;
+            });
         }
         EXPECT_EQ(bucket_bytes, gc.bytesCopied);
     }
@@ -149,15 +147,13 @@ TEST(TraceIdentity, ScanPushRefsNeverExceedRandomAccesses)
     mut.run();
     for (const auto &gc : mut.recorder().run().gcs) {
         for (const auto &phase : gc.phases) {
-            for (const auto &t : phase.threads) {
-                for (const auto &b : t.buckets) {
-                    if (b.kind != gc::PrimKind::ScanPush)
-                        continue;
-                    EXPECT_LE(b.refsVisited, b.randomAccesses);
-                    EXPECT_LE(b.bitmapRmwAccesses, b.randomAccesses);
-                    EXPECT_EQ(b.randomBytes, b.randomAccesses * 16);
-                }
-            }
+            phase.forEachBucket([&](const gc::Bucket &b) {
+                if (b.kind != gc::PrimKind::ScanPush)
+                    return;
+                EXPECT_LE(b.refsVisited, b.randomAccesses);
+                EXPECT_LE(b.bitmapRmwAccesses, b.randomAccesses);
+                EXPECT_EQ(b.randomBytes, b.randomAccesses * 16);
+            });
         }
     }
 }

@@ -60,7 +60,7 @@ TEST(Timeline, EventsRecordWhatWasEmitted)
     tl.counter(t, 50, 3.5);
     ASSERT_EQ(tl.events().size(), 5u);
     EXPECT_EQ(tl.events()[0].type, Timeline::EventType::Begin);
-    EXPECT_EQ(tl.events()[0].name, "outer");
+    EXPECT_EQ(tl.eventName(tl.events()[0].name), "outer");
     EXPECT_EQ(tl.events()[1].type, Timeline::EventType::Complete);
     EXPECT_EQ(tl.events()[1].start, 20u);
     EXPECT_EQ(tl.events()[1].end, 30u);

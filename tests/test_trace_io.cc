@@ -53,8 +53,8 @@ syntheticTrace()
     c.seqReadBytes = 999;
     c.writeBytes = 999;
     work.buckets.push_back(c);
-    phase.threads.push_back(work);
-    phase.threads.emplace_back(); // an idle thread
+    phase.addThread(work);
+    phase.addThread(ThreadWork{}); // an idle thread
     gc.phases.push_back(phase);
     trace.gcs.push_back(gc);
     trace.gcs.push_back(GcTrace{}); // an empty minor GC
@@ -63,6 +63,52 @@ syntheticTrace()
 }
 
 } // namespace
+
+TEST(TraceSoA, ColumnsRoundTripEveryField)
+{
+    // push() scatters a Bucket into the columns; get() must gather
+    // back every field bit-for-bit, at any index.
+    const RunTrace trace = syntheticTrace();
+    const PhaseTrace &phase = trace.gcs[0].phases[0];
+    ASSERT_EQ(phase.buckets.size(), 2u);
+    const Bucket b0 = phase.buckets.get(0);
+    EXPECT_EQ(b0.kind, PrimKind::BitmapCount);
+    EXPECT_EQ(b0.srcCube, 2);
+    EXPECT_EQ(b0.invocations, 7u);
+    EXPECT_EQ(b0.rangeBits, 896u);
+    EXPECT_FALSE(b0.hostOnly);
+    const Bucket b1 = phase.buckets.get(1);
+    EXPECT_EQ(b1.kind, PrimKind::Copy);
+    EXPECT_EQ(b1.srcCube, 1);
+    EXPECT_EQ(b1.dstCube, 3);
+    EXPECT_TRUE(b1.hostOnly);
+    EXPECT_EQ(b1.seqReadBytes, 999u);
+
+    BucketColumns copy = phase.buckets;
+    EXPECT_TRUE(copy == phase.buckets);
+    copy.push(b0);
+    EXPECT_TRUE(copy != phase.buckets);
+}
+
+TEST(TraceSoA, ThreadSpansPartitionTheBucketColumns)
+{
+    // addThread() appends each worker's buckets contiguously; the
+    // spans must tile the columns exactly, in thread order.
+    const RunTrace trace = syntheticTrace();
+    const PhaseTrace &phase = trace.gcs[0].phases[0];
+    ASSERT_EQ(phase.threads.size(), 2u);
+    EXPECT_EQ(phase.threads[0].firstBucket, 0u);
+    EXPECT_EQ(phase.threads[0].bucketCount, 2u);
+    EXPECT_EQ(phase.threads[0].glueInstructions, 1000u);
+    EXPECT_EQ(phase.threads[1].firstBucket, 2u);
+    EXPECT_EQ(phase.threads[1].bucketCount, 0u);
+    std::size_t covered = 0;
+    for (const auto &span : phase.threads)
+        covered += span.bucketCount;
+    EXPECT_EQ(covered, phase.buckets.size());
+    EXPECT_EQ(phase.totalInvocations(PrimKind::Copy), 9u);
+    EXPECT_EQ(phase.totalBytes(PrimKind::BitmapCount), 224u);
+}
 
 TEST(TraceIo, SyntheticRoundTrip)
 {
@@ -131,7 +177,7 @@ TEST(TraceIo, TraceEqualsDetectsDifferences)
     RunTrace a = syntheticTrace();
     RunTrace b = syntheticTrace();
     EXPECT_TRUE(traceEquals(a, b));
-    b.gcs[0].phases[0].threads[0].buckets[0].invocations += 1;
+    b.gcs[0].phases[0].buckets.invocations[0] += 1;
     EXPECT_FALSE(traceEquals(a, b));
 }
 

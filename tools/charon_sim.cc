@@ -52,29 +52,6 @@ struct SimOptions
     bool dumpStats = false;
 };
 
-void
-usage()
-{
-    std::printf(
-        "charon-sim: replay GC primitive traces on the paper's "
-        "platforms\n\n"
-        "  --workload=NAME      BS | KM | LR | CC | PR | ALS\n"
-        "  --heap-mib=N         max heap (default: Table 3 value)\n"
-        "  --seed=N             workload RNG seed (default 1)\n"
-        "  --gc-threads=N       GC threads (default 8)\n"
-        "  --platforms=LIST     comma list of ddr4,hmc,charon,\n"
-        "                       charon-cpu,ideal (default: all)\n"
-        "  --save-trace=FILE    persist the primitive trace\n"
-        "  --load-trace=FILE    replay a saved trace instead of\n"
-        "                       running a workload\n"
-        "  --cube-shift=N       address-to-cube shift for a loaded\n"
-        "                       trace (printed when saving)\n"
-        "  --find-min-heap      report the smallest runnable heap\n"
-        "  --dump-stats         per-channel byte/utilization stats\n"
-        "%s",
-        harness::optionsUsage());
-}
-
 std::optional<sim::PlatformKind>
 parsePlatform(const std::string &name)
 {
@@ -94,57 +71,44 @@ parsePlatform(const std::string &name)
 bool
 parseArgs(int argc, char **argv, SimOptions &opt)
 {
-    bool ok = true;
-    auto extra = [&](const std::string &arg) {
-        auto value =
-            [&](const char *prefix) -> std::optional<std::string> {
-            std::size_t n = std::char_traits<char>::length(prefix);
-            if (arg.rfind(prefix, 0) == 0)
-                return arg.substr(n);
-            return std::nullopt;
-        };
-        if (arg == "--help" || arg == "-h") {
-            usage();
-            std::exit(0);
-        } else if (auto v = value("--workload=")) {
-            opt.workload = *v;
-        } else if (auto v = value("--heap-mib=")) {
-            opt.heapMib = std::stoull(*v);
-        } else if (auto v = value("--seed=")) {
-            opt.seed = std::stoull(*v);
-        } else if (auto v = value("--gc-threads=")) {
-            opt.gcThreads = std::stoi(*v);
-        } else if (auto v = value("--save-trace=")) {
-            opt.saveTrace = *v;
-        } else if (auto v = value("--load-trace=")) {
-            opt.loadTrace = *v;
-        } else if (auto v = value("--cube-shift=")) {
-            opt.cubeShift = std::stoi(*v);
-        } else if (auto v = value("--platforms=")) {
-            std::stringstream ss(*v);
+    auto &common = opt.common;
+    common.helpHeader = "charon-sim: replay GC primitive traces on "
+                        "the paper's platforms";
+    common.flag("--workload", &opt.workload,
+                "BS | KM | LR | CC | PR | ALS");
+    common.flag("--heap-mib", &opt.heapMib,
+                "max heap (default: Table 3 value)");
+    common.flag("--seed", &opt.seed, "workload RNG seed (default 1)");
+    common.flag("--gc-threads", &opt.gcThreads,
+                "GC threads (default 8)");
+    common.flag(
+        "--platforms",
+        [&opt](const std::string &v) {
+            std::stringstream ss(v);
             std::string item;
             while (std::getline(ss, item, ',')) {
                 auto kind = parsePlatform(item);
-                if (!kind) {
-                    std::fprintf(stderr, "unknown platform '%s'\n",
-                                 item.c_str());
-                    ok = false;
-                    return true;
-                }
+                if (!kind)
+                    return false;
                 opt.platforms.push_back(*kind);
             }
-        } else if (arg == "--dump-stats") {
-            opt.dumpStats = true;
-        } else if (arg == "--find-min-heap") {
-            opt.findMinHeap = true;
-        } else {
-            return false; // hand over to the shared-flag parser
-        }
-        return true;
-    };
-    if (!harness::parseOptions(argc, argv, opt.common, extra))
-        return false;
-    return ok;
+            return true;
+        },
+        "comma list of ddr4,hmc,charon,\ncharon-cpu,ideal (default: "
+        "all)",
+        "LIST");
+    common.flag("--save-trace", &opt.saveTrace,
+                "persist the primitive trace");
+    common.flag("--load-trace", &opt.loadTrace,
+                "replay a saved trace instead of\nrunning a workload");
+    common.flag("--cube-shift", &opt.cubeShift,
+                "address-to-cube shift for a loaded\ntrace (printed "
+                "when saving)");
+    common.flag("--find-min-heap", &opt.findMinHeap,
+                "report the smallest runnable heap");
+    common.flag("--dump-stats", &opt.dumpStats,
+                "per-channel byte/utilization stats");
+    return harness::parseOptions(argc, argv, common);
 }
 
 } // namespace
@@ -153,10 +117,8 @@ int
 main(int argc, char **argv)
 {
     SimOptions opt;
-    if (!parseArgs(argc, argv, opt)) {
-        usage();
+    if (!parseArgs(argc, argv, opt))
         return 2;
-    }
     if (opt.platforms.empty()) {
         opt.platforms = {sim::PlatformKind::HostDdr4,
                          sim::PlatformKind::HostHmc,
@@ -195,7 +157,10 @@ main(int argc, char **argv)
         }
     } else {
         if (opt.workload.empty()) {
-            usage();
+            std::fprintf(stderr,
+                         "error: --workload (or --load-trace) is "
+                         "required\n\n%s",
+                         opt.common.usageText().c_str());
             return 2;
         }
         const auto &params = workload::findWorkload(opt.workload);

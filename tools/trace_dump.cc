@@ -102,13 +102,11 @@ main(int argc, char **argv)
                 hit_sum += phase.bitmapCacheHitRate;
                 ++hit_phases;
             }
-            for (const auto &t : phase.threads) {
-                for (const auto &b : t.buckets) {
-                    local[b.kind].add(b);
-                    total[b.kind].add(b);
-                    cube_bytes[b.srcCube] += b.totalBytes();
-                }
-            }
+            phase.forEachBucket([&](const gc::Bucket &b) {
+                local[b.kind].add(b);
+                total[b.kind].add(b);
+                cube_bytes[b.srcCube] += b.totalBytes();
+            });
         }
         if (per_gc) {
             std::printf("GC #%zu (%s): %llu live objects, %s copied\n",
