@@ -1,0 +1,198 @@
+#include "explorer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "accel/area_energy.hh"
+
+namespace charon::dse
+{
+
+namespace
+{
+
+std::string
+fmtDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+JournalRecord
+toRecord(std::string key, const harness::CellResult &result)
+{
+    JournalRecord rec;
+    rec.key = std::move(key);
+    rec.ok = result.ok;
+    rec.oom = result.oom;
+    rec.error = result.error;
+    if (result.ok) {
+        const auto &t = result.timing;
+        rec.gcSeconds = t.gcSeconds;
+        rec.minorSeconds = t.minorSeconds;
+        rec.majorSeconds = t.majorSeconds;
+        rec.mutatorSeconds = t.mutatorSeconds;
+        rec.avgGcBandwidthGBs = t.avgGcBandwidthGBs;
+        rec.localAccessFraction = t.localAccessFraction;
+        rec.dramBytes = t.dramBytes;
+        rec.hostEnergyJ = t.hostEnergyJ;
+        rec.dramEnergyJ = t.dramEnergyJ;
+        rec.unitEnergyJ = t.unitEnergyJ;
+    }
+    return rec;
+}
+
+} // namespace
+
+std::string
+cellKey(const harness::Cell &cell, int screenGcs)
+{
+    // Resolve heapBytes=0 to the catalog default so a sweep that
+    // spells the heap explicitly and one that relies on the default
+    // share journal entries.
+    auto key = harness::ExperimentRunner::resolve(cell.key);
+    const auto &cfg = cell.config;
+    std::ostringstream os;
+    os << "c1|" << key.str() << '|' << sim::platformName(cell.platform)
+       << "|t" << cfg.gcThreads << "/q" << cfg.hmc.cubes << "/tsv"
+       << fmtDouble(cfg.hmc.internalGBsPerCube) << "/link"
+       << fmtDouble(cfg.hmc.linkGBs) << "/top"
+       << (cfg.hmc.topology == sim::HmcTopology::Star ? "star"
+                                                      : "chain")
+       << "/cs" << cfg.charon.copySearchUnits << "/bc"
+       << cfg.charon.bitmapCountUnits << "/sp"
+       << cfg.charon.scanPushUnits << "/mai" << cfg.charon.maiEntries
+       << (cfg.charon.distributedStructures ? "/dist" : "/uni")
+       << (cfg.charon.scanPushLocal ? "/splocal" : "")
+       << (cfg.charon.cpuSide ? "/cpuside" : "") << "|g" << screenGcs;
+    return os.str();
+}
+
+std::vector<JournalRecord>
+Explorer::runCells(const std::vector<harness::Cell> &cells,
+                   const std::vector<std::string> &keys)
+{
+    std::vector<JournalRecord> records(cells.size());
+    std::vector<std::size_t> misses;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (journal_.lookup(keys[i], records[i]))
+            ++hits_;
+        else
+            misses.push_back(i);
+    }
+    if (misses.empty())
+        return records;
+
+    std::vector<harness::Cell> missCells;
+    missCells.reserve(misses.size());
+    for (std::size_t i : misses)
+        missCells.push_back(cells[i]);
+    auto results = runner_.run(missCells);
+    for (std::size_t k = 0; k < misses.size(); ++k) {
+        std::size_t i = misses[k];
+        records[i] = toRecord(keys[i], results[k]);
+        journal_.append(records[i]);
+        ++evaluated_;
+    }
+    return records;
+}
+
+std::vector<PointEval>
+Explorer::evaluate(const std::vector<DsePoint> &points, int screenGcs)
+{
+    std::vector<harness::Cell> cells;
+    std::vector<std::string> keys;
+    cells.reserve(points.size() * 2);
+    keys.reserve(points.size() * 2);
+    for (const auto &point : points) {
+        auto fk = harness::ExperimentRunner::resolve(
+            point.functionalKey());
+        auto cfg = point.systemConfig();
+        for (auto kind : {sim::PlatformKind::HostDdr4,
+                          sim::PlatformKind::CharonNmp}) {
+            harness::Cell c;
+            c.key = fk;
+            c.platform = kind;
+            c.config = cfg;
+            c.label = point.str() + " on " + sim::platformName(kind);
+            if (screenGcs > 0) {
+                c.label += " (screen " + std::to_string(screenGcs)
+                           + " gcs)";
+                c.patchTrace = [screenGcs](gc::RunTrace &trace) {
+                    auto cap = static_cast<std::size_t>(screenGcs);
+                    if (trace.gcs.size() > cap)
+                        trace.gcs.resize(cap);
+                    if (trace.mutatorInstructions.size() > cap)
+                        trace.mutatorInstructions.resize(cap);
+                };
+            }
+            keys.push_back(cellKey(c, screenGcs));
+            cells.push_back(std::move(c));
+        }
+    }
+
+    auto records = runCells(cells, keys);
+
+    std::vector<PointEval> evals;
+    evals.reserve(points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        PointEval e;
+        e.point = points[p];
+        e.screenGcs = screenGcs;
+        e.base = records[p * 2];
+        e.charon = records[p * 2 + 1];
+        e.ok = e.base.ok && e.charon.ok;
+        e.oom = e.base.oom || e.charon.oom;
+        e.error = !e.base.error.empty() ? e.base.error : e.charon.error;
+        if (e.ok && e.charon.gcSeconds > 0)
+            e.speedup = e.base.gcSeconds / e.charon.gcSeconds;
+        e.energyJ = e.charon.totalEnergyJ();
+        e.areaMm2 =
+            accel::AreaModel(points[p].systemConfig().charon).totalMm2();
+        evals.push_back(std::move(e));
+    }
+    return evals;
+}
+
+std::vector<PointEval>
+successiveHalving(Explorer &explorer, std::vector<DsePoint> points,
+                  int screenGcs, std::size_t finalists)
+{
+    if (finalists == 0)
+        finalists = 1;
+    int gcs = screenGcs > 0 ? screenGcs : 1;
+    while (points.size() > finalists) {
+        auto evals = explorer.evaluate(points, gcs);
+        std::vector<std::size_t> order(points.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        // Failed points sort last; among the rest the screened
+        // speedup decides.  stable_sort keeps enumeration order on
+        // ties, so the whole search is deterministic.
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             if (evals[a].ok != evals[b].ok)
+                                 return evals[a].ok;
+                             return evals[a].speedup
+                                    > evals[b].speedup;
+                         });
+        std::size_t keep =
+            std::max(finalists, (points.size() + 1) / 2);
+        order.resize(keep);
+        // Survivors continue in enumeration order, not rank order:
+        // the next round's journal keys must not depend on this
+        // round's exact scores more than membership already does.
+        std::sort(order.begin(), order.end());
+        std::vector<DsePoint> next;
+        next.reserve(keep);
+        for (std::size_t i : order)
+            next.push_back(std::move(points[i]));
+        points = std::move(next);
+        gcs *= 2;
+    }
+    return explorer.evaluate(points, 0);
+}
+
+} // namespace charon::dse

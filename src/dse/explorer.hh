@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Explorer: evaluates candidate designs through the experiment
+ * harness, journal-first.
+ *
+ * One DsePoint costs two cells — the DDR4 host baseline and the
+ * Charon platform, both replaying the point's functional trace — and
+ * yields an objective vector (speedup, area, energy).  The Explorer
+ * looks every cell up in the SweepJournal before touching the runner,
+ * batches the misses through ExperimentRunner::run (so replays fan
+ * out across --jobs while staying bit-identical at any job count),
+ * and appends each fresh result to the journal in submission order.
+ *
+ * Screening (successive halving) reuses the same machinery with the
+ * replayed trace truncated to the first K collections via
+ * Cell::patchTrace: the functional trace is recorded (or cache-hit)
+ * once in full, and the short replay is just a cheaper walk over its
+ * prefix — a separate journal key, so screens never pollute full
+ * results.
+ */
+
+#ifndef CHARON_DSE_EXPLORER_HH
+#define CHARON_DSE_EXPLORER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dse/journal.hh"
+#include "dse/objective.hh"
+#include "dse/param_space.hh"
+#include "harness/experiment_runner.hh"
+
+namespace charon::dse
+{
+
+/**
+ * The journal identity of one cell: resolved functional key +
+ * platform + architectural-config digest + screening depth.  Two
+ * cells with equal keys would replay byte-identical simulations.
+ *
+ * The digest covers the configuration fields the explorer's axes can
+ * vary (plus a version tag).  It deliberately does not hash every
+ * model constant: after an intentional timing-model change, delete
+ * stale journals — they are caches, the golden tests are the guard.
+ */
+std::string cellKey(const harness::Cell &cell, int screenGcs);
+
+/** One evaluated design point (screened or full). */
+struct PointEval
+{
+    DsePoint point;
+    int screenGcs = 0; ///< 0 = full run
+    bool ok = false;
+    bool oom = false;
+    std::string error;
+
+    JournalRecord base;   ///< DDR4 host cell
+    JournalRecord charon; ///< Charon NMP cell
+
+    double speedup = 0; ///< base GC time / Charon GC time
+    double energyJ = 0; ///< Charon-platform GC energy
+    double areaMm2 = 0; ///< Table 4 area of the point's unit fleet
+
+    Objectives
+    objectives() const
+    {
+        return Objectives{speedup, areaMm2, energyJ};
+    }
+};
+
+class Explorer
+{
+  public:
+    Explorer(harness::ExperimentRunner &runner, SweepJournal &journal)
+        : runner_(runner), journal_(journal)
+    {
+    }
+
+    /**
+     * Run @p cells journal-first: cells whose @p keys hit return the
+     * journalled record; the misses run through the harness as one
+     * batch and are appended.  Results align with @p cells.
+     */
+    std::vector<JournalRecord>
+    runCells(const std::vector<harness::Cell> &cells,
+             const std::vector<std::string> &keys);
+
+    /**
+     * Evaluate @p points (two cells each).  @p screenGcs > 0 replays
+     * only the first that-many collections of each trace — the
+     * successive-halving screen.  Order follows @p points.
+     */
+    std::vector<PointEval> evaluate(const std::vector<DsePoint> &points,
+                                    int screenGcs = 0);
+
+    /** Cells answered from the journal so far. */
+    std::size_t journalHits() const { return hits_; }
+    /** Cells actually simulated so far. */
+    std::size_t evaluatedCells() const { return evaluated_; }
+
+    harness::ExperimentRunner &runner() { return runner_; }
+    SweepJournal &journal() { return journal_; }
+
+  private:
+    harness::ExperimentRunner &runner_;
+    SweepJournal &journal_;
+    std::size_t hits_ = 0;
+    std::size_t evaluated_ = 0;
+};
+
+/**
+ * Adaptive search: screen all @p points on @p screenGcs-collection
+ * replays, keep the better half (by screened speedup; failed points
+ * sort last), double the screen depth, and repeat until at most
+ * @p finalists survive; those get full evaluations.  Returns the
+ * finalists' full PointEvals in enumeration order.  Every screen and
+ * the final runs are journalled, so a halving sweep resumes too.
+ */
+std::vector<PointEval> successiveHalving(Explorer &explorer,
+                                         std::vector<DsePoint> points,
+                                         int screenGcs,
+                                         std::size_t finalists);
+
+} // namespace charon::dse
+
+#endif // CHARON_DSE_EXPLORER_HH

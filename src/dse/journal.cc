@@ -1,0 +1,363 @@
+#include "journal.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace charon::dse
+{
+
+namespace
+{
+
+constexpr int kVersion = 1;
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** %.17g: enough digits that strtod round-trips the exact double. */
+std::string
+fmtDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/**
+ * Minimal parser for the flat JSON objects the journal itself writes:
+ * string / number / bool values only.  Anything unexpected — torn
+ * line, nested value, trailing garbage — fails the whole line.
+ */
+class FlatJsonScanner
+{
+  public:
+    explicit FlatJsonScanner(const std::string &s) : s_(s) {}
+
+    bool
+    object(std::map<std::string, std::string> &strings,
+           std::map<std::string, double> &numbers,
+           std::map<std::string, bool> &bools)
+    {
+        skipWs();
+        if (!consume('{'))
+            return false;
+        skipWs();
+        if (consume('}'))
+            return trailingOk();
+        for (;;) {
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return false;
+            skipWs();
+            if (i_ < s_.size() && s_[i_] == '"') {
+                std::string v;
+                if (!string(v))
+                    return false;
+                strings[key] = v;
+            } else if (matchWord("true")) {
+                bools[key] = true;
+            } else if (matchWord("false")) {
+                bools[key] = false;
+            } else {
+                double v;
+                if (!number(v))
+                    return false;
+                numbers[key] = v;
+            }
+            skipWs();
+            if (consume(',')) {
+                skipWs();
+                continue;
+            }
+            if (consume('}'))
+                return trailingOk();
+            return false;
+        }
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (i_ < s_.size()
+               && (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\r'))
+            ++i_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (i_ < s_.size() && s_[i_] == c) {
+            ++i_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    matchWord(const char *w)
+    {
+        std::size_t n = std::string(w).size();
+        if (s_.compare(i_, n, w) == 0) {
+            i_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (i_ < s_.size()) {
+            char c = s_[i_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (i_ >= s_.size())
+                    return false;
+                char e = s_[i_++];
+                switch (e) {
+                case '"':
+                case '\\':
+                case '/':
+                    out += e;
+                    break;
+                case 'n':
+                    out += '\n';
+                    break;
+                case 't':
+                    out += '\t';
+                    break;
+                case 'r':
+                    out += '\r';
+                    break;
+                case 'u': {
+                    if (i_ + 4 > s_.size())
+                        return false;
+                    unsigned code = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        char h = s_[i_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    // The journal only escapes control bytes.
+                    out += static_cast<char>(code & 0xff);
+                    break;
+                }
+                default:
+                    return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        return false; // unterminated: torn line
+    }
+
+    bool
+    number(double &out)
+    {
+        std::size_t start = i_;
+        while (i_ < s_.size()
+               && (std::isdigit(static_cast<unsigned char>(s_[i_]))
+                   || s_[i_] == '-' || s_[i_] == '+' || s_[i_] == '.'
+                   || s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == 'n'
+                   || s_[i_] == 'a' || s_[i_] == 'i' || s_[i_] == 'f'))
+            ++i_;
+        if (i_ == start)
+            return false;
+        std::string tok = s_.substr(start, i_ - start);
+        char *end = nullptr;
+        out = std::strtod(tok.c_str(), &end);
+        return end != nullptr && *end == '\0';
+    }
+
+    bool
+    trailingOk()
+    {
+        skipWs();
+        return i_ == s_.size();
+    }
+
+    const std::string &s_;
+    std::size_t i_ = 0;
+};
+
+} // namespace
+
+SweepJournal::SweepJournal(std::string path) : path_(std::move(path))
+{
+    if (path_.empty())
+        return;
+    std::ifstream is(path_, std::ios::binary);
+    if (!is)
+        return; // no journal yet: first run
+    std::string content((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+    endsWithNewline_ = content.empty() || content.back() == '\n';
+    std::istringstream lines(content);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        JournalRecord rec;
+        // Malformed lines (torn final write, hand edits) are misses,
+        // not errors: the sweep recomputes and re-appends them.
+        if (parseLine(line, rec))
+            records_[rec.key] = rec;
+    }
+}
+
+bool
+SweepJournal::lookup(const std::string &key, JournalRecord &out) const
+{
+    auto it = records_.find(key);
+    if (it == records_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+bool
+SweepJournal::append(const JournalRecord &record)
+{
+    records_[record.key] = record;
+    if (path_.empty())
+        return true;
+    std::ofstream os(path_, std::ios::binary | std::ios::app);
+    if (!os)
+        return false;
+    // A torn final line from a previous crash must not swallow this
+    // record: complete it first, then append on a fresh line.
+    if (!endsWithNewline_)
+        os << '\n';
+    os << formatLine(record) << '\n';
+    os.flush();
+    if (!os)
+        return false;
+    endsWithNewline_ = true;
+    return true;
+}
+
+std::string
+SweepJournal::formatLine(const JournalRecord &r)
+{
+    std::ostringstream os;
+    os << "{\"v\":" << kVersion << ",\"key\":\"" << escapeJson(r.key)
+       << "\",\"ok\":" << (r.ok ? "true" : "false")
+       << ",\"oom\":" << (r.oom ? "true" : "false");
+    if (!r.error.empty())
+        os << ",\"error\":\"" << escapeJson(r.error) << "\"";
+    os << ",\"gcSeconds\":" << fmtDouble(r.gcSeconds)
+       << ",\"minorSeconds\":" << fmtDouble(r.minorSeconds)
+       << ",\"majorSeconds\":" << fmtDouble(r.majorSeconds)
+       << ",\"mutatorSeconds\":" << fmtDouble(r.mutatorSeconds)
+       << ",\"avgGcBandwidthGBs\":" << fmtDouble(r.avgGcBandwidthGBs)
+       << ",\"localAccessFraction\":"
+       << fmtDouble(r.localAccessFraction)
+       << ",\"dramBytes\":" << fmtDouble(r.dramBytes)
+       << ",\"hostEnergyJ\":" << fmtDouble(r.hostEnergyJ)
+       << ",\"dramEnergyJ\":" << fmtDouble(r.dramEnergyJ)
+       << ",\"unitEnergyJ\":" << fmtDouble(r.unitEnergyJ) << "}";
+    return os.str();
+}
+
+bool
+SweepJournal::parseLine(const std::string &line, JournalRecord &out)
+{
+    std::map<std::string, std::string> strings;
+    std::map<std::string, double> numbers;
+    std::map<std::string, bool> bools;
+    FlatJsonScanner scanner(line);
+    if (!scanner.object(strings, numbers, bools))
+        return false;
+
+    auto v = numbers.find("v");
+    if (v == numbers.end() || v->second != kVersion)
+        return false;
+    auto key = strings.find("key");
+    if (key == strings.end() || key->second.empty())
+        return false;
+
+    out = JournalRecord{};
+    out.key = key->second;
+    auto b = [&](const char *name, bool &field) {
+        auto it = bools.find(name);
+        if (it != bools.end())
+            field = it->second;
+    };
+    b("ok", out.ok);
+    b("oom", out.oom);
+    auto e = strings.find("error");
+    if (e != strings.end())
+        out.error = e->second;
+    auto n = [&](const char *name, double &field) {
+        auto it = numbers.find(name);
+        if (it == numbers.end())
+            return false;
+        field = it->second;
+        return true;
+    };
+    // The numeric block is all-or-nothing: a line missing any metric
+    // (written by a different version, or torn) is a miss.
+    return n("gcSeconds", out.gcSeconds)
+           && n("minorSeconds", out.minorSeconds)
+           && n("majorSeconds", out.majorSeconds)
+           && n("mutatorSeconds", out.mutatorSeconds)
+           && n("avgGcBandwidthGBs", out.avgGcBandwidthGBs)
+           && n("localAccessFraction", out.localAccessFraction)
+           && n("dramBytes", out.dramBytes)
+           && n("hostEnergyJ", out.hostEnergyJ)
+           && n("dramEnergyJ", out.dramEnergyJ)
+           && n("unitEnergyJ", out.unitEnergyJ);
+}
+
+} // namespace charon::dse

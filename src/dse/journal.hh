@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SweepJournal: the resumability layer of the design-space explorer.
+ *
+ * Every evaluated cell (one platform replay of one candidate design)
+ * is appended to a JSONL journal as soon as its result exists, keyed
+ * by the cell's full content key (functional key + platform +
+ * architectural-config digest + screening depth).  A re-run of the
+ * same sweep — after a crash, a Ctrl-C, or on another day — looks
+ * every cell up in the journal first and only simulates the misses,
+ * so an interrupted sweep resumes with zero re-simulated cells.
+ *
+ * Durability contract: records are flushed line-at-a-time, doubles
+ * round-trip exactly (%.17g), and the loader tolerates a torn final
+ * line (a crash mid-append) by treating it as a miss.  The journal is
+ * an append-only cache, never a source of truth: deleting it merely
+ * costs recomputation.
+ */
+
+#ifndef CHARON_DSE_JOURNAL_HH
+#define CHARON_DSE_JOURNAL_HH
+
+#include <map>
+#include <string>
+
+namespace charon::dse
+{
+
+/**
+ * One journalled cell result: the replay-side scalars every report
+ * and objective needs.  (Traces themselves live in the harness trace
+ * cache; the journal only memoizes the timing/energy outcome.)
+ */
+struct JournalRecord
+{
+    std::string key; ///< cellKey(): the record's identity
+    bool ok = false;
+    bool oom = false;
+    std::string error; ///< diagnostic when !ok
+
+    double gcSeconds = 0;
+    double minorSeconds = 0;
+    double majorSeconds = 0;
+    double mutatorSeconds = 0;
+    double avgGcBandwidthGBs = 0;
+    double localAccessFraction = 0;
+    double dramBytes = 0;
+    double hostEnergyJ = 0;
+    double dramEnergyJ = 0;
+    double unitEnergyJ = 0;
+
+    double
+    totalEnergyJ() const
+    {
+        return hostEnergyJ + dramEnergyJ + unitEnergyJ;
+    }
+};
+
+/**
+ * Append-only JSONL store of JournalRecords, loaded whole at
+ * construction.  An empty path constructs a disabled journal: every
+ * lookup misses and appends are dropped, so callers never branch.
+ */
+class SweepJournal
+{
+  public:
+    /** Load @p path if it exists (missing file = empty journal). */
+    explicit SweepJournal(std::string path);
+
+    bool enabled() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+
+    /** Records currently held (later duplicates win). */
+    std::size_t size() const { return records_.size(); }
+
+    /** Fetch the record for @p key into @p out; false on a miss. */
+    bool lookup(const std::string &key, JournalRecord &out) const;
+
+    /**
+     * Append @p record and remember it for future lookups.  Returns
+     * false when the journal is enabled but the file cannot be
+     * written (the in-memory copy is still updated, so the sweep
+     * completes either way).
+     */
+    bool append(const JournalRecord &record);
+
+    /** Serialize one record as a single JSONL line (no newline). */
+    static std::string formatLine(const JournalRecord &record);
+
+    /**
+     * Parse one journal line.  Returns false — never throws — on a
+     * malformed or torn line, which the loader counts as a miss.
+     */
+    static bool parseLine(const std::string &line, JournalRecord &out);
+
+  private:
+    std::string path_;
+    std::map<std::string, JournalRecord> records_;
+    /** False when the loaded file ends mid-line (torn final write):
+     *  the first append then starts with a repair newline. */
+    bool endsWithNewline_ = true;
+};
+
+} // namespace charon::dse
+
+#endif // CHARON_DSE_JOURNAL_HH

@@ -1,0 +1,74 @@
+#include "objective.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace charon::dse
+{
+
+bool
+dominates(const Objectives &a, const Objectives &b)
+{
+    bool geq = a.speedup >= b.speedup && a.areaMm2 <= b.areaMm2
+               && a.energyJ <= b.energyJ;
+    bool strict = a.speedup > b.speedup || a.areaMm2 < b.areaMm2
+                  || a.energyJ < b.energyJ;
+    return geq && strict;
+}
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<Objectives> &points)
+{
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated; ++j)
+            dominated = j != i && dominates(points[j], points[i]);
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    return frontier;
+}
+
+std::size_t
+kneePoint(const std::vector<Objectives> &points,
+          const std::vector<std::size_t> &frontier)
+{
+    // Normalize over the frontier only: dominated stragglers must not
+    // stretch an axis and shift the knee.
+    double sMin = std::numeric_limits<double>::infinity(), sMax = -sMin;
+    double aMin = sMin, aMax = -sMin;
+    double eMin = sMin, eMax = -sMin;
+    for (std::size_t i : frontier) {
+        const auto &p = points[i];
+        sMin = std::min(sMin, p.speedup);
+        sMax = std::max(sMax, p.speedup);
+        aMin = std::min(aMin, p.areaMm2);
+        aMax = std::max(aMax, p.areaMm2);
+        eMin = std::min(eMin, p.energyJ);
+        eMax = std::max(eMax, p.energyJ);
+    }
+    auto norm = [](double v, double lo, double hi) {
+        return hi > lo ? (v - lo) / (hi - lo) : 0.0;
+    };
+
+    std::size_t best = frontier.front();
+    double bestDist = std::numeric_limits<double>::infinity();
+    for (std::size_t i : frontier) {
+        const auto &p = points[i];
+        // Utopia: speedup at the frontier max, area and energy at the
+        // frontier min — (1, 0, 0) in normalized space.
+        double ds = 1.0 - norm(p.speedup, sMin, sMax);
+        double da = norm(p.areaMm2, aMin, aMax);
+        double de = norm(p.energyJ, eMin, eMax);
+        double dist = std::sqrt(ds * ds + da * da + de * de);
+        if (dist < bestDist) {
+            bestDist = dist;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace charon::dse

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Multi-objective scoring of candidate designs: GC speedup (maximize)
+ * against silicon area and GC energy (minimize).
+ *
+ * The paper's own evaluation juggles exactly this trade-off — Table 4
+ * budgets 1.95 mm^2 for the units while Figures 12/14 sell the
+ * speedup and energy saving — so the explorer reports a Pareto
+ * frontier instead of a single "best" configuration, plus the knee
+ * point (the frontier member closest to the normalized utopia) as a
+ * headline suggestion.
+ */
+
+#ifndef CHARON_DSE_OBJECTIVE_HH
+#define CHARON_DSE_OBJECTIVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace charon::dse
+{
+
+/** The objective vector of one evaluated design point. */
+struct Objectives
+{
+    double speedup = 0; ///< GC speedup over the DDR4 host (maximize)
+    double areaMm2 = 0; ///< Charon unit area, Table 4 model (minimize)
+    double energyJ = 0; ///< GC energy on the Charon platform (minimize)
+};
+
+/**
+ * True when @p a is at least as good as @p b on every objective and
+ * strictly better on at least one.
+ */
+bool dominates(const Objectives &a, const Objectives &b);
+
+/**
+ * Indices of the non-dominated members of @p points, in ascending
+ * index order (deterministic; duplicate points all survive).
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<Objectives> &points);
+
+/**
+ * The knee of the frontier: each objective is normalized to [0,1]
+ * over the frontier members and the member nearest the utopia point
+ * (max speedup, min area, min energy) wins; ties break to the lowest
+ * index.  @p frontier must be non-empty; returns its member, not a
+ * position within it.
+ */
+std::size_t kneePoint(const std::vector<Objectives> &points,
+                      const std::vector<std::size_t> &frontier);
+
+} // namespace charon::dse
+
+#endif // CHARON_DSE_OBJECTIVE_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Canned explorations: the paper's sensitivity sweeps re-expressed as
+ * journal-backed ParamSpaces, plus the sweep reporting shared by
+ * every charon-explore run.
+ *
+ * The fig13 / fig15 presets rebuild the *exact* cell grids of the
+ * bench binaries of the same name and render the same tables, so
+ * `charon-explore --preset fig13` must be byte-identical to
+ * `bench/fig13_bandwidth` (CI diffs them) while additionally
+ * journalling every cell.  The frontier preset is the beyond-paper
+ * sweep: unit count x offload threshold, scored on speedup vs. area
+ * and energy.
+ */
+
+#ifndef CHARON_DSE_PRESETS_HH
+#define CHARON_DSE_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "dse/explorer.hh"
+#include "dse/param_space.hh"
+#include "harness/result_sink.hh"
+
+namespace charon::dse
+{
+
+/**
+ * The CI smoke grid: 4 points x 2 cells on the cheapest workload —
+ * small enough for a pull-request gate, rich enough to have a
+ * non-trivial Pareto frontier.  Also the golden-guard grid, so its
+ * shape is pinned by tests/golden/dse_pareto_golden.csv.
+ */
+ParamSpace smokeSpace();
+
+/**
+ * The beyond-paper frontier sweep: per-primitive unit count x copy
+ * offload threshold on KM (the paper's Table 2 point is one cell of
+ * this grid).
+ */
+ParamSpace frontierSpace();
+
+/** Figure 13 sweep (TSV vs. off-chip bandwidth), bench-identical. */
+void runFig13Preset(Explorer &explorer, harness::Report &report);
+
+/** Figure 15 sweep (thread scaling x structures), bench-identical. */
+void runFig15Preset(Explorer &explorer, harness::Report &report);
+
+/** Frontier + knee of a finished sweep. */
+struct SweepSummary
+{
+    std::vector<std::size_t> frontier; ///< indices into the evals
+    std::size_t knee = 0;              ///< index into the evals
+    bool valid = false; ///< false when no point evaluated ok
+};
+
+/** Extract the Pareto frontier and knee over the ok points. */
+SweepSummary summarize(const std::vector<PointEval> &evals);
+
+/**
+ * Render a sweep: one row per point (objectives + frontier/knee
+ * marks) and a frontier note.  Failed points go to the report's
+ * failure summary.
+ */
+void reportSweep(harness::Report &report,
+                 const std::vector<PointEval> &evals,
+                 const SweepSummary &summary);
+
+/**
+ * The frontier as CSV (header + one row per frontier member, knee
+ * flagged), doubles as %.17g so the text is reproducible.
+ */
+std::string paretoCsvText(const std::vector<PointEval> &evals,
+                          const SweepSummary &summary);
+
+/** Write paretoCsvText to @p path; false (with @p error) on I/O. */
+bool writeParetoCsv(const std::string &path,
+                    const std::vector<PointEval> &evals,
+                    const SweepSummary &summary, std::string *error);
+
+} // namespace charon::dse
+
+#endif // CHARON_DSE_PRESETS_HH

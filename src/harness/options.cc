@@ -1,9 +1,11 @@
 #include "options.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "harness/trace_cache.hh"
 
@@ -29,6 +31,40 @@ parseDouble(const std::string &v, double &out)
     char *end = nullptr;
     out = std::strtod(v.c_str(), &end);
     return errno == 0 && end != nullptr && *end == '\0' && !v.empty();
+}
+
+/** Classic dynamic-programming Levenshtein distance. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t up = row[j];
+            std::size_t subst = diag + (a[i - 1] != b[j - 1] ? 1 : 0);
+            row[j] = std::min({subst, up + 1, row[j - 1] + 1});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+/** Every flag name this binary accepts (registered + shared). */
+std::vector<std::string>
+knownFlagNames(const Options &opt)
+{
+    std::vector<std::string> names;
+    for (const auto &f : opt.flags())
+        names.push_back(f.name);
+    for (const char *shared :
+         {"--jobs", "--cache-dir", "--no-cache", "--csv", "--json",
+          "--trace-out", "--rollup", "--help"})
+        names.push_back(shared);
+    return names;
 }
 
 /** "  --name=METAVAR       help" in the shared two-column layout. */
@@ -127,6 +163,29 @@ Options::usageText() const
     return out;
 }
 
+std::string
+suggestFlag(const std::string &arg, const Options &opt)
+{
+    // Compare on the flag name alone: a mistyped `--cahe-dir=/x`
+    // should still land on --cache-dir.
+    const std::string name = arg.substr(0, arg.find('='));
+    std::string best;
+    std::size_t best_dist = 0;
+    for (const auto &candidate : knownFlagNames(opt)) {
+        std::size_t d = editDistance(name, candidate);
+        if (best.empty() || d < best_dist) {
+            best = candidate;
+            best_dist = d;
+        }
+    }
+    // Only suggest near misses: a third of the typed name, with a
+    // floor of 2 so one-transposition typos on short flags qualify.
+    std::size_t budget = std::max<std::size_t>(2, name.size() / 3);
+    if (best.empty() || best_dist > budget)
+        return std::string();
+    return best;
+}
+
 const char *
 optionsUsage()
 {
@@ -152,24 +211,38 @@ parseOptions(int argc, char **argv, Options &opt)
     opt.cacheDir = TraceCache::defaultDir();
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        auto value = [&](const char *prefix) -> const char * {
-            std::size_t n = std::char_traits<char>::length(prefix);
+        // Value flags accept both spellings: --name=VALUE and
+        // --name VALUE (the next argv entry).
+        auto value = [&](const char *name) -> const char * {
+            std::string prefix = std::string(name) + "=";
             if (arg.rfind(prefix, 0) == 0)
-                return arg.c_str() + n;
+                return arg.c_str() + prefix.size();
+            if (arg == name && i + 1 < argc)
+                return argv[++i];
             return nullptr;
         };
         const Options::FlagSpec *matched = nullptr;
         std::string flagValue;
+        bool missingValue = false;
         for (const auto &f : opt.flags()) {
             if (f.metavar.empty()) {
                 if (arg == f.name)
                     matched = &f;
-            } else if (const char *v = value((f.name + "=").c_str())) {
+            } else if (const char *v = value(f.name.c_str())) {
                 matched = &f;
                 flagValue = v;
+            } else if (arg == f.name) {
+                matched = &f;
+                missingValue = true;
             }
             if (matched)
                 break;
+        }
+        if (missingValue) {
+            std::fprintf(stderr, "%s: missing value for %s\n\n%s",
+                         argv[0], matched->name.c_str(),
+                         opt.usageText().c_str());
+            return false;
         }
         if (matched) {
             if (!matched->parse(flagValue)) {
@@ -189,24 +262,35 @@ parseOptions(int argc, char **argv, Options &opt)
             std::printf("%s\n\n%s", header.c_str(),
                         opt.usageText().c_str());
             std::exit(0);
-        } else if (const char *v = value("--jobs=")) {
+        } else if (const char *v = value("--jobs")) {
             opt.jobs = std::atoi(v);
-        } else if (const char *v = value("--cache-dir=")) {
+        } else if (const char *v = value("--cache-dir")) {
             opt.cacheDir = v;
         } else if (arg == "--no-cache") {
             opt.noCache = true;
         } else if (arg == "--csv") {
             opt.csv = true;
-        } else if (const char *v = value("--json=")) {
+        } else if (const char *v = value("--json")) {
             opt.jsonPath = v;
-        } else if (const char *v = value("--trace-out=")) {
+        } else if (const char *v = value("--trace-out")) {
             opt.traceOut = v;
         } else if (arg == "--rollup") {
             opt.rollup = true;
-        } else {
-            std::fprintf(stderr, "%s: unknown option '%s'\n\n%s",
+        } else if (arg == "--jobs" || arg == "--cache-dir"
+                   || arg == "--json" || arg == "--trace-out") {
+            std::fprintf(stderr, "%s: missing value for %s\n\n%s",
                          argv[0], arg.c_str(),
                          opt.usageText().c_str());
+            return false;
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n",
+                         argv[0], arg.c_str());
+            if (const std::string hint = suggestFlag(arg, opt);
+                !hint.empty()) {
+                std::fprintf(stderr, "(did you mean '%s'?)\n",
+                             hint.c_str());
+            }
+            std::fprintf(stderr, "\n%s", opt.usageText().c_str());
             return false;
         }
     }

@@ -63,7 +63,7 @@ struct Options
     void flag(const std::string &name, bool *out,
               const std::string &help);
 
-    /** Value flags: `--name=VALUE` parsed into *out. */
+    /** Value flags: `--name=VALUE` or `--name VALUE` into *out. */
     void flag(const std::string &name, int *out,
               const std::string &help);
     void flag(const std::string &name, std::uint64_t *out,
@@ -102,6 +102,14 @@ struct Options
 
 /** Usage text for the shared flags alone. */
 const char *optionsUsage();
+
+/**
+ * Nearest registered-or-shared flag to a mistyped @p arg by edit
+ * distance (the part before any '='), or "" when nothing is close
+ * enough to be a plausible typo.  parseOptions prints it as a
+ * "did you mean" hint before failing.
+ */
+std::string suggestFlag(const std::string &arg, const Options &opt);
 
 /**
  * Parse the registered and shared flags; exits on --help, returns

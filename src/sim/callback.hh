@@ -16,6 +16,7 @@
 #define CHARON_SIM_CALLBACK_HH
 
 #include <cstddef>
+#include <cstdlib>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -27,7 +28,10 @@ template <typename Sig, std::size_t Inline = 96> class Function;
 
 /**
  * Copyable type-erased callable with @p Inline bytes of in-object
- * capture storage.
+ * capture storage.  Move-only callables (unique_ptr captures and the
+ * like) are accepted; copying a Function holding one aborts, so the
+ * queue's move-only schedule path stays allocation-honest without a
+ * per-callable copyability tax.
  */
 template <typename R, typename... Args, std::size_t Inline>
 class Function<R(Args...), Inline>
@@ -124,7 +128,12 @@ class Function<R(Args...), Inline>
                 std::forward<Args>(args)...);
         },
         [](void *dst, const void *src) {
-            ::new (dst) Fn(*static_cast<const Fn *>(src));
+            // Move-only callables are allowed in (the queue only
+            // moves); copying one is a programming error.
+            if constexpr (std::is_copy_constructible_v<Fn>)
+                ::new (dst) Fn(*static_cast<const Fn *>(src));
+            else
+                std::abort();
         },
         [](void *dst, void *src) {
             ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
@@ -139,8 +148,11 @@ class Function<R(Args...), Inline>
                 std::forward<Args>(args)...);
         },
         [](void *dst, const void *src) {
-            *static_cast<Fn **>(dst) =
-                new Fn(**static_cast<Fn *const *>(src));
+            if constexpr (std::is_copy_constructible_v<Fn>)
+                *static_cast<Fn **>(dst) =
+                    new Fn(**static_cast<Fn *const *>(src));
+            else
+                std::abort();
         },
         [](void *dst, void *src) {
             *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);

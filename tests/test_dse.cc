@@ -1,0 +1,477 @@
+/**
+ * @file
+ * Design-space explorer tests: deterministic parameter-space
+ * enumeration, journal durability (resume after a kill, torn final
+ * line tolerated as a miss), Pareto extraction on hand-built
+ * objective sets, journal-first cell evaluation, and the pinned
+ * smoke-grid Pareto golden (regenerate after intended model changes
+ * with CHARON_UPDATE_GOLDEN=1; see EXPERIMENTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dse/explorer.hh"
+#include "dse/journal.hh"
+#include "dse/objective.hh"
+#include "dse/param_space.hh"
+#include "dse/presets.hh"
+#include "harness/experiment_runner.hh"
+
+using namespace charon;
+using namespace charon::dse;
+
+namespace
+{
+
+std::string
+freshDir(const char *name)
+{
+    auto dir = std::filesystem::path(::testing::TempDir())
+               / (std::string("charon-dse-") + name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+// ---------------------------------------------------------------------
+// ParamSpace
+
+TEST(ParamSpace, EnumerationIsDeterministicCartesianOrder)
+{
+    ParamSpace space;
+    ASSERT_TRUE(space.axis("units", {"2", "4"}));
+    ASSERT_TRUE(space.axis("offload-threshold", {"0", "256", "4096"}));
+    EXPECT_EQ(space.size(), 6u);
+
+    auto a = space.enumerate();
+    auto b = space.enumerate();
+    ASSERT_EQ(a.size(), 6u);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].str(), b[i].str()) << "index " << i;
+
+    // Last axis fastest: thresholds cycle within one unit count.
+    EXPECT_EQ(a[0].copySearchUnits, 2);
+    EXPECT_EQ(a[0].copyOffloadThreshold, 0u);
+    EXPECT_EQ(a[1].copyOffloadThreshold, 256u);
+    EXPECT_EQ(a[2].copyOffloadThreshold, 4096u);
+    EXPECT_EQ(a[3].copySearchUnits, 4);
+    EXPECT_EQ(a[3].copyOffloadThreshold, 0u);
+
+    // "units" fans out to all three unit kinds.
+    EXPECT_EQ(a[0].bitmapCountUnits, 2);
+    EXPECT_EQ(a[0].scanPushUnits, 2);
+}
+
+TEST(ParamSpace, PointIdentityCoversEveryAxis)
+{
+    // Two points differing in any single axis must have distinct
+    // str() forms — the journal and reports key on it.
+    ParamSpace space;
+    ASSERT_TRUE(space.axisSpec("workload=KM,CC"));
+    ASSERT_TRUE(space.axisSpec("gc-threads=4,8"));
+    ASSERT_TRUE(space.axisSpec("tsv-gbs=160,320"));
+    ASSERT_TRUE(space.axisSpec("distributed=0,1"));
+    auto points = space.enumerate();
+    std::set<std::string> ids;
+    for (const auto &p : points)
+        ids.insert(p.str());
+    EXPECT_EQ(ids.size(), points.size());
+}
+
+TEST(ParamSpace, RejectsUnknownAxesAndBadValues)
+{
+    ParamSpace space;
+    std::string error;
+    EXPECT_FALSE(space.axis("warp-factor", {"9"}, &error));
+    EXPECT_NE(error.find("warp-factor"), std::string::npos);
+    EXPECT_FALSE(space.axis("units", {"4", "banana"}, &error));
+    EXPECT_NE(error.find("banana"), std::string::npos);
+    EXPECT_FALSE(space.axis("units", {}, &error));
+    EXPECT_FALSE(space.axisSpec("no-equals-sign", &error));
+    EXPECT_FALSE(space.axisSpec("workload=XX", &error));
+    // Nothing registered by the failures.
+    EXPECT_TRUE(space.axes().empty());
+    EXPECT_EQ(space.size(), 1u);
+}
+
+TEST(ParamSpace, WorkloadAxisCanonicalizesCase)
+{
+    ParamSpace space;
+    ASSERT_TRUE(space.axisSpec("workload=km"));
+    auto points = space.enumerate();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].workload, "KM");
+}
+
+TEST(ParamSpace, SampleIsSeededSubsetInEnumerationOrder)
+{
+    ParamSpace space;
+    ASSERT_TRUE(space.axisSpec("units=1,2,3,4,5"));
+    ASSERT_TRUE(space.axisSpec("gc-threads=1,2,4,8"));
+    auto all = space.enumerate();
+
+    auto s1 = space.sample(7, 42);
+    auto s2 = space.sample(7, 42);
+    ASSERT_EQ(s1.size(), 7u);
+    for (std::size_t i = 0; i < s1.size(); ++i)
+        EXPECT_EQ(s1[i].str(), s2[i].str());
+
+    // Members come from the full set, distinct, in enumeration order.
+    std::size_t cursor = 0;
+    for (const auto &p : s1) {
+        while (cursor < all.size() && all[cursor].str() != p.str())
+            ++cursor;
+        ASSERT_LT(cursor, all.size())
+            << p.str() << " not found in enumeration order";
+        ++cursor;
+    }
+
+    // A different seed picks a different subset (overwhelmingly).
+    auto s3 = space.sample(7, 43);
+    bool anyDiff = false;
+    for (std::size_t i = 0; i < s1.size(); ++i)
+        anyDiff |= s1[i].str() != s3[i].str();
+    EXPECT_TRUE(anyDiff);
+
+    // Oversampling degrades to the full enumeration.
+    auto s4 = space.sample(1000, 7);
+    EXPECT_EQ(s4.size(), all.size());
+}
+
+// ---------------------------------------------------------------------
+// SweepJournal
+
+JournalRecord
+sampleRecord(const std::string &key, double scale)
+{
+    JournalRecord r;
+    r.key = key;
+    r.ok = true;
+    r.gcSeconds = 0.1 * scale;
+    r.minorSeconds = 0.06 * scale;
+    r.majorSeconds = 0.04 * scale;
+    r.mutatorSeconds = 1.5 * scale;
+    r.avgGcBandwidthGBs = 123.456 * scale;
+    r.localAccessFraction = 0.75;
+    r.dramBytes = 1e9 * scale;
+    r.hostEnergyJ = 2.5 * scale;
+    r.dramEnergyJ = 1.25 * scale;
+    r.unitEnergyJ = 0.125 * scale;
+    return r;
+}
+
+TEST(SweepJournal, FormatParseRoundTripIsExact)
+{
+    // An awkward double: %.17g must reproduce the very same bits.
+    JournalRecord r = sampleRecord("c1|KM/ps|...|g0", 1.0);
+    r.gcSeconds = 0.1 + 0.2; // 0.30000000000000004
+    r.avgGcBandwidthGBs = 1.0 / 3.0;
+    r.error = "quote \" backslash \\ newline \n done";
+    r.oom = true;
+
+    JournalRecord out;
+    ASSERT_TRUE(SweepJournal::parseLine(SweepJournal::formatLine(r),
+                                        out));
+    EXPECT_EQ(out.key, r.key);
+    EXPECT_EQ(out.ok, r.ok);
+    EXPECT_EQ(out.oom, r.oom);
+    EXPECT_EQ(out.error, r.error);
+    EXPECT_EQ(out.gcSeconds, r.gcSeconds); // bitwise, not approx
+    EXPECT_EQ(out.avgGcBandwidthGBs, r.avgGcBandwidthGBs);
+    EXPECT_EQ(out.dramBytes, r.dramBytes);
+}
+
+TEST(SweepJournal, ParseRejectsMalformedLines)
+{
+    JournalRecord out;
+    EXPECT_FALSE(SweepJournal::parseLine("", out));
+    EXPECT_FALSE(SweepJournal::parseLine("not json", out));
+    EXPECT_FALSE(SweepJournal::parseLine("{\"v\":1}", out));
+    // Torn mid-number and mid-string:
+    std::string full = SweepJournal::formatLine(sampleRecord("k", 1));
+    for (std::size_t cut : {full.size() - 1, full.size() / 2,
+                            std::size_t{3}})
+        EXPECT_FALSE(
+            SweepJournal::parseLine(full.substr(0, cut), out))
+            << "cut at " << cut;
+    // Wrong version:
+    std::string v2 = full;
+    v2.replace(v2.find("\"v\":1"), 5, "\"v\":2");
+    EXPECT_FALSE(SweepJournal::parseLine(v2, out));
+}
+
+TEST(SweepJournal, ResumeAfterKillTreatsTornTailAsMiss)
+{
+    const std::string path =
+        freshDir("journal-torn") + "/sweep.dse.jsonl";
+    {
+        SweepJournal journal(path);
+        ASSERT_TRUE(journal.append(sampleRecord("cell-a", 1)));
+        ASSERT_TRUE(journal.append(sampleRecord("cell-b", 2)));
+        ASSERT_TRUE(journal.append(sampleRecord("cell-c", 3)));
+    }
+    // Simulate a kill mid-append: chop the file mid-way through the
+    // final record's line.
+    auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 30);
+
+    SweepJournal resumed(path);
+    EXPECT_EQ(resumed.size(), 2u);
+    JournalRecord out;
+    EXPECT_TRUE(resumed.lookup("cell-a", out));
+    EXPECT_EQ(out.gcSeconds, sampleRecord("cell-a", 1).gcSeconds);
+    EXPECT_TRUE(resumed.lookup("cell-b", out));
+    EXPECT_FALSE(resumed.lookup("cell-c", out)) << "torn line = miss";
+
+    // Re-appending the missing record repairs the torn tail: the
+    // next load sees all three, and no parse casualties.
+    ASSERT_TRUE(resumed.append(sampleRecord("cell-c", 3)));
+    SweepJournal reloaded(path);
+    EXPECT_EQ(reloaded.size(), 3u);
+    EXPECT_TRUE(reloaded.lookup("cell-c", out));
+    EXPECT_EQ(out.gcSeconds, sampleRecord("cell-c", 3).gcSeconds);
+}
+
+TEST(SweepJournal, DisabledJournalMissesAndSwallowsAppends)
+{
+    SweepJournal journal{std::string()};
+    EXPECT_FALSE(journal.enabled());
+    EXPECT_TRUE(journal.append(sampleRecord("k", 1)));
+    JournalRecord out;
+    // In-memory memo still works within the process...
+    EXPECT_TRUE(journal.lookup("k", out));
+    // ...but nothing was written anywhere.
+}
+
+TEST(SweepJournal, LaterDuplicateWins)
+{
+    const std::string path =
+        freshDir("journal-dup") + "/sweep.dse.jsonl";
+    {
+        SweepJournal journal(path);
+        journal.append(sampleRecord("k", 1));
+        journal.append(sampleRecord("k", 2));
+    }
+    SweepJournal reloaded(path);
+    EXPECT_EQ(reloaded.size(), 1u);
+    JournalRecord out;
+    ASSERT_TRUE(reloaded.lookup("k", out));
+    EXPECT_EQ(out.gcSeconds, sampleRecord("k", 2).gcSeconds);
+}
+
+// ---------------------------------------------------------------------
+// Objectives / Pareto
+
+TEST(Objective, DominanceIsStrictSomewhere)
+{
+    Objectives a{2.0, 1.0, 10.0};
+    EXPECT_FALSE(dominates(a, a)) << "equal points do not dominate";
+    EXPECT_TRUE(dominates(Objectives{2.5, 1.0, 10.0}, a));
+    EXPECT_TRUE(dominates(Objectives{2.0, 0.5, 10.0}, a));
+    EXPECT_TRUE(dominates(Objectives{2.0, 1.0, 9.0}, a));
+    EXPECT_FALSE(dominates(Objectives{2.5, 1.5, 10.0}, a))
+        << "better speedup but worse area is a trade, not dominance";
+    EXPECT_FALSE(dominates(a, Objectives{2.5, 1.0, 10.0}));
+}
+
+TEST(Objective, FrontierOnHandBuiltSet)
+{
+    // Indices:       0: dominated by 1      1: frontier
+    //                2: frontier (cheap)    3: dominated by 1 and 2
+    //                4: frontier (fast)     5: duplicate of 2
+    std::vector<Objectives> points = {
+        {1.5, 2.0, 20.0}, {2.0, 2.0, 18.0}, {1.2, 0.5, 12.0},
+        {1.1, 2.5, 25.0}, {3.0, 4.0, 30.0}, {1.2, 0.5, 12.0},
+    };
+    auto frontier = paretoFrontier(points);
+    EXPECT_EQ(frontier, (std::vector<std::size_t>{1, 2, 4, 5}));
+
+    // The knee balances all three normalized axes; here point 1 is
+    // near-max speedup at mid area/energy.
+    EXPECT_EQ(kneePoint(points, frontier), 1u);
+}
+
+TEST(Objective, SinglePointFrontier)
+{
+    std::vector<Objectives> points = {{1.0, 1.0, 1.0}};
+    auto frontier = paretoFrontier(points);
+    ASSERT_EQ(frontier.size(), 1u);
+    EXPECT_EQ(kneePoint(points, frontier), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Explorer (journal-first evaluation; no simulation on full hits)
+
+TEST(Explorer, JournalHitsShortCircuitSimulation)
+{
+    DsePoint point; // KM defaults
+    auto fk = harness::ExperimentRunner::resolve(point.functionalKey());
+    auto cfg = point.systemConfig();
+    std::vector<harness::Cell> cells;
+    std::vector<std::string> keys;
+    for (auto kind : {sim::PlatformKind::HostDdr4,
+                      sim::PlatformKind::CharonNmp}) {
+        harness::Cell c;
+        c.key = fk;
+        c.platform = kind;
+        c.config = cfg;
+        cells.push_back(c);
+        keys.push_back(cellKey(c, 0));
+    }
+    EXPECT_NE(keys[0], keys[1]) << "platform must enter the cell key";
+
+    SweepJournal journal{std::string()};
+    journal.append(sampleRecord(keys[0], 1));
+    journal.append(sampleRecord(keys[1], 2));
+
+    harness::ExperimentRunner runner(
+        harness::RunnerConfig{1, std::string()});
+    Explorer explorer(runner, journal);
+    auto records = explorer.runCells(cells, keys);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(explorer.journalHits(), 2u);
+    EXPECT_EQ(explorer.evaluatedCells(), 0u)
+        << "full journal must mean zero simulated cells";
+    EXPECT_EQ(records[0].gcSeconds, sampleRecord(keys[0], 1).gcSeconds);
+    EXPECT_EQ(records[1].gcSeconds, sampleRecord(keys[1], 2).gcSeconds);
+}
+
+TEST(Explorer, CellKeySeparatesConfigAndScreenDepth)
+{
+    DsePoint point;
+    auto fk = harness::ExperimentRunner::resolve(point.functionalKey());
+    harness::Cell c;
+    c.key = fk;
+    c.platform = sim::PlatformKind::CharonNmp;
+    c.config = point.systemConfig();
+
+    harness::Cell tsv = c;
+    tsv.config.hmc.internalGBsPerCube = 640.0;
+    harness::Cell units = c;
+    units.config.charon.copySearchUnits = 2;
+    EXPECT_NE(cellKey(c, 0), cellKey(tsv, 0));
+    EXPECT_NE(cellKey(c, 0), cellKey(units, 0));
+    EXPECT_NE(cellKey(c, 0), cellKey(c, 4))
+        << "screened replays must not pollute full results";
+    EXPECT_EQ(cellKey(c, 0), cellKey(c, 0));
+}
+
+// ---------------------------------------------------------------------
+// Golden guard: the smoke grid's Pareto CSV is pinned.
+
+std::string
+goldenPath()
+{
+    return std::string(CHARON_GOLDEN_DIR) + "/dse_pareto_golden.csv";
+}
+
+constexpr double kRelTol = 1e-6;
+
+struct CsvRow
+{
+    std::string point;
+    double speedup = 0, gcMs = 0, energyJ = 0, areaMm2 = 0;
+    int knee = 0;
+};
+
+std::vector<CsvRow>
+parseCsv(const std::string &text)
+{
+    std::vector<CsvRow> rows;
+    std::istringstream is(text);
+    std::string line;
+    std::getline(is, line); // header
+    EXPECT_EQ(line, "point,speedup,gc_ms,energy_j,area_mm2,knee");
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        CsvRow row;
+        std::string field;
+        std::getline(ls, row.point, ',');
+        std::getline(ls, field, ',');
+        row.speedup = std::strtod(field.c_str(), nullptr);
+        std::getline(ls, field, ',');
+        row.gcMs = std::strtod(field.c_str(), nullptr);
+        std::getline(ls, field, ',');
+        row.energyJ = std::strtod(field.c_str(), nullptr);
+        std::getline(ls, field, ',');
+        row.areaMm2 = std::strtod(field.c_str(), nullptr);
+        std::getline(ls, field, ',');
+        row.knee = std::atoi(field.c_str());
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+::testing::AssertionResult
+relNear(const char *what, double actual, double golden)
+{
+    double scale = std::max({1.0, std::abs(actual), std::abs(golden)});
+    if (std::abs(actual - golden) <= kRelTol * scale)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << what << ": actual " << actual << " vs golden " << golden
+           << " (outside rel tol 1e-6).  If the timing model changed "
+              "intentionally, regenerate with CHARON_UPDATE_GOLDEN=1 "
+              "(see EXPERIMENTS.md).";
+}
+
+TEST(DseGolden, SmokeGridParetoMatchesGolden)
+{
+    // No journal, no trace cache: the golden must not depend on any
+    // persisted state.
+    SweepJournal journal{std::string()};
+    harness::ExperimentRunner runner(
+        harness::RunnerConfig{0, std::string()});
+    Explorer explorer(runner, journal);
+    auto evals = explorer.evaluate(smokeSpace().enumerate());
+    for (const auto &e : evals)
+        ASSERT_TRUE(e.ok) << e.point.str() << ": " << e.error;
+    auto summary = summarize(evals);
+    ASSERT_TRUE(summary.valid);
+    const std::string csv = paretoCsvText(evals, summary);
+
+    if (std::getenv("CHARON_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream os(goldenPath(), std::ios::binary);
+        ASSERT_TRUE(os) << "cannot write " << goldenPath();
+        os << csv;
+        std::printf("golden file updated: %s\n", goldenPath().c_str());
+        return;
+    }
+
+    std::ifstream is(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(is) << "missing " << goldenPath()
+                    << "; generate with CHARON_UPDATE_GOLDEN=1";
+    std::stringstream ss;
+    ss << is.rdbuf();
+    auto golden = parseCsv(ss.str());
+    auto actual = parseCsv(csv);
+    ASSERT_EQ(actual.size(), golden.size())
+        << "frontier membership changed; regenerate the golden file "
+           "if intended";
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        SCOPED_TRACE(actual[i].point);
+        EXPECT_EQ(actual[i].point, golden[i].point);
+        EXPECT_TRUE(relNear("speedup", actual[i].speedup,
+                            golden[i].speedup));
+        EXPECT_TRUE(relNear("gc_ms", actual[i].gcMs, golden[i].gcMs));
+        EXPECT_TRUE(relNear("energy_j", actual[i].energyJ,
+                            golden[i].energyJ));
+        EXPECT_TRUE(relNear("area_mm2", actual[i].areaMm2,
+                            golden[i].areaMm2));
+        EXPECT_EQ(actual[i].knee, golden[i].knee);
+    }
+}
+
+} // namespace

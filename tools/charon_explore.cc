@@ -1,0 +1,193 @@
+/**
+ * @file
+ * charon-explore: design-space exploration over the Charon
+ * configuration space.
+ *
+ * Declares a parameter space (a preset or ad-hoc --axis flags), walks
+ * it with one of three search strategies — exhaustive grid, seeded
+ * random sampling, or adaptive successive halving — through the
+ * experiment harness, journals every evaluated cell to a JSONL file
+ * so interrupted sweeps resume without recomputation, and reports the
+ * Pareto frontier of GC speedup against unit area and GC energy.
+ *
+ *   charon-explore --preset fig13            # Figure 13, journalled
+ *   charon-explore --preset frontier --search halving
+ *   charon-explore --axis units=2,4,8 --axis tsv-gbs=160,320,640
+ *   charon-explore --preset smoke --pareto-csv pareto.csv
+ *
+ * Determinism: results are bit-identical at any --jobs, whether cells
+ * come from the journal, the trace cache, or fresh simulation.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dse/explorer.hh"
+#include "dse/journal.hh"
+#include "dse/param_space.hh"
+#include "dse/presets.hh"
+#include "harness/options.hh"
+#include "harness/result_sink.hh"
+
+using namespace charon;
+
+int
+main(int argc, char **argv)
+{
+    harness::Options opt;
+    opt.helpHeader =
+        "charon-explore: sweep the Charon design space and report "
+        "the\nspeedup/area/energy Pareto frontier (see EXPERIMENTS.md)";
+
+    std::string preset;
+    std::vector<std::string> axisSpecs;
+    std::string workload;
+    std::uint64_t heapMib = 0;
+    std::string search = "grid";
+    int samples = 16;
+    std::uint64_t searchSeed = 7;
+    int screenGcs = 4;
+    int finalists = 4;
+    std::string journalPath;
+    bool noJournal = false;
+    std::string paretoCsv;
+    bool listAxes = false;
+
+    opt.flag("--preset", &preset,
+             "canned sweep: fig13 | fig15 | frontier |\nsmoke");
+    opt.flag(
+        "--axis",
+        [&axisSpecs](const std::string &v) {
+            axisSpecs.push_back(v);
+            return true;
+        },
+        "add a sweep axis (repeatable); names\nwith --list-axes",
+        "NAME=V1,V2,...");
+    opt.flag("--workload", &workload,
+             "base workload of the sweep (default KM)");
+    opt.flag("--heap-mib", &heapMib,
+             "base max heap in MiB (0 = catalog\ndefault)");
+    opt.flag("--search", &search,
+             "grid | random | halving (default grid)");
+    opt.flag("--samples", &samples,
+             "random search: points to sample\n(default 16)");
+    opt.flag("--search-seed", &searchSeed,
+             "random search: sampling seed (default 7)");
+    opt.flag("--screen-gcs", &screenGcs,
+             "halving: collections replayed per\nscreen (default 4)");
+    opt.flag("--finalists", &finalists,
+             "halving: survivors promoted to full\nruns (default 4)");
+    opt.flag("--journal", &journalPath,
+             "cell journal path (default\n<preset|sweep>.dse.jsonl)");
+    opt.flag("--no-journal", &noJournal,
+             "do not read or write a journal");
+    opt.flag("--pareto-csv", &paretoCsv,
+             "write the Pareto frontier as CSV here");
+    opt.flag("--list-axes", &listAxes,
+             "list the sweepable axes and exit");
+    if (!harness::parseOptions(argc, argv, opt))
+        return 2;
+
+    if (listAxes) {
+        std::printf("sweepable axes (--axis NAME=V1,V2,...):\n");
+        for (const auto &[name, help] : dse::ParamSpace::axisHelp())
+            std::printf("  %-22s %s\n", name.c_str(), help.c_str());
+        return 0;
+    }
+
+    auto usageError = [&](const std::string &msg) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], msg.c_str());
+        return 2;
+    };
+    if (search != "grid" && search != "random" && search != "halving")
+        return usageError("unknown --search '" + search
+                          + "' (grid | random | halving)");
+    const bool figPreset = preset == "fig13" || preset == "fig15";
+    if (!preset.empty() && !figPreset && preset != "frontier"
+        && preset != "smoke")
+        return usageError("unknown --preset '" + preset
+                          + "' (fig13 | fig15 | frontier | smoke)");
+
+    if (journalPath.empty())
+        journalPath =
+            (preset.empty() ? std::string("sweep") : preset)
+            + ".dse.jsonl";
+    dse::SweepJournal journal(noJournal ? std::string()
+                                        : journalPath);
+
+    harness::ExperimentRunner runner(opt.runnerConfig());
+    dse::Explorer explorer(runner, journal);
+    harness::Report report(opt);
+
+    if (figPreset) {
+        // The figure presets replicate the bench binaries' cell grids
+        // and tables exactly (CI diffs the outputs), adding only the
+        // journal underneath.
+        if (preset == "fig13")
+            dse::runFig13Preset(explorer, report);
+        else
+            dse::runFig15Preset(explorer, report);
+    } else {
+        dse::ParamSpace space;
+        std::string error;
+        if (preset == "frontier")
+            space = dse::frontierSpace();
+        else if (preset == "smoke")
+            space = dse::smokeSpace();
+        if (!workload.empty()
+            && !dse::applyAxisValue(space.base, "workload", workload,
+                                    &error))
+            return usageError(error);
+        if (heapMib != 0
+            && !dse::applyAxisValue(space.base, "heap-mib",
+                                    std::to_string(heapMib), &error))
+            return usageError(error);
+        for (const auto &spec : axisSpecs)
+            if (!space.axisSpec(spec, &error))
+                return usageError(error);
+        if (space.axes().empty())
+            return usageError(
+                "nothing to sweep: give --axis flags or a --preset "
+                "(--list-axes shows the axes)");
+
+        std::vector<dse::DsePoint> points =
+            search == "random"
+                ? space.sample(static_cast<std::size_t>(
+                                   samples > 0 ? samples : 1),
+                               searchSeed)
+                : space.enumerate();
+        std::fprintf(stderr, "dse: %zu of %zu points, search=%s\n",
+                     points.size(), space.size(), search.c_str());
+
+        std::vector<dse::PointEval> evals;
+        if (search == "halving")
+            evals = dse::successiveHalving(
+                explorer, std::move(points), screenGcs,
+                static_cast<std::size_t>(finalists > 0 ? finalists
+                                                       : 1));
+        else
+            evals = explorer.evaluate(points);
+
+        auto summary = dse::summarize(evals);
+        dse::reportSweep(report, evals, summary);
+        if (!paretoCsv.empty()) {
+            if (!dse::writeParetoCsv(paretoCsv, evals, summary,
+                                     &error)) {
+                std::fprintf(stderr, "dse: %s\n", error.c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "dse: wrote Pareto frontier (%zu "
+                                 "points) to %s\n",
+                         summary.frontier.size(), paretoCsv.c_str());
+        }
+    }
+
+    std::fprintf(stderr, "dse: journal %s: %zu hits, %zu evaluated\n",
+                 journal.enabled() ? journal.path().c_str()
+                                   : "(disabled)",
+                 explorer.journalHits(), explorer.evaluatedCells());
+    harness::finishTimeline(runner, opt);
+    return report.finish(std::cout);
+}
