@@ -349,6 +349,18 @@ CharonDevice::execScanPush(const gc::Bucket &b, double hit_rate,
         avg_lat += static_cast<double>(l);
     }
     avg_lat /= cubes;
+    if (fault_) {
+        // Poisoned TLB entries force a host-mediated re-walk: a full
+        // off-chip round trip (host link plus the unit's spoke when it
+        // is not on the central cube), weighted by the poisoned
+        // fraction of translations.
+        double poison = fault_->tlbPoisonRate(eq_.now());
+        if (poison > 0) {
+            int walk_hops = 1 + (unit_cube != 0 ? 1 : 0);
+            avg_lat += poison * 2.0 * walk_hops
+                       * static_cast<double>(cfg_.hmc.linkLatency());
+        }
+    }
     if (timeline_ && remote_tlb) {
         remoteTlbLookups_ += b.invocations;
         timeline_->counter(tlbTrack_, eq_.now(),

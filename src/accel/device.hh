@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "gc/trace.hh"
 #include "hmc/hmc.hh"
 #include "mem/fluid_channel.hh"
@@ -82,6 +83,18 @@ class CharonDevice
 
     const sim::CharonConfig &config() const { return cfg_.charon; }
 
+    /**
+     * Attach a fault engine (owned by the PlatformSim; may be null).
+     * The device only consults it for TLB poisoning: a poisoned
+     * fraction of unit address translations falls back to a
+     * host-mediated walk, adding a link round trip to the average
+     * probe latency of Scan&Push.
+     */
+    void setFaultEngine(const fault::FaultEngine *engine)
+    {
+        fault_ = engine;
+    }
+
   private:
     void execCopy(const gc::Bucket &b, mem::StreamCallback done);
     void execSearch(const gc::Bucket &b, mem::StreamCallback done);
@@ -110,6 +123,8 @@ class CharonDevice
     std::vector<std::unique_ptr<mem::FluidChannel>> scanPushPools_;
 
     double packetBytes_ = 0;
+
+    const fault::FaultEngine *fault_ = nullptr;
 
     sim::Timeline *timeline_ = nullptr;
     sim::Timeline::TrackId tlbTrack_ = 0;

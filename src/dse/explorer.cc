@@ -85,6 +85,10 @@ Explorer::runCells(const std::vector<harness::Cell> &cells,
     }
     if (misses.empty())
         return records;
+    // Stop at a batch boundary on Ctrl-C / SIGTERM: everything
+    // already simulated is journalled, nothing fresh is started.
+    if (SweepJournal::interrupted())
+        throw SweepInterrupted();
 
     std::vector<harness::Cell> missCells;
     missCells.reserve(misses.size());

@@ -23,6 +23,7 @@
 #define CHARON_DSE_EXPLORER_HH
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,21 @@ namespace charon::dse
  * stale journals — they are caches, the golden tests are the guard.
  */
 std::string cellKey(const harness::Cell &cell, int screenGcs);
+
+/**
+ * Thrown by Explorer::runCells when SIGINT/SIGTERM arrived (after
+ * SweepJournal::installSignalFlush()) before a fresh simulation
+ * batch.  Every already-completed cell is journalled at that point,
+ * so the driver can exit cleanly and the sweep resumes from the last
+ * completed cell.
+ */
+struct SweepInterrupted : std::runtime_error
+{
+    SweepInterrupted()
+        : std::runtime_error("sweep interrupted by signal")
+    {
+    }
+};
 
 /** One evaluated design point (screened or full). */
 struct PointEval

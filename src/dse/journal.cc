@@ -1,10 +1,15 @@
 #include "journal.hh"
 
 #include <cctype>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace charon::dse
 {
@@ -266,25 +271,76 @@ SweepJournal::lookup(const std::string &key, JournalRecord &out) const
     return true;
 }
 
+SweepJournal::~SweepJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
 bool
 SweepJournal::append(const JournalRecord &record)
 {
     records_[record.key] = record;
     if (path_.empty())
         return true;
-    std::ofstream os(path_, std::ios::binary | std::ios::app);
-    if (!os)
-        return false;
-    // A torn final line from a previous crash must not swallow this
-    // record: complete it first, then append on a fresh line.
+    if (fd_ < 0) {
+        fd_ = ::open(path_.c_str(),
+                     O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+        if (fd_ < 0)
+            return false;
+    }
+    // One write(2) per record: an O_APPEND write of the whole line is
+    // completed (or not) atomically by the kernel, so a signal or
+    // SIGKILL between cells never tears a committed line.  A torn
+    // final line from a previous crash must not swallow this record:
+    // complete it first, then append on a fresh line.
+    std::string line;
     if (!endsWithNewline_)
-        os << '\n';
-    os << formatLine(record) << '\n';
-    os.flush();
-    if (!os)
-        return false;
+        line += '\n';
+    line += formatLine(record);
+    line += '\n';
+    const char *p = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd_, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
     endsWithNewline_ = true;
     return true;
+}
+
+namespace
+{
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void
+onInterrupt(int)
+{
+    g_interrupted = 1;
+}
+} // namespace
+
+void
+SweepJournal::installSignalFlush()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onInterrupt;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: interrupt blocking syscalls
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+SweepJournal::interrupted()
+{
+    return g_interrupted != 0;
 }
 
 std::string

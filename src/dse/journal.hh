@@ -81,8 +81,28 @@ class SweepJournal
      * false when the journal is enabled but the file cannot be
      * written (the in-memory copy is still updated, so the sweep
      * completes either way).
+     *
+     * Durability: each record goes to a held O_APPEND descriptor as
+     * one write(2) call, so a SIGKILL between cells never tears a
+     * committed line — an interrupted sweep resumes from exactly the
+     * last completed cell.
      */
     bool append(const JournalRecord &record);
+
+    ~SweepJournal();
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /**
+     * Install SIGINT/SIGTERM handlers that set a flag (checked via
+     * interrupted()) instead of killing the process, so the explorer
+     * can stop at the next cell boundary with every completed cell
+     * already flushed.  Idempotent; async-signal-safe handler.
+     */
+    static void installSignalFlush();
+
+    /** True once SIGINT/SIGTERM arrived after installSignalFlush(). */
+    static bool interrupted();
 
     /** Serialize one record as a single JSONL line (no newline). */
     static std::string formatLine(const JournalRecord &record);
@@ -96,6 +116,8 @@ class SweepJournal
   private:
     std::string path_;
     std::map<std::string, JournalRecord> records_;
+    /** Held append descriptor (lazy-opened on first append). */
+    int fd_ = -1;
     /** False when the loaded file ends mid-line (torn final write):
      *  the first append then starts with a repair newline. */
     bool endsWithNewline_ = true;

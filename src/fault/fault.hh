@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Deterministic fault injection (the robustness counterpart of the
+ * paper's happy-path model).
+ *
+ * A FaultPlan is a declarative list of faults to inject into one
+ * replay: Charon unit stalls and permanent deaths, remote-TLB
+ * poisoning, HMC link/TSV bandwidth degradation, whole-cube outages,
+ * and functional-layer faults (GC allocation failure, card-table and
+ * mark-bitmap bit flips).  The FaultEngine evaluates the timing-layer
+ * specs against one PlatformSim's private event queue: all stochastic
+ * draws happen in event order inside that single-threaded simulation,
+ * so the same plan (seed included) produces byte-identical results at
+ * any harness --jobs count.
+ *
+ * Determinism rule: the engine never schedules standing events of its
+ * own.  Everything is evaluated lazily at points the replay already
+ * visits (offload issue, phase entry), plus one cancellable watchdog
+ * per in-flight offload whose target cube has a pending death — so a
+ * fault-free plan leaves the event stream untouched and fault hooks
+ * are zero-cost when no engine is attached.
+ */
+
+#ifndef CHARON_FAULT_FAULT_HH
+#define CHARON_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace charon::fault
+{
+
+enum class FaultKind
+{
+    UnitStall,      ///< a Charon unit transiently stalls an offload
+    UnitDeath,      ///< a cube's Charon units die permanently
+    TlbPoison,      ///< fraction of unit TLB entries force host walks
+    LinkDegrade,    ///< an off-chip SerDes link loses bandwidth
+    TsvDegrade,     ///< a cube's TSV bundle loses bandwidth
+    CubeOffline,    ///< cube outage: units dead + TSVs crawling
+    AllocFail,      ///< GC-internal allocation (To/Old) returns 0
+    CardFlip,       ///< bit flips in the card table
+    MarkBitmapFlip, ///< bit flips in the begin/end mark bitmaps
+};
+
+constexpr int kNumFaultKinds = 9;
+
+const char *faultKindName(FaultKind kind);
+bool parseFaultKind(const std::string &name, FaultKind &out);
+
+/** True for kinds evaluated during replay (vs the functional run). */
+bool isTimingFault(FaultKind kind);
+
+/**
+ * One fault to inject.  Field meaning depends on kind:
+ *  - UnitStall:  cube (-1 = any), rate (per offload), stallTicks, atTick
+ *  - UnitDeath:  cube (-1 = all), atTick
+ *  - TlbPoison:  rate (fraction of translations), atTick
+ *  - LinkDegrade: cube = link index, factor, atTick
+ *  - TsvDegrade: cube, factor, atTick
+ *  - CubeOffline: cube, atTick (units dead + TSV capacity * 0.05)
+ *  - AllocFail:  afterCount (successful GC allocations), count
+ *  - CardFlip / MarkBitmapFlip: count (bits to flip, plan seed)
+ */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::UnitStall;
+    int cube = -1;
+    double rate = 1.0;
+    double factor = 1.0;
+    sim::Tick atTick = 0;
+    sim::Tick stallTicks = 0;
+    std::uint64_t afterCount = 0;
+    std::uint64_t count = 1;
+
+    /** Canonical text form (round-trips through parseFaultSpec). */
+    std::string str() const;
+};
+
+/**
+ * Parse "kind[:key=value]...", e.g.
+ * "unit-stall:cube=1:rate=0.3:stall-ns=500",
+ * "link-degrade:cube=0:factor=0.25:at-ns=1e6", "alloc-fail:after=100".
+ * Keys: cube, rate, factor, at-ns, stall-ns, after, count.
+ */
+bool parseFaultSpec(const std::string &text, FaultSpec &spec,
+                    std::string *error);
+
+/**
+ * Everything to inject into one cell, plus the seed all stochastic
+ * draws derive from.  An empty plan means "no faults" and must be
+ * indistinguishable from a build without the fault layer.
+ */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+    std::vector<FaultSpec> specs;
+
+    bool enabled() const { return !specs.empty(); }
+    bool hasTimingFaults() const;
+    bool has(FaultKind kind) const;
+    const FaultSpec *find(FaultKind kind) const;
+
+    /** Canonical text form ("seed=N kind:... kind:..."). */
+    std::string str() const;
+};
+
+/**
+ * Evaluates a plan's timing-layer specs for one PlatformSim.
+ *
+ * Owned by the PlatformSim; the accel/hmc layers see it as a const
+ * query interface, the platform layer drives the mutating calls
+ * (stall draws, degradation application) in deterministic event
+ * order.
+ */
+class FaultEngine
+{
+  public:
+    /** Degradation callbacks, bound to the owning sim's HmcMemory. */
+    struct Hooks
+    {
+        std::function<void(int link, double factor)> degradeLink;
+        std::function<void(int cube, double factor)> degradeCube;
+    };
+
+    static constexpr sim::Tick kNoTick = sim::maxTick;
+
+    FaultEngine(const FaultPlan &plan, int cubes);
+
+    void setHooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+    /** True once @p cube's units are permanently dead at @p now. */
+    bool unitsDead(int cube, sim::Tick now) const;
+
+    /**
+     * Earliest pending (still in the future or unobserved) death tick
+     * affecting @p cube, or kNoTick.  Used to arm a per-offload
+     * watchdog that re-dispatches in-flight work to the host.
+     */
+    sim::Tick deathTick(int cube) const;
+
+    /**
+     * Transient-stall draw for an offload issued to @p cube now.
+     * Draws the engine RNG (event-ordered, hence deterministic).
+     */
+    sim::Tick stallTicks(int cube, sim::Tick now);
+
+    /** Summed active TLB-poison rate (clamped to [0,1]) at @p now. */
+    double tlbPoisonRate(sim::Tick now) const;
+
+    /**
+     * Apply link/TSV/cube-offline degradations whose activation tick
+     * has passed.  Called at phase entry: bandwidth faults take
+     * effect at phase granularity (documented in DESIGN.md) so they
+     * never add standing events that would stretch the phase barrier.
+     */
+    void applyPendingDegrades(sim::Tick now);
+
+    /** Count of faults that actually fired (stalls, fallbacks...). */
+    std::uint64_t injectedFaults() const { return injected_; }
+    void noteFallback() { ++injected_; }
+
+  private:
+    FaultPlan plan_;
+    int cubes_;
+    Hooks hooks_;
+    sim::Rng rng_;
+    std::vector<char> applied_; ///< per-spec: degradation done
+    std::uint64_t injected_ = 0;
+};
+
+} // namespace charon::fault
+
+#endif // CHARON_FAULT_FAULT_HH

@@ -1,0 +1,55 @@
+#include "inject.hh"
+
+namespace charon::fault
+{
+
+std::uint64_t
+flipCardBits(heap::ManagedHeap &heap, sim::Rng &rng,
+             std::uint64_t flips)
+{
+    auto &cards = heap.cardTable();
+    if (cards.numCards() == 0)
+        return 0;
+    for (std::uint64_t i = 0; i < flips; ++i) {
+        std::uint64_t card = rng.below(cards.numCards());
+        cards.xorByte(card,
+                      static_cast<std::uint8_t>(1u << rng.below(8)));
+    }
+    return flips;
+}
+
+std::uint64_t
+flipMarkBits(heap::ManagedHeap &heap, sim::Rng &rng,
+             std::uint64_t flips)
+{
+    auto flip = [](heap::MarkBitmap &map, std::uint64_t bit) {
+        if (map.testBit(bit))
+            map.clearBit(bit);
+        else
+            map.setBit(bit);
+    };
+    for (std::uint64_t i = 0; i < flips; ++i) {
+        heap::MarkBitmap &map =
+            (i % 2 == 0) ? heap.begBitmap() : heap.endBitmap();
+        if (map.numBits() == 0)
+            continue;
+        flip(map, rng.below(map.numBits()));
+    }
+    return flips;
+}
+
+std::uint64_t
+applyHeapFaults(heap::ManagedHeap &heap, const FaultPlan &plan)
+{
+    sim::Rng rng(plan.seed);
+    std::uint64_t flipped = 0;
+    for (const auto &spec : plan.specs) {
+        if (spec.kind == FaultKind::CardFlip)
+            flipped += flipCardBits(heap, rng, spec.count);
+        else if (spec.kind == FaultKind::MarkBitmapFlip)
+            flipped += flipMarkBits(heap, rng, spec.count);
+    }
+    return flipped;
+}
+
+} // namespace charon::fault

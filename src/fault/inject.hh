@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Functional-layer fault injectors: seeded bit flips in the GC
+ * metadata structures of a ManagedHeap.  The timing-layer faults live
+ * in fault.hh; these operate on the functional heap between (or
+ * before) collections, and `gc/verify`'s corruption checks are the
+ * matching detectors.
+ */
+
+#ifndef CHARON_FAULT_INJECT_HH
+#define CHARON_FAULT_INJECT_HH
+
+#include <cstdint>
+
+#include "fault/fault.hh"
+#include "heap/heap.hh"
+#include "sim/rng.hh"
+
+namespace charon::fault
+{
+
+/**
+ * Flip @p flips random single bits in the card table.  Cards only
+ * ever hold 0xFF (clean) or 0x00 (dirty), so any single-bit flip
+ * yields a byte the verifier can prove invalid.
+ * @return flips performed
+ */
+std::uint64_t flipCardBits(heap::ManagedHeap &heap, sim::Rng &rng,
+                           std::uint64_t flips);
+
+/**
+ * Flip @p flips random single bits across the begin/end mark bitmaps
+ * (alternating maps per flip).
+ * @return flips performed
+ */
+std::uint64_t flipMarkBits(heap::ManagedHeap &heap, sim::Rng &rng,
+                           std::uint64_t flips);
+
+/**
+ * Apply every CardFlip / MarkBitmapFlip spec of @p plan to @p heap,
+ * seeding the draw stream from plan.seed.
+ * @return total bits flipped
+ */
+std::uint64_t applyHeapFaults(heap::ManagedHeap &heap,
+                              const FaultPlan &plan);
+
+} // namespace charon::fault
+
+#endif // CHARON_FAULT_INJECT_HH

@@ -46,8 +46,11 @@ GcOutcome
 Collector::onAllocationFailure()
 {
     if (promotionGuaranteeHolds()) {
-        minorCollect();
-        return GcOutcome::Minor;
+        auto result = minorCollect();
+        // A promotion failure already escalated to a full collection
+        // inside minorCollect(); report what actually happened.
+        return result.promotionFailed ? GcOutcome::Major
+                                      : GcOutcome::Minor;
     }
     auto result = fullCollect();
     if (result.outOfMemory)
@@ -73,6 +76,14 @@ Collector::minorCollect()
     Scavenge sc(heap_, rec_, threshold_);
     auto result = sc.collect();
     ++minors_;
+    if (result.promotionFailed) {
+        // Degradation state machine, Minor -> Major: the scavenge
+        // left live objects behind in Eden/From (self-forwarded in
+        // place).  A mark-compact collection is allocation-free, so
+        // it always recovers the heap to a compact, verifiable state.
+        fullCollect();
+        return result;
+    }
     if (adaptive_) {
         const auto &from = heap_.region(Space::From);
         if (result.bytesOverflowPromoted > from.capacity() / 10) {

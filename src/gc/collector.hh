@@ -50,7 +50,12 @@ class Collector
     /** Force a full collection (System.gc()-style). */
     MarkCompact::Result fullCollect();
 
-    /** Force a minor collection (testing / experiments). */
+    /**
+     * Force a minor collection (testing / experiments).  On a
+     * promotion failure the driver immediately escalates to a full
+     * collection before returning, so the heap is always left in a
+     * reclaimed state.
+     */
     Scavenge::Result minorCollect();
 
     std::uint64_t minorCount() const { return minors_; }

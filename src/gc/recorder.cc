@@ -121,12 +121,41 @@ TraceRecorder::setCopyOffloadThreshold(std::uint64_t bytes)
 }
 
 void
+TraceRecorder::armFailover(std::uint64_t after)
+{
+    failoverArmed_ = true;
+    failoverTripped_ = false;
+    failoverAfter_ = after;
+}
+
+bool
+TraceRecorder::failoverActive()
+{
+    if (!failoverArmed_)
+        return false;
+    if (!failoverTripped_) {
+        if (failoverAfter_ > 0) {
+            --failoverAfter_;
+            return false;
+        }
+        failoverTripped_ = true;
+        // The accelerator just died: the work already queued in the
+        // open phase is in flight on the device and must be
+        // re-dispatched to the host paths.
+        for (auto &t : open_)
+            for (auto &b : t.buckets)
+                b.hostOnly = true;
+    }
+    return true;
+}
+
+void
 TraceRecorder::recordCopy(mem::Addr src, mem::Addr dst,
                           std::uint64_t bytes)
 {
     // Sub-threshold copies are cheaper than the offload round trip;
     // the modified JVM keeps them on the host.
-    bool host_only = bytes < copyThreshold_;
+    bool host_only = failoverActive() || bytes < copyThreshold_;
     Bucket &b = work().bucket(PrimKind::Copy, cubeOf(src), cubeOf(dst),
                               host_only);
     ++b.invocations;
@@ -139,7 +168,7 @@ void
 TraceRecorder::recordSearch(mem::Addr table_start, std::uint64_t bytes)
 {
     Bucket &b = work().bucket(PrimKind::Search, cubeOf(table_start),
-                              cubeOf(table_start));
+                              cubeOf(table_start), failoverActive());
     ++b.invocations;
     b.seqReadBytes += bytes;
     current_.cardsSearched += bytes;
@@ -155,7 +184,8 @@ TraceRecorder::recordScanPush(mem::Addr obj, std::uint64_t obj_bytes,
     // route the sequential read, while the random probes to referenced
     // objects are spread over cubes by the platform model.
     Bucket &b = work().bucket(PrimKind::ScanPush, cubeOf(obj),
-                              cubeOf(obj), !acceleratable);
+                              cubeOf(obj),
+                              failoverActive() || !acceleratable);
     ++b.invocations;
     b.seqReadBytes += obj_bytes;
     b.refsVisited += refs;
@@ -174,7 +204,8 @@ TraceRecorder::recordBitmapCount(mem::Addr beg_storage_addr,
 {
     Bucket &b = work().bucket(PrimKind::BitmapCount,
                               cubeOf(beg_storage_addr),
-                              cubeOf(beg_storage_addr));
+                              cubeOf(beg_storage_addr),
+                              failoverActive());
     ++b.invocations;
     b.rangeBits += range_bits;
     std::uint64_t bytes_per_map = mem::divCeil(range_bits, 8);
@@ -196,9 +227,12 @@ TraceRecorder::recordMarkObj(mem::Addr bitmap_storage_addr)
 {
     // An atomic 8 B read-modify-write on the bitmap, attributed to the
     // current Scan&Push bucket as one random access plus a write.
+    // Sub-access of the current Scan&Push invocation: follows its
+    // routing, so after a failover it lands in the hostOnly bucket.
     Bucket &b = work().bucket(PrimKind::ScanPush,
                               cubeOf(bitmap_storage_addr),
-                              cubeOf(bitmap_storage_addr));
+                              cubeOf(bitmap_storage_addr),
+                              failoverTripped_);
     b.randomAccesses += 1;
     b.randomBytes += 16; // overfetch: 16 B minimum granularity
     b.bitmapRmwAccesses += 1;

@@ -97,6 +97,22 @@ class TraceRecorder
     void recordGlue(std::uint64_t instructions,
                     std::uint64_t mem_accesses = 0);
 
+    // ------------------------------------------------------------------
+    // Fault injection
+
+    /**
+     * Charon failure: after @p after further primitive invocations,
+     * every subsequent bucket is forced hostOnly, and the buckets of
+     * the phase open at the trip point are re-marked hostOnly — the
+     * functional image of the JVM re-dispatching in-flight Copy /
+     * Search / Scan&Push / Bitmap Count work to its host paths when
+     * the accelerator dies mid-collection.
+     */
+    void armFailover(std::uint64_t after);
+
+    /** True once an armed failover has tripped. */
+    bool failoverTripped() const { return failoverTripped_; }
+
     /** Advance the round-robin thread cursor (call per work item). */
     void nextThread();
 
@@ -118,6 +134,9 @@ class TraceRecorder
   private:
     ThreadWork &work();
 
+    /** Count one primitive invocation; true once failover is active. */
+    bool failoverActive();
+
     int numThreads_;
     int cubeShift_;
     int numCubes_;
@@ -133,6 +152,10 @@ class TraceRecorder
     int cursor_ = 0;
     std::uint64_t mutatorSinceGc_ = 0;
     std::uint64_t copyThreshold_ = 256;
+
+    bool failoverArmed_ = false;
+    bool failoverTripped_ = false;
+    std::uint64_t failoverAfter_ = 0;
 
     mem::CacheModel bitmapCache_;
 };

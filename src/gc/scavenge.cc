@@ -208,8 +208,21 @@ Scavenge::evacuate(Addr obj)
             overflow = promoted;
         }
     }
-    CHARON_ASSERT(dest != 0,
-                  "promotion failure: policy must guarantee space");
+    if (dest == 0) {
+        // Promotion failure (the policy guarantee was violated — in
+        // practice only by an injected allocation fault).  HotSpot
+        // semantics: self-forward the object in place so every other
+        // slot referencing it resolves to the original address; the
+        // object is scanned where it lies and the collection
+        // completes with a consistent heap.  collect() then reports
+        // promotionFailed so the policy escalates to a full GC.
+        heap_.setForwarding(obj, obj);
+        failed_.push_back(obj);
+        result_.promotionFailed = true;
+        ++result_.objectsFailed;
+        rec_.recordGlue(costs.forwardInstall, 1);
+        return obj;
+    }
 
     rec_.recordGlue(costs.allocate + costs.forwardInstall, 2);
     heap_.copyObjectBytes(dest, obj, bytes);
@@ -326,6 +339,19 @@ Scavenge::collect()
     trace.bytesCopied = result_.bytesCopied + result_.bytesPromoted;
     trace.bytesPromoted = result_.bytesPromoted;
     trace.liveObjects = result_.objectsCopied + result_.objectsPromoted;
+
+    if (result_.promotionFailed) {
+        // Degraded completion: live objects remain in Eden/From, so
+        // nothing can be reclaimed here.  Drop the self-forwarding
+        // marks (a header copied by the follow-up mark-compact must
+        // not carry one); the age bits survive.  The policy runs a
+        // full collection next, which compacts the whole heap without
+        // allocating and resets every young space.
+        for (Addr obj : failed_)
+            heap_.clearForwarding(obj);
+        failed_.clear();
+        return result_;
+    }
 
     // Reclaim: Eden and the old From space are now garbage; the To
     // space holds the survivors and becomes the next From.

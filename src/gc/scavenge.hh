@@ -40,6 +40,16 @@ class Scavenge
         /** Of bytesPromoted: promoted only because To overflowed. */
         std::uint64_t bytesOverflowPromoted = 0;
         std::uint64_t dirtyCards = 0;
+        /**
+         * Promotion failure: one or more live objects could not be
+         * evacuated (space exhausted, or an injected allocation
+         * fault).  They were self-forwarded in place — the heap is
+         * consistent, but Eden/From still hold live objects, so the
+         * caller must immediately run a full collection (which
+         * compacts the whole heap without allocating).
+         */
+        bool promotionFailed = false;
+        std::uint64_t objectsFailed = 0; ///< left in place
     };
 
     /**
@@ -72,9 +82,11 @@ class Scavenge
     SpaceDemand estimateDemand() const;
 
     /**
-     * Run the collection.
-     * @pre the promotion guarantee holds (checked: panics on a real
-     *      promotion failure, which the policy must prevent)
+     * Run the collection.  When the promotion guarantee is violated
+     * (space exhausted or an injected allocation fault), the scavenge
+     * still completes with a consistent heap — failed objects are
+     * self-forwarded in place — and Result::promotionFailed tells the
+     * caller to escalate to a full collection.
      */
     Result collect();
 
@@ -116,6 +128,8 @@ class Scavenge
     TraceRecorder &rec_;
     int threshold_;
     std::deque<SlotRef> pending_;
+    /** Objects self-forwarded by a promotion failure. */
+    std::vector<mem::Addr> failed_;
     /** Reference-kind holders whose weak slot needs post-processing. */
     std::vector<mem::Addr> weakRefs_;
     Result result_;

@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/fault.hh"
 #include "gc/trace.hh"
 #include "platform/results.hh"
 #include "sim/config.hh"
@@ -97,6 +98,13 @@ struct Cell
      * the keyed mutator run, never cached.
      */
     std::function<FunctionalRun()> customRun;
+    /**
+     * Timing-layer fault plan for the replay (chaos experiments).
+     * Deliberately not part of SystemConfig so DSE journal keys and
+     * config digests are undisturbed; the default (empty) plan keeps
+     * the replay byte-identical to a fault-free build.
+     */
+    fault::FaultPlan faults;
     /** Display name used in failure summaries. */
     std::string label;
 };

@@ -1,11 +1,23 @@
 #include "experiment_runner.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
 #include <exception>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "gc/trace_io.hh"
 #include "platform/platform_sim.hh"
 #include "sim/logging.hh"
 #include "workload/g1_mutator.hh"
@@ -66,7 +78,9 @@ parallelFor(int jobs, std::size_t count,
 }
 
 ExperimentRunner::ExperimentRunner(RunnerConfig cfg)
-    : jobs_(cfg.jobs), timeline_(cfg.timeline), cache_(cfg.cacheDir)
+    : jobs_(cfg.jobs), timeline_(cfg.timeline),
+      cellTimeoutSec_(cfg.cellTimeoutSec), cellRetries_(cfg.cellRetries),
+      cache_(cfg.cacheDir)
 {
     if (jobs_ <= 0) {
         unsigned hw = std::thread::hardware_concurrency();
@@ -139,9 +153,29 @@ ExperimentRunner::functional(FunctionalKey key)
     return it->second;
 }
 
+void
+ExperimentRunner::replay(const Cell &cell, CellResult &res,
+                         sim::Timeline *tl) const
+{
+    platform::PlatformSim sim(cell.platform, cell.config,
+                              res.run->cubeShift,
+                              sim::Instrumentation(tl), cell.faults);
+    if (cell.patchTrace) {
+        gc::RunTrace patched = res.run->trace;
+        cell.patchTrace(patched);
+        res.timing = sim.simulate(patched);
+    } else {
+        res.timing = sim.simulate(res.run->trace);
+    }
+    res.ok = true;
+}
+
 std::vector<CellResult>
 ExperimentRunner::run(const std::vector<Cell> &cells)
 {
+    if (cellTimeoutSec_ > 0)
+        return runIsolated(cells);
+
     std::vector<CellResult> results(cells.size());
 
     // Resolve keys on the main thread: findWorkload() is fatal() on a
@@ -170,6 +204,10 @@ ExperimentRunner::run(const std::vector<Cell> &cells)
     std::mutex custom_mutex;
     std::map<std::size_t, std::shared_ptr<const FunctionalRun>> custom;
     std::map<std::size_t, std::string> custom_error;
+    // Functional failures by key, so phase 2 can attribute the error
+    // to *every* cell sharing the key instead of silently re-running
+    // the broken mutator once per cell.
+    std::map<std::string, std::string> key_error;
     parallelFor(jobs_, key_owner.size(), [&](std::size_t j) {
         std::size_t i = key_owner[j];
         try {
@@ -183,7 +221,10 @@ ExperimentRunner::run(const std::vector<Cell> &cells)
             }
         } catch (const std::exception &e) {
             std::lock_guard<std::mutex> lock(custom_mutex);
-            custom_error[i] = e.what();
+            if (cells[i].customRun)
+                custom_error[i] = e.what();
+            else
+                key_error[keys[i].str()] = e.what();
         }
     });
 
@@ -200,13 +241,20 @@ ExperimentRunner::run(const std::vector<Cell> &cells)
             if (cell.customRun) {
                 auto it = custom.find(i);
                 if (it == custom.end()) {
-                    res.error = custom_error.count(i)
-                                    ? custom_error[i]
-                                    : "functional run failed";
+                    res.error = "functional run failed: "
+                                + (custom_error.count(i)
+                                       ? custom_error[i]
+                                       : std::string("unknown error"));
                     return;
                 }
                 res.run = it->second;
             } else {
+                auto ke = key_error.find(keys[i].str());
+                if (ke != key_error.end()) {
+                    res.error =
+                        "functional run failed: " + ke->second;
+                    return;
+                }
                 res.run = functional(keys[i]);
             }
             res.oom = res.run->oom;
@@ -232,17 +280,7 @@ ExperimentRunner::run(const std::vector<Cell> &cells)
                     std::move(label));
                 tl = tls[i].get();
             }
-            platform::PlatformSim sim(cell.platform, cell.config,
-                                      res.run->cubeShift,
-                                      sim::Instrumentation(tl));
-            if (cell.patchTrace) {
-                gc::RunTrace patched = res.run->trace;
-                cell.patchTrace(patched);
-                res.timing = sim.simulate(patched);
-            } else {
-                res.timing = sim.simulate(res.run->trace);
-            }
-            res.ok = true;
+            replay(cell, res, tl);
         } catch (const std::exception &e) {
             res.ok = false;
             res.error = e.what();
@@ -250,6 +288,402 @@ ExperimentRunner::run(const std::vector<Cell> &cells)
     });
     for (auto &tl : tls)
         timelines_.push_back(std::move(tl));
+    return results;
+}
+
+namespace
+{
+
+// ----------------------------------------------------------------------
+// CellResult wire format for the crash-isolated runner: the child
+// process serializes its result over a pipe with the trace_io
+// little-endian framing; a short or missing payload marks the child
+// as crashed.
+
+void
+putBreakdown(std::ostream &os, const platform::PrimBreakdown &b)
+{
+    using namespace gc::io;
+    putF64(os, b.copy);
+    putF64(os, b.search);
+    putF64(os, b.scanPush);
+    putF64(os, b.bitmapCount);
+    putF64(os, b.glue);
+}
+
+bool
+getBreakdown(std::istream &is, platform::PrimBreakdown &b)
+{
+    using namespace gc::io;
+    return getF64(is, b.copy) && getF64(is, b.search)
+           && getF64(is, b.scanPush) && getF64(is, b.bitmapCount)
+           && getF64(is, b.glue);
+}
+
+void
+putTiming(std::ostream &os, const platform::RunTiming &t)
+{
+    using namespace gc::io;
+    putU64(os, static_cast<std::uint64_t>(t.platform));
+    putF64(os, t.gcSeconds);
+    putF64(os, t.minorSeconds);
+    putF64(os, t.majorSeconds);
+    putF64(os, t.mutatorSeconds);
+    putF64(os, t.dramBytes);
+    putF64(os, t.avgGcBandwidthGBs);
+    putF64(os, t.localAccessFraction);
+    putF64(os, t.hostEnergyJ);
+    putF64(os, t.dramEnergyJ);
+    putF64(os, t.unitEnergyJ);
+    putBreakdown(os, t.minorBreakdown);
+    putBreakdown(os, t.majorBreakdown);
+    putU64(os, t.gcs.size());
+    for (const auto &gc : t.gcs) {
+        putU64(os, gc.major ? 1 : 0);
+        putF64(os, gc.seconds);
+        putBreakdown(os, gc.breakdown);
+        putU64(os, gc.rollup.phases.size());
+        for (const auto &phase : gc.rollup.phases) {
+            putU64(os, static_cast<std::uint64_t>(phase.kind));
+            putF64(os, phase.wallSeconds);
+            for (const auto &prim : phase.prims) {
+                putF64(os, prim.seconds);
+                putU64(os, prim.bytes);
+                putU64(os, prim.invocations);
+            }
+            putF64(os, phase.glueSeconds);
+        }
+    }
+}
+
+bool
+getTiming(std::istream &is, platform::RunTiming &t)
+{
+    using namespace gc::io;
+    std::uint64_t platform, gcs;
+    if (!getU64(is, platform) || !getF64(is, t.gcSeconds)
+        || !getF64(is, t.minorSeconds) || !getF64(is, t.majorSeconds)
+        || !getF64(is, t.mutatorSeconds) || !getF64(is, t.dramBytes)
+        || !getF64(is, t.avgGcBandwidthGBs)
+        || !getF64(is, t.localAccessFraction)
+        || !getF64(is, t.hostEnergyJ) || !getF64(is, t.dramEnergyJ)
+        || !getF64(is, t.unitEnergyJ)
+        || !getBreakdown(is, t.minorBreakdown)
+        || !getBreakdown(is, t.majorBreakdown) || !getU64(is, gcs)) {
+        return false;
+    }
+    t.platform = static_cast<sim::PlatformKind>(platform);
+    t.gcs.resize(gcs);
+    for (auto &gc : t.gcs) {
+        std::uint64_t major, phases;
+        if (!getU64(is, major) || !getF64(is, gc.seconds)
+            || !getBreakdown(is, gc.breakdown) || !getU64(is, phases)) {
+            return false;
+        }
+        gc.major = major != 0;
+        gc.rollup.major = gc.major;
+        gc.rollup.phases.resize(phases);
+        for (auto &phase : gc.rollup.phases) {
+            std::uint64_t kind;
+            if (!getU64(is, kind) || !getF64(is, phase.wallSeconds))
+                return false;
+            phase.kind = static_cast<gc::PhaseKind>(kind);
+            for (auto &prim : phase.prims) {
+                if (!getF64(is, prim.seconds)
+                    || !getU64(is, prim.bytes)
+                    || !getU64(is, prim.invocations)) {
+                    return false;
+                }
+            }
+            if (!getF64(is, phase.glueSeconds))
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+putCellResult(std::ostream &os, const CellResult &res)
+{
+    using namespace gc::io;
+    putU64(os, res.ok ? 1 : 0);
+    putU64(os, res.oom ? 1 : 0);
+    putString(os, res.error);
+    putU64(os, res.run ? 1 : 0);
+    if (res.run) {
+        const FunctionalRun &r = *res.run;
+        putU64(os, static_cast<std::uint64_t>(r.cubeShift));
+        putU64(os, r.oom ? 1 : 0);
+        putU64(os, r.gcsMinor);
+        putU64(os, r.gcsMajor);
+        putU64(os, r.markCycles);
+        putU64(os, r.allocatedBytes);
+        putU64(os, r.mutatorInstructions);
+        gc::writeTrace(os, r.trace);
+    }
+    putTiming(os, res.timing);
+}
+
+bool
+getCellResult(std::istream &is, CellResult &res)
+{
+    using namespace gc::io;
+    std::uint64_t ok, oom, has_run;
+    if (!getU64(is, ok) || !getU64(is, oom)
+        || !getString(is, res.error) || !getU64(is, has_run)) {
+        return false;
+    }
+    res.ok = ok != 0;
+    res.oom = oom != 0;
+    if (has_run) {
+        auto run = std::make_shared<FunctionalRun>();
+        std::uint64_t cube_shift, run_oom;
+        if (!getU64(is, cube_shift) || !getU64(is, run_oom)
+            || !getU64(is, run->gcsMinor) || !getU64(is, run->gcsMajor)
+            || !getU64(is, run->markCycles)
+            || !getU64(is, run->allocatedBytes)
+            || !getU64(is, run->mutatorInstructions)) {
+            return false;
+        }
+        run->cubeShift = static_cast<int>(cube_shift);
+        run->oom = run_oom != 0;
+        std::string error;
+        if (!gc::readTrace(is, run->trace, &error))
+            return false;
+        res.run = std::move(run);
+    }
+    return getTiming(is, res.timing);
+}
+
+/** write(2) the whole buffer, retrying on EINTR / short writes. */
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<CellResult>
+ExperimentRunner::runIsolated(const std::vector<Cell> &cells)
+{
+    using Clock = std::chrono::steady_clock;
+
+    std::vector<CellResult> results(cells.size());
+    if (timeline_) {
+        sim::warn("timelines are not collected in crash-isolated mode "
+                  "(--cell-timeout)");
+    }
+
+    // Resolve keys on the main thread (findWorkload is fatal on a
+    // typo, which must not look like a cell crash).
+    std::vector<FunctionalKey> keys(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!cells[i].customRun)
+            keys[i] = resolve(cells[i].key);
+    }
+
+    const auto timeout = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(cellTimeoutSec_));
+
+    struct Pending
+    {
+        std::size_t cell;
+        int attempt;
+        Clock::time_point notBefore;
+    };
+    struct Child
+    {
+        pid_t pid;
+        int fd;
+        std::size_t cell;
+        int attempt;
+        std::string buf;
+        Clock::time_point deadline;
+        bool timedOut = false;
+    };
+
+    std::deque<Pending> queue;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        queue.push_back(Pending{i, 0, Clock::now()});
+    std::vector<Child> active;
+
+    auto runChild = [&](std::size_t i) {
+        // In the child: do the cell end-to-end, ship the result,
+        // and _Exit without running atexit handlers.  Any escape —
+        // crash, hang, sanitizer abort, exception past this frame —
+        // is classified by the parent from the wait status.
+        CellResult res;
+        try {
+            if (cells[i].customRun) {
+                res.run = std::make_shared<FunctionalRun>(
+                    cells[i].customRun());
+            } else {
+                res.run = functional(keys[i]);
+            }
+            res.oom = res.run->oom;
+            if (res.oom) {
+                res.error = sim::format(
+                    "OOM at %llu MiB",
+                    static_cast<unsigned long long>(
+                        keys[i].heapBytes >> 20));
+            } else if (!cells[i].replay) {
+                res.ok = true;
+            } else {
+                replay(cells[i], res, nullptr);
+            }
+        } catch (const std::exception &e) {
+            res.ok = false;
+            res.error = e.what();
+        }
+        std::ostringstream os;
+        putCellResult(os, res);
+        return os.str();
+    };
+
+    auto spawn = [&](const Pending &p) {
+        int fds[2];
+        if (::pipe(fds) != 0)
+            sim::fatal("isolated runner: pipe() failed");
+        pid_t pid = ::fork();
+        if (pid < 0)
+            sim::fatal("isolated runner: fork() failed");
+        if (pid == 0) {
+            ::close(fds[0]);
+            const std::string payload = runChild(p.cell);
+            writeAll(fds[1], payload.data(), payload.size());
+            ::close(fds[1]);
+            std::_Exit(0);
+        }
+        ::close(fds[1]);
+        active.push_back(Child{pid, fds[0], p.cell, p.attempt, {},
+                               Clock::now() + timeout});
+    };
+
+    auto classify = [&](Child &c, int status) {
+        CellResult res;
+        std::string why;
+        if (c.timedOut) {
+            why = sim::format("timed out after %.1fs", cellTimeoutSec_);
+        } else if (WIFSIGNALED(status)) {
+            why = sim::format("killed by signal %d (%s)",
+                              WTERMSIG(status),
+                              strsignal(WTERMSIG(status)));
+        } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+            why = sim::format("exited with status %d",
+                              WEXITSTATUS(status));
+        } else {
+            std::istringstream is(c.buf);
+            if (getCellResult(is, res)) {
+                results[c.cell] = std::move(res);
+                return;
+            }
+            why = "truncated result payload (crashed mid-write?)";
+        }
+        if (c.attempt < cellRetries_) {
+            // Exponential backoff before the retry: transient trouble
+            // (resource pressure) gets room to clear; deterministic
+            // crashes burn through quickly and quarantine.
+            auto backoff = std::chrono::milliseconds(100)
+                           * (1 << std::min(c.attempt, 6));
+            queue.push_back(
+                Pending{c.cell, c.attempt + 1, Clock::now() + backoff});
+            return;
+        }
+        results[c.cell].ok = false;
+        results[c.cell].error = sim::format(
+            "quarantined after %d attempt(s): %s", c.attempt + 1,
+            why.c_str());
+    };
+
+    while (!queue.empty() || !active.empty()) {
+        // Fill free job slots with pending cells whose backoff has
+        // elapsed (FIFO, so retries do not starve fresh cells).
+        const auto now = Clock::now();
+        for (auto it = queue.begin();
+             it != queue.end()
+             && active.size() < static_cast<std::size_t>(jobs_);) {
+            if (it->notBefore <= now) {
+                spawn(*it);
+                it = queue.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        if (active.empty()) {
+            // Everything pending is backing off: sleep to the nearest
+            // notBefore.
+            auto wake = queue.front().notBefore;
+            for (const auto &p : queue)
+                wake = std::min(wake, p.notBefore);
+            std::this_thread::sleep_until(wake);
+            continue;
+        }
+
+        // Poll until data, EOF, or the nearest deadline/backoff edge.
+        auto wake = active.front().deadline;
+        for (const auto &c : active)
+            wake = std::min(wake, c.deadline);
+        for (const auto &p : queue)
+            wake = std::min(wake, p.notBefore);
+        int poll_ms = static_cast<int>(std::max<std::int64_t>(
+            0, std::chrono::duration_cast<std::chrono::milliseconds>(
+                   wake - Clock::now())
+                   .count()));
+        std::vector<pollfd> fds(active.size());
+        for (std::size_t k = 0; k < active.size(); ++k)
+            fds[k] = pollfd{active[k].fd, POLLIN, 0};
+        ::poll(fds.data(), fds.size(), std::min(poll_ms, 1000));
+
+        // Enforce deadlines: a hung child is killed and then reaped
+        // through the normal EOF path.
+        for (auto &c : active) {
+            if (!c.timedOut && Clock::now() >= c.deadline) {
+                c.timedOut = true;
+                ::kill(c.pid, SIGKILL);
+            }
+        }
+
+        for (std::size_t k = 0; k < active.size();) {
+            Child &c = active[k];
+            if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR))
+                && !c.timedOut) {
+                ++k;
+                continue;
+            }
+            char chunk[65536];
+            ssize_t n = ::read(c.fd, chunk, sizeof(chunk));
+            if (n > 0) {
+                c.buf.append(chunk, static_cast<std::size_t>(n));
+                ++k;
+                continue;
+            }
+            if (n < 0 && (errno == EINTR || errno == EAGAIN)) {
+                ++k;
+                continue;
+            }
+            // EOF (or read error): the child is done; reap and
+            // classify it.
+            ::close(c.fd);
+            int status = 0;
+            ::waitpid(c.pid, &status, 0);
+            classify(c, status);
+            fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(k));
+            active.erase(active.begin()
+                         + static_cast<std::ptrdiff_t>(k));
+        }
+    }
     return results;
 }
 

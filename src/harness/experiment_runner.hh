@@ -43,6 +43,23 @@ struct RunnerConfig
      * the replay path is byte-for-byte the untraced one.
      */
     bool timeline = false;
+    /**
+     * Crash isolation (--cell-timeout): when > 0, every cell runs
+     * end-to-end in its own forked child process with this wall-clock
+     * deadline in seconds.  A cell that hangs is SIGKILLed at the
+     * deadline; a cell that crashes (signal, abort, sanitizer trap)
+     * takes only itself down.  Parallelism comes from up to `jobs`
+     * concurrent children, so the parent stays single-threaded and
+     * fork-safe.  Timelines are not collected in this mode.
+     */
+    double cellTimeoutSec = 0;
+    /**
+     * Extra attempts for a crashed or hung cell before it is
+     * quarantined (isolated mode only).  Retries back off
+     * exponentially; a quarantined cell fails with a diagnostic
+     * naming the last failure while the remaining cells complete.
+     */
+    int cellRetries = 0;
 };
 
 /** Run @p fn(0..count-1) on up to @p jobs threads (inline when 1). */
@@ -97,8 +114,17 @@ class ExperimentRunner
                        std::string *error = nullptr) const;
 
   private:
+    /** Crash-isolated execution (RunnerConfig::cellTimeoutSec > 0). */
+    std::vector<CellResult> runIsolated(const std::vector<Cell> &cells);
+
+    /** Replay one cell's platform simulation into @p res. */
+    void replay(const Cell &cell, CellResult &res,
+                sim::Timeline *tl) const;
+
     int jobs_;
     bool timeline_;
+    double cellTimeoutSec_;
+    int cellRetries_;
     TraceCache cache_;
     std::mutex memoMutex_;
     std::map<std::string, std::shared_ptr<const FunctionalRun>> memo_;

@@ -62,7 +62,8 @@ knownFlagNames(const Options &opt)
         names.push_back(f.name);
     for (const char *shared :
          {"--jobs", "--cache-dir", "--no-cache", "--csv", "--json",
-          "--trace-out", "--rollup", "--help"})
+          "--trace-out", "--rollup", "--cell-timeout",
+          "--cell-retries", "--help"})
         names.push_back(shared);
     return names;
 }
@@ -202,6 +203,11 @@ optionsUsage()
            "                       ui.perfetto.dev)\n"
            "  --rollup             print the per-phase primitive\n"
            "                       roll-up table\n"
+           "  --cell-timeout=SEC   run each cell in its own process\n"
+           "                       with this watchdog deadline (hung\n"
+           "                       or crashed cells are quarantined)\n"
+           "  --cell-retries=N     retries before quarantining a\n"
+           "                       failing cell (default: 0)\n"
            "  --help               this text\n";
 }
 
@@ -276,8 +282,29 @@ parseOptions(int argc, char **argv, Options &opt)
             opt.traceOut = v;
         } else if (arg == "--rollup") {
             opt.rollup = true;
+        } else if (const char *v = value("--cell-timeout")) {
+            if (!parseDouble(v, opt.cellTimeoutSec)
+                || opt.cellTimeoutSec < 0) {
+                std::fprintf(stderr,
+                             "%s: bad value for --cell-timeout: "
+                             "'%s'\n\n%s",
+                             argv[0], v, opt.usageText().c_str());
+                return false;
+            }
+        } else if (const char *v = value("--cell-retries")) {
+            long long n;
+            if (!parseInt(v, n) || n < 0) {
+                std::fprintf(stderr,
+                             "%s: bad value for --cell-retries: "
+                             "'%s'\n\n%s",
+                             argv[0], v, opt.usageText().c_str());
+                return false;
+            }
+            opt.cellRetries = static_cast<int>(n);
         } else if (arg == "--jobs" || arg == "--cache-dir"
-                   || arg == "--json" || arg == "--trace-out") {
+                   || arg == "--json" || arg == "--trace-out"
+                   || arg == "--cell-timeout"
+                   || arg == "--cell-retries") {
             std::fprintf(stderr, "%s: missing value for %s\n\n%s",
                          argv[0], arg.c_str(),
                          opt.usageText().c_str());

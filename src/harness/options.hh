@@ -45,6 +45,11 @@ struct Options
     std::string traceOut;
     /** Print the per-phase primitive roll-up table. */
     bool rollup = false;
+    /** Crash isolation: per-cell watchdog deadline in seconds
+     *  (0 = in-process execution, the default). */
+    double cellTimeoutSec = 0;
+    /** Isolated mode: retries before a failing cell is quarantined. */
+    int cellRetries = 0;
 
     /** First line of --help ("name: what this binary does"). */
     std::string helpHeader;
@@ -53,7 +58,8 @@ struct Options
     runnerConfig() const
     {
         return RunnerConfig{jobs, noCache ? std::string() : cacheDir,
-                            !traceOut.empty()};
+                            !traceOut.empty(), cellTimeoutSec,
+                            cellRetries};
     }
 
     // ------------------------------------------------------------------

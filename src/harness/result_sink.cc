@@ -45,6 +45,8 @@ Report::table(std::string id, std::string title,
 void
 Report::cellFailed(const std::string &label, const CellResult &result)
 {
+    if (!result.oom)
+        hardFailure_ = true;
     failures_.push_back(label + ": "
                         + (result.error.empty() ? "failed"
                                                 : result.error));
@@ -230,6 +232,8 @@ Report::finish(std::ostream &os)
             writeJson(json);
         }
     }
+    if (hardFailure_)
+        return 1;
     return (okCells_ == 0 && !failures_.empty()) ? 1 : 0;
 }
 

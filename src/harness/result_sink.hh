@@ -83,8 +83,11 @@ class Report
     /**
      * Render every sink (aligned text or CSV per options), print the
      * failed-cell summary, and write the JSON file when requested.
-     * Returns a process exit code: 0, or 1 when every cell of the
-     * report failed (nothing was measured).
+     * Returns a process exit code: 1 when any cell failed for a
+     * reason other than OOM (crash, timeout, quarantine, replay
+     * error — CI must notice), or when every cell failed; 0
+     * otherwise.  OOM alone stays 0: heap-shrink sweeps hit it by
+     * design.
      */
     int finish(std::ostream &os);
 
@@ -95,6 +98,7 @@ class Report
     std::deque<ResultSink> sinks_; // deque: stable references
     std::vector<std::string> failures_;
     std::size_t okCells_ = 0;
+    bool hardFailure_ = false; ///< any non-OOM cell failure
 };
 
 } // namespace charon::harness

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "gc/trace_io.hh"
@@ -165,12 +166,26 @@ TraceCache::store(const FunctionalKey &key, const FunctionalRun &run) const
             return false;
         }
     }
+    // Durability: fsync the temp file before the rename so a crash or
+    // power cut cannot publish a cache entry whose bytes never hit
+    // the disk (the loader would reject it, but only after a wasted
+    // read; worse, a torn page could alias another key's hash name).
+    if (int fd = ::open(tmp_path.c_str(), O_WRONLY); fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
     std::filesystem::rename(tmp_path, final_path, ec);
     if (ec) {
         sim::warn("trace cache: cannot rename into %s: %s",
                   final_path.c_str(), ec.message().c_str());
         std::filesystem::remove(tmp_path, ec);
         return false;
+    }
+    // And fsync the directory so the rename itself is durable.
+    if (int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+        fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
     }
     return true;
 }

@@ -74,6 +74,18 @@ class CardTable
     /** Reset every card to clean. */
     void cleanAll();
 
+    /** Raw table byte (fault injection and corruption checks). */
+    std::uint8_t rawByte(std::uint64_t index) const
+    {
+        return bytes_[index];
+    }
+
+    /** XOR @p mask into a table byte (fault injection). */
+    void xorByte(std::uint64_t index, std::uint8_t mask)
+    {
+        bytes_[index] ^= mask;
+    }
+
     /**
      * The Search primitive over card indices [from, limit): returns
      * the index of the first dirty card, or limit when none.

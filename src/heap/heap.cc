@@ -166,11 +166,21 @@ ManagedHeap::allocEden(KlassId klass, std::uint64_t array_len)
 mem::Addr
 ManagedHeap::allocTo(std::uint64_t size_words)
 {
+    if (gcAllocFaultFires())
+        return 0;
     return allocIn(to_, size_words);
 }
 
 mem::Addr
 ManagedHeap::allocOld(std::uint64_t size_words)
+{
+    if (gcAllocFaultFires())
+        return 0;
+    return allocOldRaw(size_words);
+}
+
+mem::Addr
+ManagedHeap::allocOldRaw(std::uint64_t size_words)
 {
     mem::Addr obj = allocIn(old_, size_words);
     if (obj != 0)
@@ -178,11 +188,37 @@ ManagedHeap::allocOld(std::uint64_t size_words)
     return obj;
 }
 
+void
+ManagedHeap::setGcAllocFault(std::uint64_t after, std::uint64_t count)
+{
+    gcFaultAfter_ = after;
+    gcFaultRemaining_ = count;
+    gcFaultArmed_ = count > 0;
+}
+
+bool
+ManagedHeap::gcAllocFaultFires()
+{
+    if (!gcFaultArmed_)
+        return false;
+    if (gcFaultAfter_ > 0) {
+        --gcFaultAfter_;
+        return false;
+    }
+    --gcFaultRemaining_;
+    if (gcFaultRemaining_ == 0)
+        gcFaultArmed_ = false;
+    return true;
+}
+
 mem::Addr
 ManagedHeap::allocOldObject(KlassId klass, std::uint64_t array_len)
 {
     std::uint64_t size_words = sizeWordsFor(klass, array_len);
-    mem::Addr obj = allocOld(size_words);
+    // The humongous/mutator path bypasses the GC alloc-fault arm: the
+    // injected failure targets copy/promotion allocations inside a
+    // collection.
+    mem::Addr obj = allocOldRaw(size_words);
     if (obj == 0)
         return 0;
     arena_.writeHeader(obj, klass, size_words, array_len);
@@ -279,6 +315,12 @@ void
 ManagedHeap::setForwarding(mem::Addr obj, mem::Addr to)
 {
     arena_.setForwarding(obj, to);
+}
+
+void
+ManagedHeap::clearForwarding(mem::Addr obj)
+{
+    arena_.clearForwarding(obj);
 }
 
 void

@@ -127,6 +127,15 @@ class ManagedHeap
     std::uint64_t sizeWordsFor(KlassId klass,
                                std::uint64_t array_len) const;
 
+    /**
+     * Fault injection: after @p after further successful GC-internal
+     * allocations (allocTo / allocOld), fail the next @p count calls
+     * with 0 even though space remains — the deterministic trigger
+     * for the collectors' promotion-failure recovery path.  The
+     * mutator-facing paths (allocEden, allocOldObject) are unaffected.
+     */
+    void setGcAllocFault(std::uint64_t after, std::uint64_t count);
+
     // ------------------------------------------------------------------
     // Object access
 
@@ -174,6 +183,7 @@ class ManagedHeap
     bool isForwarded(mem::Addr obj) const;
     mem::Addr forwardee(mem::Addr obj) const;
     void setForwarding(mem::Addr obj, mem::Addr to);
+    void clearForwarding(mem::Addr obj);
 
     // ------------------------------------------------------------------
     // Iteration
@@ -237,7 +247,9 @@ class ManagedHeap
 
   private:
     mem::Addr allocIn(Region &region, std::uint64_t size_words);
+    mem::Addr allocOldRaw(std::uint64_t size_words);
     void noteOldAllocation(mem::Addr obj);
+    bool gcAllocFaultFires();
 
     HeapConfig cfg_;
     const KlassTable &klasses_;
@@ -254,6 +266,10 @@ class ManagedHeap
     std::vector<mem::Addr> firstObjInCard_;
 
     std::vector<mem::Addr> roots_;
+
+    bool gcFaultArmed_ = false;
+    std::uint64_t gcFaultAfter_ = 0;
+    std::uint64_t gcFaultRemaining_ = 0;
 
     sim::StatGroup stats_;
     sim::Counter bytesAllocated_;

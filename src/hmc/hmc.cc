@@ -53,6 +53,27 @@ HmcMemory::HmcMemory(sim::EventQueue &eq, const sim::HmcConfig &cfg,
 }
 
 void
+HmcMemory::degradeLink(int link, double factor)
+{
+    CHARON_ASSERT(link >= 0
+                      && static_cast<std::size_t>(link) < links_.size(),
+                  "bad link index %d", link);
+    mem::FluidChannel &ch = *links_[static_cast<std::size_t>(link)];
+    ch.setCapacity(ch.capacity() * factor);
+}
+
+void
+HmcMemory::degradeCube(int cube, double factor)
+{
+    CHARON_ASSERT(cube >= 0
+                      && static_cast<std::size_t>(cube)
+                             < internal_.size(),
+                  "bad cube index %d", cube);
+    mem::FluidChannel &ch = *internal_[static_cast<std::size_t>(cube)];
+    ch.setCapacity(ch.capacity() * factor);
+}
+
+void
 HmcMemory::setCubeShift(int shift)
 {
     CHARON_ASSERT(shift > 0 && shift < 48, "bad cube shift %d", shift);

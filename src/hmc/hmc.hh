@@ -128,6 +128,20 @@ class HmcMemory
     /** Zero the byte/energy accounting. */
     void resetStats();
 
+    // ------------------------------------------------------------------
+    // Fault injection (bandwidth degradation)
+
+    /**
+     * Multiply serial link @p link's capacity by @p factor (fault
+     * injection; links_[0] is host<->cube0, links_[i] cube0<->cube i).
+     * Only the fluid capacity degrades: the per-hop latency constants
+     * and offload-overhead serialization terms stay at spec values.
+     */
+    void degradeLink(int link, double factor);
+
+    /** Multiply cube @p cube's internal TSV capacity by @p factor. */
+    void degradeCube(int cube, double factor);
+
     /** Print per-cube / per-link statistics. */
     void dumpStats(std::ostream &os) const;
 

@@ -1,5 +1,6 @@
 #include "fluid_channel.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -70,6 +71,17 @@ FluidChannel::startFlow(std::uint64_t bytes, double maxRate,
         timeline_->counter(track_, eq_.now(),
                            static_cast<double>(flows_.size()));
     }
+    reallocate();
+}
+
+void
+FluidChannel::setCapacity(double capacity)
+{
+    // Floor keeps the utilization integral finite and guarantees the
+    // phase barrier drains even for an "offline" resource.
+    constexpr double kMinCapacityFraction = 1e-3;
+    advance();
+    capacity_ = std::max(capacity, capacity_ * kMinCapacityFraction);
     reallocate();
 }
 

@@ -66,6 +66,14 @@ class FluidChannel
     /** Peak capacity in bytes/tick. */
     double capacity() const { return capacity_; }
 
+    /**
+     * Change the capacity (fault injection: link/TSV degradation).
+     * In-flight flows are advanced at their old rates first, then
+     * rates are recomputed under the new capacity.  Clamped to a tiny
+     * positive floor so active flows always drain.
+     */
+    void setCapacity(double capacity);
+
     /** Total bytes ever pushed through this channel. */
     double totalBytes() const { return bytesTransferred_.value(); }
 

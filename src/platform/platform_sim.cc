@@ -25,19 +25,37 @@ PrimBreakdown::byKind(PrimKind kind)
 
 PlatformSim::PlatformSim(PlatformKind kind, const sim::SystemConfig &cfg,
                          int cube_shift,
-                         const sim::Instrumentation &instr)
+                         const sim::Instrumentation &instr,
+                         const fault::FaultPlan &faults)
     : kind_(kind),
       cfg_(cfg),
       cubeShift_(cube_shift),
       timeline_(instr.timeline()),
       gcTrack_(instr.track("gc"))
 {
+    // An engine only exists when the plan has timing-layer specs, so
+    // fault-free replays keep the exact pre-fault code paths.
+    if (faults.hasTimingFaults()) {
+        fault_ = std::make_unique<fault::FaultEngine>(faults,
+                                                      cfg_.hmc.cubes);
+    }
     // Components are built memory system first, then the device, then
     // the host — also the order their instrumentation tracks appear
     // in exported traces.
     if (usesHmc()) {
         hmc_ = std::make_unique<hmc::HmcMemory>(eq_, cfg_.hmc, instr);
         hmc_->setCubeShift(cube_shift);
+        if (fault_) {
+            hmc::HmcMemory *hmc = hmc_.get();
+            fault::FaultEngine::Hooks hooks;
+            hooks.degradeLink = [hmc](int link, double factor) {
+                hmc->degradeLink(link, factor);
+            };
+            hooks.degradeCube = [hmc](int cube, double factor) {
+                hmc->degradeCube(cube, factor);
+            };
+            fault_->setHooks(std::move(hooks));
+        }
     } else {
         ddr4_ = std::make_unique<mem::Ddr4Memory>(eq_, cfg_.ddr4, instr);
     }
@@ -47,6 +65,7 @@ PlatformSim::PlatformSim(PlatformKind kind, const sim::SystemConfig &cfg,
             (kind_ == PlatformKind::CharonCpuSide);
         device_ = std::make_unique<accel::CharonDevice>(eq_, *hmc_,
                                                         dev_cfg, instr);
+        device_->setFaultEngine(fault_.get());
     }
     mem::MemPort &port =
         usesHmc() ? static_cast<mem::MemPort &>(hmc_->hostPort())
@@ -112,6 +131,14 @@ struct PlatformSim::ThreadAgent
      */
     gc::Bucket cur;
     Tick bucketStart = 0;
+    /**
+     * Fault-fallback epoch: bumped when a unit-death watchdog orphans
+     * the in-flight offload so the device's (still draining) flows
+     * complete into a no-op and the host re-execution owns the
+     * bucket.  Without a fault plan it never changes.
+     */
+    std::uint64_t epoch = 0;
+    sim::EventId watchdog = 0;
 
     void
     finish(Tick t)
@@ -124,6 +151,67 @@ struct PlatformSim::ThreadAgent
                 bucketStart, t);
         }
         step();
+    }
+
+    /** Execute the current bucket on the host path (fallback route). */
+    void
+    hostDispatch()
+    {
+        PlatformSim &ps = *sim;
+        const mem::Addr synth_addr =
+            static_cast<mem::Addr>(cur.srcCube) << ps.cubeShift_;
+        const std::uint64_t my_epoch = epoch;
+        ps.host_->execBucket(cur, synth_addr, [this, my_epoch](Tick t) {
+            if (epoch != my_epoch)
+                return;
+            finish(t);
+        });
+    }
+
+    /** Issue the current bucket to the device, fault-aware. */
+    void
+    deviceDispatch()
+    {
+        PlatformSim &ps = *sim;
+        fault::FaultEngine *fe = ps.fault_.get();
+        if (fe && fe->unitsDead(cur.srcCube, ps.eq_.now())) {
+            // Degraded mode: the target units are dead; take the
+            // host route new sub-threshold buckets already use.
+            fe->noteFallback();
+            hostDispatch();
+            return;
+        }
+        if (fe) {
+            // A death is pending: arm a watchdog that orphans the
+            // in-flight offload at the death tick and re-dispatches
+            // the bucket to the host.  Descheduled on normal
+            // completion so it never stretches the phase barrier.
+            Tick death = fe->deathTick(cur.srcCube);
+            if (death != fault::FaultEngine::kNoTick
+                && death > ps.eq_.now()) {
+                const std::uint64_t my_epoch = epoch;
+                watchdog =
+                    ps.eq_.schedule(death, [this, my_epoch] {
+                        if (epoch != my_epoch)
+                            return;
+                        ++epoch;
+                        watchdog = 0;
+                        sim->fault_->noteFallback();
+                        hostDispatch();
+                    });
+            }
+        }
+        const std::uint64_t my_epoch = epoch;
+        ps.device_->execBucket(cur, hitRate,
+                               [this, my_epoch](Tick t) {
+                                   if (epoch != my_epoch)
+                                       return;
+                                   if (watchdog) {
+                                       sim->eq_.deschedule(watchdog);
+                                       watchdog = 0;
+                                   }
+                                   finish(t);
+                               });
     }
 
     void
@@ -148,17 +236,13 @@ struct PlatformSim::ThreadAgent
             // invocation before blocking on the device.
             Tick issue = ps.host_->glueTicks(cur.invocations
                                              * ps.costs_.offloadIssue);
-            ps.eq_.scheduleIn(issue, [this] {
-                sim->device_->execBucket(
-                    cur, hitRate,
-                    [this](Tick t) { finish(t); });
-            });
+            if (ps.fault_) {
+                issue += ps.fault_->stallTicks(cur.srcCube,
+                                               ps.eq_.now());
+            }
+            ps.eq_.scheduleIn(issue, [this] { deviceDispatch(); });
         } else {
-            const mem::Addr synth_addr =
-                static_cast<mem::Addr>(cur.srcCube)
-                << ps.cubeShift_;
-            ps.host_->execBucket(cur, synth_addr,
-                                 [this](Tick t) { finish(t); });
+            hostDispatch();
         }
     }
 };
@@ -168,6 +252,13 @@ PlatformSim::runPhase(const gc::PhaseTrace &phase,
                       gc::PhaseRollup &rollup)
 {
     const Tick phase_start = eq_.now();
+    if (fault_) {
+        // Bandwidth faults (link/TSV/cube-offline) take effect at
+        // phase boundaries: applying them here keeps the engine from
+        // scheduling standing events that would stretch the phase
+        // barrier (eq_.run() drains until empty).
+        fault_->applyPendingDegrades(phase_start);
+    }
     PrimBreakdown breakdown;
     std::vector<ThreadAgent> agents(phase.threads.size());
 

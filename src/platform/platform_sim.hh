@@ -21,6 +21,7 @@
 
 #include "accel/device.hh"
 #include "cpu/host_model.hh"
+#include "fault/fault.hh"
 #include "gc/costs.hh"
 #include "gc/trace.hh"
 #include "hmc/hmc.hh"
@@ -56,9 +57,19 @@ class PlatformSim
      *        primitive and glue spans on "thread N" tracks, and the
      *        memory system, device, and host contribute their counter
      *        tracks.  The default (disabled) context costs nothing.
+     * @param faults timing-layer fault plan.  The default (empty)
+     *        plan attaches no engine at all: replays take exactly the
+     *        pre-fault code paths and remain byte-identical to builds
+     *        without the fault layer.  With a plan, unit deaths and
+     *        cube outages re-dispatch in-flight offloads to the host
+     *        path (the same route sub-threshold buckets already use),
+     *        stalls delay offload issue, TLB poisoning slows Scan&Push
+     *        probes, and link/TSV degradation shrinks the fluid
+     *        capacities at phase boundaries.
      */
     PlatformSim(sim::PlatformKind kind, const sim::SystemConfig &cfg,
-                int cube_shift, const sim::Instrumentation &instr = {});
+                int cube_shift, const sim::Instrumentation &instr = {},
+                const fault::FaultPlan &faults = {});
     ~PlatformSim();
 
     PlatformSim(const PlatformSim &) = delete;
@@ -80,6 +91,12 @@ class PlatformSim
     std::uint64_t executedEvents() const
     {
         return eq_.executedEvents();
+    }
+
+    /** Faults that actually fired (null-safe; 0 without a plan). */
+    std::uint64_t injectedFaults() const
+    {
+        return fault_ ? fault_->injectedFaults() : 0;
     }
 
     /** Print the memory-system statistics accumulated so far. */
@@ -105,6 +122,7 @@ class PlatformSim
     gc::GlueCosts costs_;
 
     sim::EventQueue eq_;
+    std::unique_ptr<fault::FaultEngine> fault_;
     std::unique_ptr<mem::Ddr4Memory> ddr4_;
     std::unique_ptr<hmc::HmcMemory> hmc_;
     std::unique_ptr<accel::CharonDevice> device_;

@@ -121,67 +121,84 @@ main(int argc, char **argv)
     dse::Explorer explorer(runner, journal);
     harness::Report report(opt);
 
-    if (figPreset) {
-        // The figure presets replicate the bench binaries' cell grids
-        // and tables exactly (CI diffs the outputs), adding only the
-        // journal underneath.
-        if (preset == "fig13")
-            dse::runFig13Preset(explorer, report);
-        else
-            dse::runFig15Preset(explorer, report);
-    } else {
-        dse::ParamSpace space;
-        std::string error;
-        if (preset == "frontier")
-            space = dse::frontierSpace();
-        else if (preset == "smoke")
-            space = dse::smokeSpace();
-        if (!workload.empty()
-            && !dse::applyAxisValue(space.base, "workload", workload,
-                                    &error))
-            return usageError(error);
-        if (heapMib != 0
-            && !dse::applyAxisValue(space.base, "heap-mib",
-                                    std::to_string(heapMib), &error))
-            return usageError(error);
-        for (const auto &spec : axisSpecs)
-            if (!space.axisSpec(spec, &error))
+    // Ctrl-C / SIGTERM stop the sweep at a batch boundary with every
+    // completed cell journalled; rerunning the same command resumes.
+    dse::SweepJournal::installSignalFlush();
+
+    try {
+        if (figPreset) {
+            // The figure presets replicate the bench binaries' cell
+            // grids and tables exactly (CI diffs the outputs), adding
+            // only the journal underneath.
+            if (preset == "fig13")
+                dse::runFig13Preset(explorer, report);
+            else
+                dse::runFig15Preset(explorer, report);
+        } else {
+            dse::ParamSpace space;
+            std::string error;
+            if (preset == "frontier")
+                space = dse::frontierSpace();
+            else if (preset == "smoke")
+                space = dse::smokeSpace();
+            if (!workload.empty()
+                && !dse::applyAxisValue(space.base, "workload",
+                                        workload, &error))
                 return usageError(error);
-        if (space.axes().empty())
-            return usageError(
-                "nothing to sweep: give --axis flags or a --preset "
-                "(--list-axes shows the axes)");
+            if (heapMib != 0
+                && !dse::applyAxisValue(space.base, "heap-mib",
+                                        std::to_string(heapMib),
+                                        &error))
+                return usageError(error);
+            for (const auto &spec : axisSpecs)
+                if (!space.axisSpec(spec, &error))
+                    return usageError(error);
+            if (space.axes().empty())
+                return usageError(
+                    "nothing to sweep: give --axis flags or a "
+                    "--preset (--list-axes shows the axes)");
 
-        std::vector<dse::DsePoint> points =
-            search == "random"
-                ? space.sample(static_cast<std::size_t>(
-                                   samples > 0 ? samples : 1),
-                               searchSeed)
-                : space.enumerate();
-        std::fprintf(stderr, "dse: %zu of %zu points, search=%s\n",
-                     points.size(), space.size(), search.c_str());
+            std::vector<dse::DsePoint> points =
+                search == "random"
+                    ? space.sample(static_cast<std::size_t>(
+                                       samples > 0 ? samples : 1),
+                                   searchSeed)
+                    : space.enumerate();
+            std::fprintf(stderr,
+                         "dse: %zu of %zu points, search=%s\n",
+                         points.size(), space.size(), search.c_str());
 
-        std::vector<dse::PointEval> evals;
-        if (search == "halving")
-            evals = dse::successiveHalving(
-                explorer, std::move(points), screenGcs,
-                static_cast<std::size_t>(finalists > 0 ? finalists
-                                                       : 1));
-        else
-            evals = explorer.evaluate(points);
+            std::vector<dse::PointEval> evals;
+            if (search == "halving")
+                evals = dse::successiveHalving(
+                    explorer, std::move(points), screenGcs,
+                    static_cast<std::size_t>(finalists > 0 ? finalists
+                                                           : 1));
+            else
+                evals = explorer.evaluate(points);
 
-        auto summary = dse::summarize(evals);
-        dse::reportSweep(report, evals, summary);
-        if (!paretoCsv.empty()) {
-            if (!dse::writeParetoCsv(paretoCsv, evals, summary,
-                                     &error)) {
-                std::fprintf(stderr, "dse: %s\n", error.c_str());
-                return 1;
+            auto summary = dse::summarize(evals);
+            dse::reportSweep(report, evals, summary);
+            if (!paretoCsv.empty()) {
+                if (!dse::writeParetoCsv(paretoCsv, evals, summary,
+                                         &error)) {
+                    std::fprintf(stderr, "dse: %s\n", error.c_str());
+                    return 1;
+                }
+                std::fprintf(stderr,
+                             "dse: wrote Pareto frontier (%zu "
+                             "points) to %s\n",
+                             summary.frontier.size(),
+                             paretoCsv.c_str());
             }
-            std::fprintf(stderr, "dse: wrote Pareto frontier (%zu "
-                                 "points) to %s\n",
-                         summary.frontier.size(), paretoCsv.c_str());
         }
+    } catch (const dse::SweepInterrupted &) {
+        std::fprintf(stderr,
+                     "dse: interrupted; completed cells are in %s — "
+                     "re-run the same command to resume\n",
+                     journal.enabled() ? journal.path().c_str()
+                                       : "(no journal)");
+        return 130;
     }
 
     std::fprintf(stderr, "dse: journal %s: %zu hits, %zu evaluated\n",
