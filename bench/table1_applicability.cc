@@ -81,7 +81,7 @@ g1Demo()
     for (int i = 0; i < 400000; ++i) {
         mem::Addr obj = heap.allocate(node);
         if (obj == 0) {
-            if (g1.onAllocationFailure()
+            if (g1.collectOnAllocationFailure()
                 == gc::G1Outcome::OutOfMemory) {
                 break;
             }

@@ -68,7 +68,7 @@ main()
     for (int i = 0; i < 1500000; ++i) {
         mem::Addr obj = heap.allocate(node);
         if (obj == 0) {
-            auto outcome = g1.onAllocationFailure();
+            auto outcome = g1.collectOnAllocationFailure();
             if (outcome == gc::G1Outcome::OutOfMemory) {
                 std::printf("out of memory!\n");
                 return 1;

@@ -97,8 +97,15 @@ CharonDevice::pool(PrimKind kind, int cube)
       case PrimKind::Search:
         return *copySearchPools_[static_cast<std::size_t>(cube)];
       case PrimKind::BitmapCount:
+      case PrimKind::BitSweep:
+        // Bit Sweep reuses the Bitmap Count units: the sweep datapath
+        // is the same word-pair scan logic, emitting free-run extents
+        // instead of a live count.
         return *bitmapCountPools_[static_cast<std::size_t>(cube)];
       case PrimKind::ScanPush:
+      case PrimKind::RefCount:
+        // Ref Count RMWs ride the Scan&Push units: both are random
+        // 16 B accesses through the shared address-translation path.
         if (scanPushPools_.size() == 1)
             return *scanPushPools_[0];
         return *scanPushPools_[static_cast<std::size_t>(cube)];
@@ -159,8 +166,9 @@ CharonDevice::execBucket(const gc::Bucket &bucket, double bitmap_hit_rate,
     // keeps Search at ~3x and small-object Copy near parity in the
     // paper, despite the enormous streaming bandwidth).
     const int unit_cube =
-        (bucket.kind == PrimKind::ScanPush && scanPushPools_.size() == 1
-         && !cfg_.charon.cpuSide)
+        ((bucket.kind == PrimKind::ScanPush
+          || bucket.kind == PrimKind::RefCount)
+         && scanPushPools_.size() == 1 && !cfg_.charon.cpuSide)
             ? 0
             : bucket.srcCube;
     // A CPU-side unit (Figure 16) sees the full off-chip round trip
@@ -197,6 +205,19 @@ CharonDevice::execBucket(const gc::Bucket &bucket, double bitmap_hit_rate,
         // can issue; command decode overlaps roughly half of it.
         floor = first_access_lat(mem::AccessPattern::Strided) / 2;
         break;
+      case PrimKind::BitSweep:
+        // The sweep streams the bitmaps front to back; only the first
+        // word pair is exposed.
+        floor = first_access_lat(mem::AccessPattern::Sequential);
+        break;
+      case PrimKind::RefCount:
+        // Count updates return no value (the response packet carries
+        // no payload), so successive offloads pipeline through the
+        // MAI instead of serializing on the RMW round trip; only the
+        // 1/maiEntries share of each fetch is exposed.
+        floor = first_access_lat(mem::AccessPattern::Random)
+                / static_cast<Tick>(cfg_.charon.maiEntries);
+        break;
     }
     const Tick overhead =
         (offloadOverhead(unit_cube) + floor) * bucket.invocations;
@@ -231,6 +252,19 @@ CharonDevice::execBucket(const gc::Bucket &bucket, double bitmap_hit_rate,
                         * (cfg_.charon.requestPacketBytes
                            + cfg_.charon.responsePacketBytes);
         execBitmapCount(bucket, bitmap_hit_rate, wrapped);
+        break;
+      case PrimKind::BitSweep:
+        // The response carries the discovered free-run extents.
+        packetBytes_ += static_cast<double>(bucket.invocations)
+                        * (cfg_.charon.requestPacketBytes
+                           + cfg_.charon.responsePacketBytes);
+        execBitSweep(bucket, wrapped);
+        break;
+      case PrimKind::RefCount:
+        packetBytes_ += static_cast<double>(bucket.invocations)
+                        * (cfg_.charon.requestPacketBytes
+                           + cfg_.charon.responsePacketNoValBytes);
+        execRefCount(bucket, wrapped);
         break;
     }
 }
@@ -447,6 +481,105 @@ CharonDevice::execBitmapCount(const gc::Bucket &b, double hit_rate,
         hmc_.linkStream(unit_cube, 0, b.seqReadBytes, lookup_rate,
                         arrive);
     }
+}
+
+void
+CharonDevice::execBitSweep(const gc::Bucket &b, mem::StreamCallback done)
+{
+    const int unit_cube = cfg_.charon.cpuSide ? 0 : b.srcCube;
+    const auto origin = unitOrigin(b.srcCube);
+    Tick lat = cfg_.charon.cpuSide
+                   ? hmc_.hostPort().latency(mem::AccessPattern::Sequential)
+                   : hmc_.localLatency(mem::AccessPattern::Sequential);
+    double mai_rate = cfg_.charon.maiEntries * 256.0
+                      / static_cast<double>(lat);
+
+    auto join = std::make_shared<Join>();
+    join->remaining = 3;
+    join->done = std::move(done);
+    auto arrive = [join](Tick t) { join->arrive(t); };
+
+    // The sweep consumes a 64-bit word pair per cycle on a Bitmap
+    // Count unit; free-list node writes trickle out behind the scan.
+    pool(PrimKind::BitSweep, unit_cube)
+        .startFlow(b.seqReadBytes,
+                   issueRate(cfg_.charon.unitFreqHz, 16), arrive);
+
+    mem::StreamRequest read;
+    read.bytes = b.seqReadBytes;
+    read.pattern = mem::AccessPattern::Sequential;
+    read.granularity = 256;
+    read.maxRate = mai_rate;
+    hmc_.streamToCube(origin, b.srcCube, read, arrive);
+
+    mem::StreamRequest write = read;
+    write.bytes = b.writeBytes;
+    write.write = true;
+    hmc_.streamToCube(origin, b.dstCube, write, arrive);
+}
+
+void
+CharonDevice::execRefCount(const gc::Bucket &b, mem::StreamCallback done)
+{
+    // Count-word RMWs are scattered like Scan&Push probes and go
+    // through the same units and translation path; a unit keeps many
+    // independent decrements in flight because, unlike the host, it
+    // holds the whole ZCT batch in its command queue.
+    const bool local = cfg_.charon.scanPushLocal;
+    const int unit_cube =
+        cfg_.charon.cpuSide ? 0 : (local ? b.srcCube : 0);
+    const auto origin = unitOrigin(unit_cube);
+    const int cubes = cfg_.hmc.cubes;
+
+    // Unlike Scan&Push, successive count updates carry no pointer
+    // dependency, so concurrency is bounded by the MAI depth (and by
+    // the batch itself for tiny buckets), not by updates/invocation.
+    double mlp =
+        std::min(static_cast<double>(b.randomAccesses),
+                 static_cast<double>(cfg_.charon.maiEntries));
+    double avg_lat = 0;
+    for (int c = 0; c < cubes; ++c) {
+        Tick l = cfg_.charon.cpuSide
+                     ? hmc_.hostPort().latency(mem::AccessPattern::Random)
+                     : hmc_.latency(hmc::Origin::onCube(unit_cube),
+                                    static_cast<mem::Addr>(c)
+                                        << hmc_.cubeShift(),
+                                    mem::AccessPattern::Random);
+        if (!cfg_.charon.distributedStructures && !cfg_.charon.cpuSide
+            && unit_cube != 0) {
+            l += 2 * cfg_.hmc.linkLatency(); // remote TLB lookup
+        }
+        avg_lat += static_cast<double>(l);
+    }
+    avg_lat /= cubes;
+    double random_rate = std::max(mlp, 1.0) * 16.0 / avg_lat;
+
+    auto join = std::make_shared<Join>();
+    join->remaining = 2 + static_cast<std::size_t>(cubes);
+    join->done = std::move(done);
+    auto arrive = [join](Tick t) { join->arrive(t); };
+
+    pool(PrimKind::RefCount, unit_cube)
+        .startFlow(b.randomBytes + b.writeBytes,
+                   issueRate(cfg_.charon.unitFreqHz, 16), arrive);
+
+    // The count words spread over every cube; the updated values write
+    // back to the same lines (write-through, 16 B granularity).
+    for (int c = 0; c < cubes; ++c) {
+        mem::StreamRequest rnd;
+        rnd.bytes = b.randomBytes / static_cast<std::uint64_t>(cubes);
+        rnd.pattern = mem::AccessPattern::Random;
+        rnd.granularity = 16;
+        rnd.maxRate = random_rate / cubes;
+        hmc_.streamToCube(origin, c, rnd, arrive);
+    }
+    mem::StreamRequest wr;
+    wr.bytes = b.writeBytes;
+    wr.write = true;
+    wr.pattern = mem::AccessPattern::Random;
+    wr.granularity = 16;
+    wr.maxRate = random_rate;
+    hmc_.streamToCube(origin, b.srcCube, wr, arrive);
 }
 
 double

@@ -102,6 +102,8 @@ class CharonDevice
                       mem::StreamCallback done);
     void execBitmapCount(const gc::Bucket &b, double hit_rate,
                          mem::StreamCallback done);
+    void execBitSweep(const gc::Bucket &b, mem::StreamCallback done);
+    void execRefCount(const gc::Bucket &b, mem::StreamCallback done);
 
     /** Origin the unit's memory traffic departs from. */
     hmc::Origin unitOrigin(int cube) const;

@@ -59,6 +59,8 @@ HostModel::invocationOverhead(PrimKind kind) const
       case PrimKind::Search:      cycles = 15; break;
       case PrimKind::ScanPush:    cycles = 10; break;
       case PrimKind::BitmapCount: cycles = 20; break;
+      case PrimKind::BitSweep:    cycles = 15; break;
+      case PrimKind::RefCount:    cycles = 12; break;
     }
     return clock_.cyclesToTicks(static_cast<double>(cycles));
 }
@@ -102,6 +104,12 @@ HostModel::execBucket(const gc::Bucket &bucket, mem::Addr synth_addr,
         break;
       case PrimKind::BitmapCount:
         execBitmapCount(bucket, wrapped);
+        break;
+      case PrimKind::BitSweep:
+        execBitSweep(bucket, synth_addr, wrapped);
+        break;
+      case PrimKind::RefCount:
+        execRefCount(bucket, synth_addr, wrapped);
         break;
     }
 }
@@ -176,6 +184,49 @@ HostModel::execScanPush(const gc::Bucket &b, mem::Addr addr,
             });
         });
     });
+}
+
+void
+HostModel::execBitSweep(const gc::Bucket &b, mem::Addr addr,
+                        mem::StreamCallback done)
+{
+    // The sweep walks both bitmaps sequentially and emits a free-list
+    // node per discovered run.  Like Search, the core's bit loop and
+    // the memory stream overlap; completion is the later of the two.
+    mem::StreamRequest req;
+    req.addr = addr;
+    req.bytes = b.seqReadBytes + b.writeBytes;
+    req.pattern = mem::AccessPattern::Sequential;
+    req.granularity = 64;
+    req.maxRate = seqRate();
+
+    double cycles =
+        static_cast<double>(b.rangeBits) * costs_.cpuCyclesPerBitmapBit;
+    Tick compute_done = eq_.now() + clock_.cyclesToTicks(cycles);
+    port_.stream(req, [this, compute_done, done](Tick t) {
+        Tick fin = std::max(t, compute_done);
+        eq_.schedule(fin, [done, fin] {
+            if (done)
+                done(fin);
+        });
+    });
+}
+
+void
+HostModel::execRefCount(const gc::Bucket &b, mem::Addr addr,
+                        mem::StreamCallback done)
+{
+    // Count words are scattered across the heap: every RMW is a
+    // dependent random miss (64 B line per 16 B of useful data) plus
+    // the dirty-line writeback — exactly the pointer-chase pattern
+    // that clogs the instruction window on the host.
+    mem::StreamRequest rnd;
+    rnd.addr = addr;
+    rnd.bytes = (b.randomBytes / 16) * 64 + b.writeBytes;
+    rnd.pattern = mem::AccessPattern::Random;
+    rnd.granularity = 64;
+    rnd.maxRate = randomRate();
+    port_.stream(rnd, std::move(done));
 }
 
 void

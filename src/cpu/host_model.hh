@@ -79,6 +79,10 @@ class HostModel
     void execScanPush(const gc::Bucket &b, mem::Addr addr,
                       mem::StreamCallback done);
     void execBitmapCount(const gc::Bucket &b, mem::StreamCallback done);
+    void execBitSweep(const gc::Bucket &b, mem::Addr addr,
+                      mem::StreamCallback done);
+    void execRefCount(const gc::Bucket &b, mem::Addr addr,
+                      mem::StreamCallback done);
 
     /** Per-invocation fixed overhead (call setup, checks), ticks. */
     sim::Tick invocationOverhead(gc::PrimKind kind) const;

@@ -17,7 +17,13 @@ std::string
 DsePoint::str() const
 {
     std::ostringstream os;
-    os << workload << "/h" << heapBytes << "/s" << seed << "/t"
+    os << workload;
+    // Emit the collector token only off the default, so every
+    // pre-existing journal key (all ParallelScavenge) still matches
+    // and resume stays intact.
+    if (collector != harness::CollectorKind::ParallelScavenge)
+        os << '/' << harness::collectorKindToken(collector);
+    os << "/h" << heapBytes << "/s" << seed << "/t"
        << gcThreads << "/c" << numCubes << "/ct"
        << copyOffloadThreshold << "/cs" << copySearchUnits << "/bc"
        << bitmapCountUnits << "/sp" << scanPushUnits << "/tsv"
@@ -31,6 +37,7 @@ DsePoint::functionalKey() const
 {
     harness::FunctionalKey key;
     key.workload = workload;
+    key.collector = collector;
     key.heapBytes = heapBytes;
     key.seed = seed;
     key.gcThreads = gcThreads;
@@ -127,6 +134,23 @@ const AxisDef kAxes[] = {
                                                   b));
                                })) {
                  p.workload = w.name;
+                 return true;
+             }
+         }
+         return false;
+     }},
+    {"collector", "collector family (ps g1 cms rc)",
+     [](DsePoint &p, const std::string &v) {
+         using harness::CollectorKind;
+         static const std::pair<const char *, CollectorKind> kinds[] = {
+             {"ps", CollectorKind::ParallelScavenge},
+             {"g1", CollectorKind::G1},
+             {"cms", CollectorKind::Cms},
+             {"rc", CollectorKind::Rc},
+         };
+         for (const auto &[token, kind] : kinds) {
+             if (v == token) {
+                 p.collector = kind;
                  return true;
              }
          }

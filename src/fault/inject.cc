@@ -38,12 +38,36 @@ flipMarkBits(heap::ManagedHeap &heap, sim::Rng &rng,
     return flips;
 }
 
+bool
+faultApplies(FaultKind kind, const gc::CapabilitySet &caps)
+{
+    switch (kind) {
+      case FaultKind::CardFlip:
+        return caps.hasCardTable;
+      case FaultKind::MarkBitmapFlip:
+        return caps.hasMarkBitmap;
+      default:
+        // Timing-layer faults (unit stalls, link degradation) do not
+        // depend on which heap structures the collector maintains.
+        return true;
+    }
+}
+
 std::uint64_t
 applyHeapFaults(heap::ManagedHeap &heap, const FaultPlan &plan)
+{
+    return applyHeapFaults(heap, plan, gc::CapabilitySet::all());
+}
+
+std::uint64_t
+applyHeapFaults(heap::ManagedHeap &heap, const FaultPlan &plan,
+                const gc::CapabilitySet &caps)
 {
     sim::Rng rng(plan.seed);
     std::uint64_t flipped = 0;
     for (const auto &spec : plan.specs) {
+        if (!faultApplies(spec.kind, caps))
+            continue;
         if (spec.kind == FaultKind::CardFlip)
             flipped += flipCardBits(heap, rng, spec.count);
         else if (spec.kind == FaultKind::MarkBitmapFlip)

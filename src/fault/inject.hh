@@ -13,11 +13,21 @@
 #include <cstdint>
 
 #include "fault/fault.hh"
+#include "gc/capability.hh"
 #include "heap/heap.hh"
 #include "sim/rng.hh"
 
 namespace charon::fault
 {
+
+/**
+ * Does @p kind apply to a collector with capabilities @p caps?  A
+ * heap-metadata fault is only meaningful when the collector maintains
+ * the structure it corrupts: flipping card bits under a collector
+ * with no card table perturbs nothing the collector ever reads, so
+ * chaos campaigns filter their plans through this predicate.
+ */
+bool faultApplies(FaultKind kind, const gc::CapabilitySet &caps);
 
 /**
  * Flip @p flips random single bits in the card table.  Cards only
@@ -43,6 +53,16 @@ std::uint64_t flipMarkBits(heap::ManagedHeap &heap, sim::Rng &rng,
  */
 std::uint64_t applyHeapFaults(heap::ManagedHeap &heap,
                               const FaultPlan &plan);
+
+/**
+ * Capability-filtered variant: specs whose kind does not apply to
+ * @p caps (per faultApplies) are dropped before the draw stream is
+ * seeded, exactly as if the plan had been written without them.
+ * @return total bits flipped
+ */
+std::uint64_t applyHeapFaults(heap::ManagedHeap &heap,
+                              const FaultPlan &plan,
+                              const gc::CapabilitySet &caps);
 
 } // namespace charon::fault
 

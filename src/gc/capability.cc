@@ -1,0 +1,20 @@
+#include "capability.hh"
+
+namespace charon::gc
+{
+
+std::string
+primMaskNames(std::uint32_t mask)
+{
+    std::string out;
+    for (int k = 0; k < kNumPrimKinds; ++k) {
+        if ((mask & (1u << k)) == 0)
+            continue;
+        if (!out.empty())
+            out += '+';
+        out += primKindName(static_cast<PrimKind>(k));
+    }
+    return out.empty() ? "-" : out;
+}
+
+} // namespace charon::gc

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "gc/cms_collector.hh"
+#include "gc/rc_collector.hh"
 #include "sim/logging.hh"
 
 namespace charon::gc
@@ -20,9 +22,72 @@ gcOutcomeName(GcOutcome outcome)
     return "unknown";
 }
 
+const char *
+collectorModelName(CollectorModel model)
+{
+    switch (model) {
+      case CollectorModel::ParallelScavenge: return "ps";
+      case CollectorModel::Cms:              return "cms";
+      case CollectorModel::Rc:               return "rc";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<CollectorIface>
+makeCollector(CollectorModel model, heap::ManagedHeap &heap,
+              TraceRecorder &recorder)
+{
+    std::unique_ptr<CollectorIface> c;
+    switch (model) {
+      case CollectorModel::ParallelScavenge:
+        c = std::make_unique<Collector>(heap, recorder);
+        break;
+      case CollectorModel::Cms:
+        c = std::make_unique<CmsCollector>(heap, recorder);
+        break;
+      case CollectorModel::Rc:
+        c = std::make_unique<RcCollector>(heap, recorder);
+        break;
+    }
+    CHARON_ASSERT(c != nullptr, "unknown collector model");
+    recorder.setCapabilities(c->capabilities());
+    return c;
+}
+
 Collector::Collector(heap::ManagedHeap &heap, TraceRecorder &recorder)
     : heap_(heap), rec_(recorder)
 {
+}
+
+CapabilitySet
+Collector::capabilities() const
+{
+    CapabilitySet caps;
+    caps.primMask = primBit(PrimKind::Copy) | primBit(PrimKind::Search)
+                    | primBit(PrimKind::ScanPush)
+                    | primBit(PrimKind::BitmapCount);
+    caps.hasCardTable = true;
+    caps.hasMarkBitmap = true;
+    return caps;
+}
+
+mem::Addr
+Collector::allocate(heap::KlassId klass, std::uint64_t array_len)
+{
+    return heap_.allocEden(klass, array_len);
+}
+
+bool
+Collector::isHumongous(std::uint64_t size_words) const
+{
+    return size_words * 8 > heap_.region(Space::Eden).capacity();
+}
+
+mem::Addr
+Collector::allocateHumongous(heap::KlassId klass,
+                             std::uint64_t array_len)
+{
+    return heap_.allocOldObject(klass, array_len);
 }
 
 bool

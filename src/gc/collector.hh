@@ -14,6 +14,7 @@
 #ifndef CHARON_GC_COLLECTOR_HH
 #define CHARON_GC_COLLECTOR_HH
 
+#include "gc/collector_iface.hh"
 #include "gc/mark_compact.hh"
 #include "gc/recorder.hh"
 #include "gc/scavenge.hh"
@@ -22,30 +23,35 @@
 namespace charon::gc
 {
 
-/** What the driver did on an allocation failure. */
-enum class GcOutcome
-{
-    Minor,       ///< scavenge ran
-    Major,       ///< full collection ran
-    OutOfMemory, ///< live set does not fit: allocation cannot proceed
-};
-
-const char *gcOutcomeName(GcOutcome outcome);
-
 /**
- * Policy + dispatch for one heap.
+ * Policy + dispatch for one heap (the ParallelScavenge family).
  */
-class Collector
+class Collector : public CollectorIface
 {
   public:
     Collector(heap::ManagedHeap &heap, TraceRecorder &recorder);
+
+    const char *name() const override { return "ps"; }
+
+    /** PS phases exercise all four classic primitives and maintain
+     *  both the card table and the begin/end mark bitmaps. */
+    CapabilitySet capabilities() const override;
+
+    mem::Addr allocate(heap::KlassId klass,
+                       std::uint64_t array_len = 0) override;
+
+    /** Objects that could never fit in Eden go straight to Old. */
+    bool isHumongous(std::uint64_t size_words) const override;
+
+    mem::Addr allocateHumongous(heap::KlassId klass,
+                                std::uint64_t array_len = 0) override;
 
     /**
      * Collect in response to an Eden allocation failure.
      * The failed allocation should be retried afterwards (unless
      * OutOfMemory).
      */
-    GcOutcome onAllocationFailure();
+    GcOutcome onAllocationFailure() override;
 
     /** Force a full collection (System.gc()-style). */
     MarkCompact::Result fullCollect();
@@ -58,8 +64,8 @@ class Collector
      */
     Scavenge::Result minorCollect();
 
-    std::uint64_t minorCount() const { return minors_; }
-    std::uint64_t majorCount() const { return majors_; }
+    std::uint64_t minorCount() const override { return minors_; }
+    std::uint64_t majorCount() const override { return majors_; }
 
     /**
      * HotSpot-style adaptive tenuring (-XX:+UseAdaptiveSizePolicy,

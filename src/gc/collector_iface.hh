@@ -1,0 +1,109 @@
+/**
+ * @file
+ * CollectorIface: the one contract every collector family implements,
+ * so the mutator, the harness, the fault layer, and the DSE sweep all
+ * drive "a collector" rather than ParallelScavenge specifically.
+ *
+ * The interface is exactly what a mutator needs: allocation entry
+ * points (fast path + humongous), the allocation-failure hook that
+ * triggers a collection, the GC counters, and the declared
+ * CapabilitySet that tells the TraceRecorder which primitives may be
+ * offloaded (everything else is recorded hostOnly).  Anything behind
+ * this interface automatically inherits trace recording, timeline
+ * spans, fault injection/degradation, and DSE sweepability.
+ */
+
+#ifndef CHARON_GC_COLLECTOR_IFACE_HH
+#define CHARON_GC_COLLECTOR_IFACE_HH
+
+#include <memory>
+
+#include "gc/capability.hh"
+#include "heap/klass.hh"
+#include "mem/addr.hh"
+
+namespace charon::heap
+{
+class ManagedHeap;
+}
+
+namespace charon::gc
+{
+
+class TraceRecorder;
+
+/** What the driver did on an allocation failure. */
+enum class GcOutcome
+{
+    Minor,       ///< scavenge / young evacuation ran
+    Major,       ///< full (or old-generation) collection ran
+    OutOfMemory, ///< live set does not fit: allocation cannot proceed
+};
+
+const char *gcOutcomeName(GcOutcome outcome);
+
+/** The collector families the factory can build on a ManagedHeap. */
+enum class CollectorModel
+{
+    ParallelScavenge, ///< copying minors + mark-compact majors
+    Cms,              ///< copying minors + non-moving mark-sweep majors
+    Rc,               ///< reference counting with ZCT reclamation
+};
+
+const char *collectorModelName(CollectorModel model);
+
+/**
+ * One collector family on one heap.
+ */
+class CollectorIface
+{
+  public:
+    virtual ~CollectorIface() = default;
+
+    /** Short family name ("ps", "cms", "rc", "g1"). */
+    virtual const char *name() const = 0;
+
+    /** Which primitives this collector can offload, and which heap
+     *  metadata it maintains.  Constant over the collector's life. */
+    virtual CapabilitySet capabilities() const = 0;
+
+    /**
+     * Mutator fast-path allocation (Eden for the generational
+     * families; free-queue-then-bump old allocation for RC).
+     * @return object address, or 0 when the fast path is exhausted
+     *         and the caller must invoke onAllocationFailure()
+     */
+    virtual mem::Addr allocate(heap::KlassId klass,
+                               std::uint64_t array_len = 0) = 0;
+
+    /** True when an object of @p size_words must bypass the fast
+     *  path (it could never fit there even after a collection). */
+    virtual bool isHumongous(std::uint64_t size_words) const = 0;
+
+    /** Allocation for isHumongous() objects; 0 when full. */
+    virtual mem::Addr allocateHumongous(heap::KlassId klass,
+                                        std::uint64_t array_len = 0) = 0;
+
+    /**
+     * Collect in response to an allocation failure.  The failed
+     * allocation should be retried afterwards (unless OutOfMemory).
+     */
+    virtual GcOutcome onAllocationFailure() = 0;
+
+    virtual std::uint64_t minorCount() const = 0;
+    virtual std::uint64_t majorCount() const = 0;
+};
+
+/**
+ * Build a @p model collector on @p heap, recording into @p recorder.
+ * The recorder's capability gate is set to the new collector's
+ * declared set as a side effect, so every subsequent record is
+ * offload-eligible only where the declaration allows.
+ */
+std::unique_ptr<CollectorIface> makeCollector(CollectorModel model,
+                                              heap::ManagedHeap &heap,
+                                              TraceRecorder &recorder);
+
+} // namespace charon::gc
+
+#endif // CHARON_GC_COLLECTOR_IFACE_HH

@@ -430,8 +430,33 @@ G1Collector::mixedCollect(double live_threshold)
     return result;
 }
 
+CapabilitySet
+G1Collector::capabilities() const
+{
+    CapabilitySet caps;
+    caps.primMask = primBit(PrimKind::Copy)
+                    | primBit(PrimKind::ScanPush)
+                    | primBit(PrimKind::BitmapCount);
+    // Remembered sets stand in for the card table (no Search scans);
+    // marking maintains the begin/end bitmaps.
+    caps.hasCardTable = false;
+    caps.hasMarkBitmap = true;
+    return caps;
+}
+
+GcOutcome
+G1Collector::onAllocationFailure()
+{
+    switch (collectOnAllocationFailure()) {
+      case G1Outcome::Young: return GcOutcome::Minor;
+      case G1Outcome::Mixed: return GcOutcome::Major;
+      case G1Outcome::OutOfMemory: break;
+    }
+    return GcOutcome::OutOfMemory;
+}
+
 G1Outcome
-G1Collector::onHumongousAllocationFailure()
+G1Collector::collectOnHumongousFailure()
 {
     concurrentMark();
     auto r = mixedCollect();
@@ -439,7 +464,7 @@ G1Collector::onHumongousAllocationFailure()
 }
 
 G1Outcome
-G1Collector::onAllocationFailure()
+G1Collector::collectOnAllocationFailure()
 {
     // Garbage-first policy, simplified: evacuate young when there is
     // comfortable headroom; otherwise mark and run a mixed collection

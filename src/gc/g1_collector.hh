@@ -30,6 +30,7 @@
 #include <deque>
 #include <unordered_set>
 
+#include "gc/collector_iface.hh"
 #include "gc/recorder.hh"
 #include "heap/g1_heap.hh"
 
@@ -47,7 +48,7 @@ enum class G1Outcome
 /**
  * The collector.
  */
-class G1Collector
+class G1Collector : public CollectorIface
 {
   public:
     struct EvacResult
@@ -71,6 +72,42 @@ class G1Collector
 
     G1Collector(heap::G1Heap &heap, TraceRecorder &recorder);
 
+    // ------------------------------------------------------------------
+    // CollectorIface
+
+    const char *name() const override { return "g1"; }
+
+    /** Copy + Scan&Push in evacuation, Bitmap Count in the liveness
+     *  pass; remembered sets replace the card-table Search. */
+    CapabilitySet capabilities() const override;
+
+    mem::Addr allocate(heap::KlassId klass,
+                       std::uint64_t array_len = 0) override
+    {
+        return heap_.allocate(klass, array_len);
+    }
+
+    /** Half a region, real G1's humongous threshold. */
+    bool isHumongous(std::uint64_t size_words) const override
+    {
+        return size_words * 8 > heap_.config().regionBytes / 2;
+    }
+
+    mem::Addr allocateHumongous(heap::KlassId klass,
+                                std::uint64_t array_len = 0) override
+    {
+        return heap_.allocateHumongous(klass, array_len);
+    }
+
+    /** Family-neutral adapter over collectOnAllocationFailure(). */
+    GcOutcome onAllocationFailure() override;
+
+    std::uint64_t minorCount() const override { return youngs_; }
+    std::uint64_t majorCount() const override { return mixeds_; }
+
+    // ------------------------------------------------------------------
+    // G1-specific driver API (fine-grained outcomes)
+
     /** Evacuate all Eden + Survivor regions. */
     EvacResult youngCollect();
 
@@ -86,14 +123,14 @@ class G1Collector
     EvacResult mixedCollect(double live_threshold = 0.65);
 
     /** Policy driver for the mutator's allocation failures. */
-    G1Outcome onAllocationFailure();
+    G1Outcome collectOnAllocationFailure();
 
     /**
      * A humongous allocation needs contiguous free regions; as in
      * real G1, its failure initiates a marking cycle (which reclaims
      * dead humongous objects eagerly) plus a mixed collection.
      */
-    G1Outcome onHumongousAllocationFailure();
+    G1Outcome collectOnHumongousFailure();
 
     std::uint64_t youngCount() const { return youngs_; }
     std::uint64_t mixedCount() const { return mixeds_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gc/mark_work.hh"
 #include "sim/logging.hh"
 
 namespace charon::gc
@@ -21,84 +22,20 @@ MarkCompact::isMarked(Addr obj) const
     return heap_.begBitmap().test(obj);
 }
 
-bool
-MarkCompact::markObject(Addr obj)
-{
-    auto &beg = heap_.begBitmap();
-    auto &end = heap_.endBitmap();
-    if (beg.test(obj))
-        return false;
-    std::uint64_t size_words = heap_.sizeWords(obj);
-    beg.set(obj);
-    end.set(obj + (size_words - 1) * 8);
-    // mark_obj performs atomic RMWs on both maps (through the bitmap
-    // cache in Charon, Section 4.5).
-    rec_.recordMarkObj(beg.storageAddrOfBit(beg.bitIndex(obj)));
-    rec_.recordMarkObj(
-        end.storageAddrOfBit(end.bitIndex(obj + (size_words - 1) * 8)));
-    return true;
-}
-
 void
 MarkCompact::markPhase()
 {
-    rec_.beginPhase(PhaseKind::MajorMark);
-    const auto &costs = rec_.costs();
-    heap_.begBitmap().clearAll();
-    heap_.endBitmap().clearAll();
-    // Bulk bitmap clear: host-side memset, charged as glue.
-    rec_.recordGlue(heap_.begBitmap().storageBytes() / 32,
-                    heap_.begBitmap().storageBytes() / 32);
-
-    std::vector<Addr> stack;
-    for (Addr root : heap_.roots()) {
-        rec_.recordGlue(costs.rootVisit, 1);
-        if (root != 0 && markObject(root)) {
-            stack.push_back(root);
-            rec_.recordGlue(costs.pushObject);
-        }
-        rec_.nextThread();
-    }
-
-    std::vector<Addr> weak_refs;
-    while (!stack.empty()) {
-        Addr obj = stack.back();
-        stack.pop_back();
-        rec_.recordGlue(costs.popObject + costs.typeDispatch, 2);
-        std::uint64_t n = heap_.refCount(obj);
-        std::uint64_t pushed = 0;
-        auto kind = heap_.klasses().get(heap_.klassOf(obj)).kind;
-        for (std::uint64_t i = 0; i < n; ++i) {
-            Addr target = heap_.refAt(obj, i);
-            if (target == 0)
-                continue;
-            if (heap::isWeakSlot(kind, i)) {
-                // Weak referents do not keep their target alive.
-                weak_refs.push_back(obj);
-                continue;
-            }
-            if (markObject(target)) {
-                stack.push_back(target);
-                ++pushed;
-            }
-        }
-        rec_.recordScanPush(obj, 16 + n * 8, n, pushed,
-                            heap_.klasses().get(heap_.klassOf(obj))
-                                .acceleratable());
-        live_.push_back(obj);
-        ++result_.liveObjects;
-        result_.liveBytes += heap_.sizeBytes(obj);
-        rec_.nextThread();
-    }
-    // Reference processing: clear weak referents the marking did not
-    // reach through a strong path.
-    for (Addr holder : weak_refs) {
-        rec_.recordGlue(costs.pointerAdjust, 2);
-        Addr target = heap_.refAt(holder, 0);
-        if (target != 0 && !heap_.begBitmap().test(target))
-            heap_.setRefRaw(holder, 0, 0);
-    }
-    rec_.endPhase();
+    // ParallelOld policies: begin+end bits for the compactor, an
+    // explicit push charge per marked root, null referents skipped
+    // before the weak-slot test.
+    MarkOptions opt;
+    opt.dualBitmap = true;
+    opt.rootPushGlue = true;
+    opt.nullCheckFirst = true;
+    opt.liveOut = &live_;
+    MarkStats stats = runMarkClosure(heap_, rec_, opt);
+    result_.liveObjects = stats.liveObjects;
+    result_.liveBytes = stats.liveBytes;
 
     std::sort(live_.begin(), live_.end());
 }

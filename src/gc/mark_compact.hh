@@ -61,9 +61,6 @@ class MarkCompact
     void summaryPhase();
     void compactPhase();
 
-    /** Mark @p obj live in both bitmaps; true when newly marked. */
-    bool markObject(mem::Addr obj);
-
     bool isMarked(mem::Addr obj) const;
 
     /** Region index of @p addr. */

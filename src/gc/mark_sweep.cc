@@ -1,7 +1,6 @@
 #include "mark_sweep.hh"
 
-#include <unordered_set>
-
+#include "gc/mark_work.hh"
 #include "sim/logging.hh"
 
 namespace charon::gc
@@ -10,87 +9,43 @@ namespace charon::gc
 using heap::Space;
 using mem::Addr;
 
-MarkSweep::MarkSweep(heap::ManagedHeap &heap, TraceRecorder &recorder)
-    : heap_(heap), rec_(recorder)
+MarkSweep::MarkSweep(heap::ManagedHeap &heap, TraceRecorder &recorder,
+                     bool trim_top)
+    : heap_(heap), rec_(recorder), trimTop_(trim_top)
 {
 }
 
 void
 MarkSweep::markFromRoots()
 {
-    rec_.beginPhase(PhaseKind::MajorMark);
-    const auto &costs = rec_.costs();
-    auto &mark = heap_.begBitmap(); // CMS-style single mark bitmap
-    mark.clearAll();
-    rec_.recordGlue(mark.storageBytes() / 32, mark.storageBytes() / 32);
-
-    std::vector<Addr> stack;
-    auto mark_and_push = [&](Addr obj) {
-        if (obj == 0 || mark.test(obj))
-            return false;
-        mark.set(obj);
-        rec_.recordMarkObj(
-            mark.storageAddrOfBit(mark.bitIndex(obj)));
-        stack.push_back(obj);
-        return true;
-    };
-
-    for (Addr root : heap_.roots()) {
-        rec_.recordGlue(costs.rootVisit, 1);
-        mark_and_push(root);
-        rec_.nextThread();
-    }
-    std::vector<Addr> weak_refs;
-    while (!stack.empty()) {
-        Addr obj = stack.back();
-        stack.pop_back();
-        rec_.recordGlue(costs.popObject + costs.typeDispatch, 2);
-        std::uint64_t n = heap_.refCount(obj);
-        std::uint64_t pushed = 0;
-        auto kind = heap_.klasses().get(heap_.klassOf(obj)).kind;
-        for (std::uint64_t i = 0; i < n; ++i) {
-            if (heap::isWeakSlot(kind, i)) {
-                weak_refs.push_back(obj);
-                continue;
-            }
-            pushed += mark_and_push(heap_.refAt(obj, i)) ? 1 : 0;
-        }
-        rec_.recordScanPush(obj, 16 + n * 8, n, pushed,
-                            heap_.klasses().get(heap_.klassOf(obj))
-                                .acceleratable());
-        ++result_.liveObjects;
-        result_.liveBytes += heap_.sizeBytes(obj);
-        rec_.nextThread();
-    }
-    // Clear weak referents that only the Reference object reached.
-    for (Addr holder : weak_refs) {
-        rec_.recordGlue(costs.pointerAdjust, 2);
-        Addr target = heap_.refAt(holder, 0);
-        if (target != 0 && !mark.test(target))
-            heap_.setRefRaw(holder, 0, 0);
-    }
-    rec_.endPhase();
+    // CMS policies: a single mark bitmap, no explicit root push
+    // charge, weak-slot test before the null test.
+    MarkOptions opt;
+    MarkStats stats = runMarkClosure(heap_, rec_, opt);
+    result_.liveObjects = stats.liveObjects;
+    result_.liveBytes = stats.liveBytes;
 }
 
 void
-MarkSweep::writeFiller(Addr addr, std::uint64_t bytes)
+MarkSweep::writeFiller(heap::ManagedHeap &heap, Addr addr,
+                       std::uint64_t bytes)
 {
-    const auto &klasses = heap_.klasses();
+    const auto &klasses = heap.klasses();
     std::uint64_t words = bytes / 8;
     CHARON_ASSERT(words >= 2, "hole too small for a filler");
     if (words == 2) {
-        heap_.store64(addr, static_cast<std::uint64_t>(klasses.fillerId())
-                                | (2ull << 32));
-        heap_.store64(addr + 8, 0);
+        heap.store64(addr, static_cast<std::uint64_t>(klasses.fillerId())
+                               | (2ull << 32));
+        heap.store64(addr + 8, 0);
         return;
     }
     // int[] filler: 3 header words + (words-3) payload words
     // == (words-3)*2 int elements.
     std::uint64_t len = (words - 3) * 2;
-    heap_.store64(addr, static_cast<std::uint64_t>(klasses.intArrayId())
-                            | (words << 32));
-    heap_.store64(addr + 8, 0);
-    heap_.store64(addr + 16, len);
+    heap.store64(addr, static_cast<std::uint64_t>(klasses.intArrayId())
+                           | (words << 32));
+    heap.store64(addr + 8, 0);
+    heap.store64(addr + 16, len);
 }
 
 void
@@ -101,17 +56,30 @@ MarkSweep::sweep()
     const auto &mark = heap_.begBitmap();
     freeList_.clear();
 
-    Addr p = heap_.region(Space::Old).start;
+    const Addr start = heap_.region(Space::Old).start;
+    Addr p = start;
     const Addr top = heap_.region(Space::Old).top;
     Addr run_start = 0;
     auto close_run = [&](Addr run_end) {
         if (run_start == 0)
             return;
         std::uint64_t bytes = run_end - run_start;
-        writeFiller(run_start, bytes);
+        if (trimTop_ && run_end == top) {
+            // The final free run borders the allocation frontier:
+            // give it back to the bump allocator instead of chaining
+            // a filler (CMS's "coalesce with the end of the space").
+            heap_.setOldTop(run_start);
+            result_.freedBytes += bytes;
+            result_.trimmedBytes = bytes;
+            run_start = 0;
+            return;
+        }
+        writeFiller(heap_, run_start, bytes);
         freeList_.push_back({run_start, bytes});
         result_.freedBytes += bytes;
         ++result_.freeChunks;
+        // Free-list node insert stays on the host.
+        rec_.recordGlue(costs.pushObject, 1);
         run_start = 0;
     };
 
@@ -122,10 +90,17 @@ MarkSweep::sweep()
         } else if (run_start == 0) {
             run_start = p;
         }
-        rec_.recordGlue(costs.cardMaintain, 1); // per-object sweep visit
         p += bytes;
     }
     close_run(top);
+    // The walk itself is one Bit Sweep over the Old range: stream the
+    // mark bitmap, emit a free-run extent per 0-run (Table 1's CMS
+    // row — the sweep is the offloadable half of the collector).
+    if (top > start) {
+        rec_.recordBitSweep(
+            mark.storageAddrOfBit(mark.bitIndex(start)),
+            (top - start) / 8, result_.freeChunks);
+    }
     rec_.endPhase();
 }
 
@@ -157,7 +132,7 @@ MarkSweep::allocateFromFreeList(heap::KlassId klass,
         } else {
             it->addr += need_words * 8;
             it->bytes = rem * 8;
-            writeFiller(it->addr, it->bytes);
+            writeFiller(heap_, it->addr, it->bytes);
         }
         // Install a fresh header (mirrors ManagedHeap allocation).
         std::uint64_t kid = klass;

@@ -36,6 +36,8 @@ class MarkSweep
         std::uint64_t liveBytes = 0;
         std::uint64_t freedBytes = 0;
         std::uint64_t freeChunks = 0;
+        /** Bytes returned to the bump allocator by top trimming. */
+        std::uint64_t trimmedBytes = 0;
     };
 
     /** A reclaimed hole (now holding a filler object). */
@@ -45,7 +47,15 @@ class MarkSweep
         std::uint64_t bytes;
     };
 
-    MarkSweep(heap::ManagedHeap &heap, TraceRecorder &recorder);
+    /**
+     * @param trim_top when the final free run borders the Old
+     *        allocation frontier, lower the top instead of chaining
+     *        a filler chunk, so bump allocation can resume (used by
+     *        the CMS collector; off by default to keep the sweep
+     *        strictly non-moving for the standalone demos).
+     */
+    MarkSweep(heap::ManagedHeap &heap, TraceRecorder &recorder,
+              bool trim_top = false);
 
     /**
      * Mark from the roots and sweep the Old generation.  Young spaces
@@ -64,13 +74,21 @@ class MarkSweep
     mem::Addr allocateFromFreeList(heap::KlassId klass,
                                    std::uint64_t array_len = 0);
 
+    /**
+     * Overwrite a dead extent with a HotSpot-style filler object
+     * (2-word raw filler or an int[] header) so heap walkers keep
+     * working.  Shared with the RC collector's block recycling.
+     */
+    static void writeFiller(heap::ManagedHeap &heap, mem::Addr addr,
+                            std::uint64_t bytes);
+
   private:
     void markFromRoots();
     void sweep();
-    void writeFiller(mem::Addr addr, std::uint64_t bytes);
 
     heap::ManagedHeap &heap_;
     TraceRecorder &rec_;
+    bool trimTop_ = false;
     Result result_;
     std::vector<FreeChunk> freeList_;
 };

@@ -1,0 +1,230 @@
+#include "rc_collector.hh"
+
+#include "gc/mark_sweep.hh" // writeFiller
+#include "gc/mark_work.hh"
+#include "sim/logging.hh"
+
+namespace charon::gc
+{
+
+using heap::Space;
+using mem::Addr;
+
+RcCollector::RcCollector(heap::ManagedHeap &heap,
+                         TraceRecorder &recorder)
+    : heap_(heap), rec_(recorder)
+{
+}
+
+CapabilitySet
+RcCollector::capabilities() const
+{
+    CapabilitySet caps;
+    caps.primMask = primBit(PrimKind::RefCount)
+                    | primBit(PrimKind::Copy)
+                    | primBit(PrimKind::ScanPush);
+    caps.hasCardTable = false; // no generational remembered set
+    caps.hasMarkBitmap = true; // backup pass marks
+    return caps;
+}
+
+std::uint64_t
+RcCollector::freeQueueBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[words, stack] : bins_)
+        n += stack.size();
+    return n;
+}
+
+Addr
+RcCollector::takeFromBins(std::uint64_t need_words)
+{
+    // Exact-fit LIFO first (the common case: workloads reallocate
+    // the sizes they just freed), then first larger bin, splitting.
+    auto it = bins_.find(need_words);
+    if (it == bins_.end() || it->second.empty())
+        it = bins_.lower_bound(need_words);
+    while (it != bins_.end()) {
+        if (it->second.empty()) {
+            it = bins_.erase(it);
+            continue;
+        }
+        std::uint64_t chunk_words = it->first;
+        std::uint64_t rem = chunk_words - need_words;
+        if (rem == 1) {
+            // Cannot express a 1-word filler remainder.
+            ++it;
+            continue;
+        }
+        Addr obj = it->second.back();
+        it->second.pop_back();
+        if (it->second.empty())
+            bins_.erase(it);
+        if (rem > 0) {
+            Addr tail = obj + need_words * 8;
+            MarkSweep::writeFiller(heap_, tail, rem * 8);
+            bins_[rem].push_back(tail);
+        }
+        return obj;
+    }
+    return 0;
+}
+
+Addr
+RcCollector::allocate(heap::KlassId klass, std::uint64_t array_len)
+{
+    std::uint64_t need_words = heap_.sizeWordsFor(klass, array_len);
+    Addr obj = takeFromBins(need_words);
+    if (obj != 0) {
+        // Install a fresh header over the recycled block (mirrors
+        // ManagedHeap allocation).
+        std::uint64_t kid = klass;
+        heap_.store64(obj, kid | (need_words << 32));
+        heap_.store64(obj + 8, 0);
+        const auto &k = heap_.klasses().get(klass);
+        if (k.kind == heap::KlassKind::ObjArray
+            || heap::isTypeArrayKind(k.kind)) {
+            heap_.store64(obj + 16, array_len);
+            if (k.kind == heap::KlassKind::ObjArray) {
+                for (std::uint64_t i = 0; i < array_len; ++i)
+                    heap_.store64(obj + 24 + i * 8, 0);
+            }
+        } else {
+            for (std::uint64_t i = 0; i < k.refFields; ++i)
+                heap_.store64(obj + 16 + i * 8, 0);
+        }
+    } else {
+        obj = heap_.allocOldObject(klass, array_len);
+    }
+    if (obj != 0)
+        objects_.insert(obj);
+    return obj;
+}
+
+Addr
+RcCollector::allocateHumongous(heap::KlassId klass,
+                               std::uint64_t array_len)
+{
+    return allocate(klass, array_len);
+}
+
+void
+RcCollector::freeObject(Addr obj)
+{
+    std::uint64_t bytes = heap_.sizeBytes(obj);
+    // Recycled blocks are zero-filled (fresh-allocation guarantee):
+    // a bulk write the Copy engine performs in memory.
+    rec_.recordBlockZero(obj, bytes);
+    MarkSweep::writeFiller(heap_, obj, bytes);
+    bins_[bytes / 8].push_back(obj);
+    objects_.erase(obj);
+    freedBytes_ += bytes;
+}
+
+GcOutcome
+RcCollector::onAllocationFailure()
+{
+    const auto &costs = rec_.costs();
+    rec_.beginGc(true);
+    freedBytes_ = 0;
+
+    // --- Epoch count update (deferred RC): recompute every object's
+    // count from the roots and the live objects' reference slots.
+    // Each non-null reference is one count-word RMW somewhere in the
+    // heap — the RefCount primitive's traffic.
+    rec_.beginPhase(PhaseKind::RcUpdate);
+    std::map<Addr, std::uint64_t> counts;
+    for (Addr root : heap_.roots()) {
+        rec_.recordGlue(costs.rootVisit, 1);
+        if (root != 0) {
+            ++counts[root];
+            rec_.recordRefCount(root, 1);
+        }
+        rec_.nextThread();
+    }
+    for (Addr obj : objects_) {
+        rec_.recordGlue(costs.typeDispatch, 1);
+        std::uint64_t n = heap_.refCount(obj);
+        std::uint64_t updates = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Addr target = heap_.refAt(obj, i);
+            // Weak slots count too: a pure-RC heap has no tracer to
+            // clear weak referents, so they pin their target until
+            // the backup pass runs.
+            if (target != 0 && objects_.count(target)) {
+                ++counts[target];
+                ++updates;
+            }
+        }
+        if (updates > 0)
+            rec_.recordRefCount(obj, updates);
+        rec_.nextThread();
+    }
+    rec_.endPhase();
+
+    // --- ZCT drain: free every zero-count object, transitively
+    // decrementing its children.
+    rec_.beginPhase(PhaseKind::RcReclaim);
+    std::vector<Addr> zct;
+    for (Addr obj : objects_) {
+        if (counts.find(obj) == counts.end())
+            zct.push_back(obj);
+    }
+    while (!zct.empty()) {
+        Addr obj = zct.back();
+        zct.pop_back();
+        if (objects_.count(obj) == 0)
+            continue; // already recycled via another path
+        rec_.recordGlue(costs.popObject + costs.typeDispatch, 2);
+        std::uint64_t n = heap_.refCount(obj);
+        std::uint64_t updates = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Addr target = heap_.refAt(obj, i);
+            if (target == 0 || objects_.count(target) == 0)
+                continue;
+            ++updates;
+            auto it = counts.find(target);
+            if (it != counts.end() && it->second > 0
+                && --it->second == 0) {
+                zct.push_back(target);
+            }
+        }
+        if (updates > 0)
+            rec_.recordRefCount(obj, updates);
+        freeObject(obj);
+        rec_.nextThread();
+    }
+    rec_.endPhase();
+
+    // --- Backup cycle pass: counting cannot see cycles, so when the
+    // ZCT drain recovers too little, trace the heap with the shared
+    // mark closure and free what the counts kept alive.
+    const std::uint64_t old_capacity =
+        heap_.region(Space::Old).capacity();
+    if (freedBytes_ < old_capacity / 16) {
+        MarkOptions opt; // single mark bitmap, CMS-style ordering
+        runMarkClosure(heap_, rec_, opt);
+        ++backupPasses_;
+
+        rec_.beginPhase(PhaseKind::RcReclaim);
+        const auto &mark = heap_.begBitmap();
+        std::vector<Addr> cyclic;
+        for (Addr obj : objects_) {
+            if (!mark.test(obj))
+                cyclic.push_back(obj);
+        }
+        for (Addr obj : cyclic) {
+            rec_.recordGlue(costs.popObject, 1);
+            freeObject(obj);
+            rec_.nextThread();
+        }
+        rec_.endPhase();
+    }
+
+    rec_.endGc();
+    ++epochs_;
+    return freedBytes_ > 0 ? GcOutcome::Major : GcOutcome::OutOfMemory;
+}
+
+} // namespace charon::gc

@@ -32,6 +32,7 @@ TraceRecorder::beginGc(bool major)
     mutatorSinceGc_ = 0;
     current_ = GcTrace{};
     current_.major = major;
+    current_.capabilityMask = caps_.primMask;
     gcOpen_ = true;
 }
 
@@ -155,7 +156,8 @@ TraceRecorder::recordCopy(mem::Addr src, mem::Addr dst,
 {
     // Sub-threshold copies are cheaper than the offload round trip;
     // the modified JVM keeps them on the host.
-    bool host_only = failoverActive() || bytes < copyThreshold_;
+    bool host_only = failoverActive() || bytes < copyThreshold_
+                     || !caps_.canOffload(PrimKind::Copy);
     Bucket &b = work().bucket(PrimKind::Copy, cubeOf(src), cubeOf(dst),
                               host_only);
     ++b.invocations;
@@ -168,7 +170,9 @@ void
 TraceRecorder::recordSearch(mem::Addr table_start, std::uint64_t bytes)
 {
     Bucket &b = work().bucket(PrimKind::Search, cubeOf(table_start),
-                              cubeOf(table_start), failoverActive());
+                              cubeOf(table_start),
+                              failoverActive()
+                                  || !caps_.canOffload(PrimKind::Search));
     ++b.invocations;
     b.seqReadBytes += bytes;
     current_.cardsSearched += bytes;
@@ -183,9 +187,10 @@ TraceRecorder::recordScanPush(mem::Addr obj, std::uint64_t obj_bytes,
     // bucket key keeps the object's home cube so the timing layer can
     // route the sequential read, while the random probes to referenced
     // objects are spread over cubes by the platform model.
-    Bucket &b = work().bucket(PrimKind::ScanPush, cubeOf(obj),
-                              cubeOf(obj),
-                              failoverActive() || !acceleratable);
+    Bucket &b =
+        work().bucket(PrimKind::ScanPush, cubeOf(obj), cubeOf(obj),
+                      failoverActive() || !acceleratable
+                          || !caps_.canOffload(PrimKind::ScanPush));
     ++b.invocations;
     b.seqReadBytes += obj_bytes;
     b.refsVisited += refs;
@@ -202,10 +207,11 @@ TraceRecorder::recordBitmapCount(mem::Addr beg_storage_addr,
                                  mem::Addr end_storage_addr,
                                  std::uint64_t range_bits)
 {
-    Bucket &b = work().bucket(PrimKind::BitmapCount,
-                              cubeOf(beg_storage_addr),
-                              cubeOf(beg_storage_addr),
-                              failoverActive());
+    Bucket &b =
+        work().bucket(PrimKind::BitmapCount, cubeOf(beg_storage_addr),
+                      cubeOf(beg_storage_addr),
+                      failoverActive()
+                          || !caps_.canOffload(PrimKind::BitmapCount));
     ++b.invocations;
     b.rangeBits += range_bits;
     std::uint64_t bytes_per_map = mem::divCeil(range_bits, 8);
@@ -229,15 +235,60 @@ TraceRecorder::recordMarkObj(mem::Addr bitmap_storage_addr)
     // current Scan&Push bucket as one random access plus a write.
     // Sub-access of the current Scan&Push invocation: follows its
     // routing, so after a failover it lands in the hostOnly bucket.
-    Bucket &b = work().bucket(PrimKind::ScanPush,
-                              cubeOf(bitmap_storage_addr),
-                              cubeOf(bitmap_storage_addr),
-                              failoverTripped_);
+    Bucket &b =
+        work().bucket(PrimKind::ScanPush, cubeOf(bitmap_storage_addr),
+                      cubeOf(bitmap_storage_addr),
+                      failoverTripped_
+                          || !caps_.canOffload(PrimKind::ScanPush));
     b.randomAccesses += 1;
     b.randomBytes += 16; // overfetch: 16 B minimum granularity
     b.bitmapRmwAccesses += 1;
     b.writeBytes += 8;
     bitmapCache_.access(bitmap_storage_addr, true);
+}
+
+void
+TraceRecorder::recordBitSweep(mem::Addr beg_storage_addr,
+                              std::uint64_t range_bits,
+                              std::uint64_t free_runs)
+{
+    Bucket &b =
+        work().bucket(PrimKind::BitSweep, cubeOf(beg_storage_addr),
+                      cubeOf(beg_storage_addr),
+                      failoverActive()
+                          || !caps_.canOffload(PrimKind::BitSweep));
+    ++b.invocations;
+    b.rangeBits += range_bits;
+    // Sequential walk of both maps plus one free-list node (16 B:
+    // address + length) written per discovered run.
+    b.seqReadBytes += 2 * mem::divCeil(range_bits, 8);
+    b.writeBytes += free_runs * 16;
+}
+
+void
+TraceRecorder::recordRefCount(mem::Addr obj, std::uint64_t updates)
+{
+    Bucket &b =
+        work().bucket(PrimKind::RefCount, cubeOf(obj), cubeOf(obj),
+                      failoverActive()
+                          || !caps_.canOffload(PrimKind::RefCount));
+    ++b.invocations;
+    // Each update is an atomic 8 B RMW on a count word: a 16 B
+    // granularity read plus the 8 B write-back.
+    b.randomAccesses += updates;
+    b.randomBytes += updates * 16;
+    b.writeBytes += updates * 8;
+}
+
+void
+TraceRecorder::recordBlockZero(mem::Addr dst, std::uint64_t bytes)
+{
+    bool host_only = failoverActive() || bytes < copyThreshold_
+                     || !caps_.canOffload(PrimKind::Copy);
+    Bucket &b = work().bucket(PrimKind::Copy, cubeOf(dst), cubeOf(dst),
+                              host_only);
+    ++b.invocations;
+    b.writeBytes += bytes; // write-only: no source stream
 }
 
 void

@@ -13,6 +13,7 @@
 
 #include <memory>
 
+#include "gc/capability.hh"
 #include "gc/costs.hh"
 #include "gc/trace.hh"
 #include "mem/cache_model.hh"
@@ -44,6 +45,17 @@ class TraceRecorder
     void beginPhase(PhaseKind kind);
     void endPhase();
     GcTrace &endGc();
+
+    /**
+     * Capability gate: primitives outside @p caps record hostOnly
+     * from here on (the collector has no unit path for them), and
+     * each subsequent GcTrace is stamped with the declared mask.
+     * Defaults to CapabilitySet::all() so direct recorder users —
+     * tests, examples — keep the historical fully-offloadable
+     * behavior.
+     */
+    void setCapabilities(const CapabilitySet &caps) { caps_ = caps; }
+    const CapabilitySet &capabilities() const { return caps_; }
 
     /** Mutator instructions executed since the previous GC. */
     void recordMutator(std::uint64_t instructions);
@@ -92,6 +104,30 @@ class TraceRecorder
 
     /** mark_obj: an 8 B RMW on the bitmap (through the bitmap cache). */
     void recordMarkObj(mem::Addr bitmap_storage_addr);
+
+    /**
+     * Bit-sweep: one free-run discovery pass over @p range_bits bits
+     * of both mark bitmaps starting at begin-map VA
+     * @p beg_storage_addr, emitting @p free_runs free-list entries
+     * (CMS-style sweep; Table 1's bit-sweep primitive).
+     */
+    void recordBitSweep(mem::Addr beg_storage_addr,
+                        std::uint64_t range_bits,
+                        std::uint64_t free_runs);
+
+    /**
+     * Reference-count maintenance on @p obj: @p updates 8 B
+     * read-modify-writes on per-object count words (RC/ZCT epochs;
+     * Table 1's reference-counting primitive).
+     */
+    void recordRefCount(mem::Addr obj, std::uint64_t updates);
+
+    /**
+     * Block-zeroing: a write-only Copy of @p bytes at @p dst
+     * (recycled-block scrubbing; Table 1's block-zeroing use of the
+     * Copy unit).  Subject to the same offload threshold as copies.
+     */
+    void recordBlockZero(mem::Addr dst, std::uint64_t bytes);
 
     /** Host-only instructions attributable to the current thread. */
     void recordGlue(std::uint64_t instructions,
@@ -152,6 +188,7 @@ class TraceRecorder
     int cursor_ = 0;
     std::uint64_t mutatorSinceGc_ = 0;
     std::uint64_t copyThreshold_ = 256;
+    CapabilitySet caps_ = CapabilitySet::all();
 
     bool failoverArmed_ = false;
     bool failoverTripped_ = false;

@@ -132,8 +132,7 @@ readRollup(std::istream &is, RunRollup &rollup, std::string *error)
             PhaseRollup phase;
             std::uint64_t kind;
             if (!io::getU64(is, kind)
-                || kind > static_cast<std::uint64_t>(
-                       PhaseKind::MajorCompact)
+                || kind > static_cast<std::uint64_t>(kLastPhaseKind)
                 || !io::getF64(is, phase.wallSeconds)
                 || !io::getF64(is, phase.glueSeconds)) {
                 return fail("truncated rollup stream");

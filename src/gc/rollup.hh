@@ -68,8 +68,12 @@ struct RunRollup
     double glueSeconds() const;
 };
 
-/** Current binary format version (independent of the trace format). */
-constexpr std::uint32_t kRollupFormatVersion = 1;
+/**
+ * Current binary format version (independent of the trace format).
+ * Version 2 widens the per-phase primitive array to the six-kind
+ * PrimKind enum (BitSweep, RefCount) and admits the RC phase kinds.
+ */
+constexpr std::uint32_t kRollupFormatVersion = 2;
 
 /** Serialize with the trace_io little-endian framing. */
 void writeRollup(std::ostream &os, const RunRollup &rollup);

@@ -11,6 +11,8 @@ primKindName(PrimKind kind)
       case PrimKind::Search:      return "Search";
       case PrimKind::ScanPush:    return "Scan&Push";
       case PrimKind::BitmapCount: return "BitmapCount";
+      case PrimKind::BitSweep:    return "BitSweep";
+      case PrimKind::RefCount:    return "RefCount";
     }
     return "unknown";
 }
@@ -25,6 +27,8 @@ phaseKindName(PhaseKind kind)
       case PhaseKind::MajorMark:     return "major.mark";
       case PhaseKind::MajorSummary:  return "major.summary";
       case PhaseKind::MajorCompact:  return "major.compact";
+      case PhaseKind::RcUpdate:      return "rc.update";
+      case PhaseKind::RcReclaim:     return "rc.reclaim";
     }
     return "unknown";
 }

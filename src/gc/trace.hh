@@ -27,16 +27,18 @@
 namespace charon::gc
 {
 
-/** The offloadable primitives of Sections 4.2-4.4. */
+/** The offloadable primitives of Sections 4.2-4.4 (and Table 1). */
 enum class PrimKind : std::uint8_t
 {
     Copy,        ///< bulk object move (Minor evacuation, Major compaction)
     Search,      ///< card-table scan for dirty cards
     ScanPush,    ///< object-graph traversal step
     BitmapCount, ///< live_words_in_range over the mark bitmaps
+    BitSweep,    ///< mark-bitmap sweep for free-run discovery (CMS sweep)
+    RefCount,    ///< reference-count read-modify-write (RC/ZCT epochs)
 };
 
-constexpr int kNumPrimKinds = 4;
+constexpr int kNumPrimKinds = 6;
 const char *primKindName(PrimKind kind);
 
 /** GC phases in execution order; phases are barriers between threads. */
@@ -48,7 +50,12 @@ enum class PhaseKind : std::uint8_t
     MajorMark,     ///< trace live objects, set bitmap bits
     MajorSummary,  ///< per-region live sizes and destinations
     MajorCompact,  ///< adjust pointers + move objects (BitmapCount+Copy)
+    RcUpdate,      ///< recompute reference counts (RefCount RMWs)
+    RcReclaim,     ///< ZCT drain: transitive decrement + block recycling
 };
+
+/** Last enumerator: the serialization bound for phase-kind checks. */
+constexpr PhaseKind kLastPhaseKind = PhaseKind::RcReclaim;
 
 const char *phaseKindName(PhaseKind kind);
 
@@ -214,6 +221,16 @@ struct GcTrace
 {
     bool major = false;
     std::vector<PhaseTrace> phases;
+    /**
+     * The recording collector's declared offload capabilities: bit
+     * `1 << PrimKind` set when that primitive may be dispatched to a
+     * Charon unit on this collection.  Replay consults it for the
+     * device prologue (a collector that declares nothing never pays
+     * unit setup); per-bucket eligibility is already baked into the
+     * hostOnly flags at record time.  Defaults to all-capable so
+     * traces from before the capability model replay unchanged.
+     */
+    std::uint32_t capabilityMask = (1u << kNumPrimKinds) - 1;
 
     // Functional outcome, for reports and sanity checks.
     std::uint64_t liveObjects = 0;

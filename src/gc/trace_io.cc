@@ -224,6 +224,7 @@ writeTrace(std::ostream &os, const RunTrace &trace)
     putVar(os, trace.gcs.size());
     for (const auto &gc : trace.gcs) {
         putVar(os, gc.major ? 1 : 0);
+        putVar(os, gc.capabilityMask);
         putVar(os, gc.liveObjects);
         putVar(os, gc.bytesCopied);
         putVar(os, gc.bytesPromoted);
@@ -275,8 +276,9 @@ readTrace(std::istream &is, RunTrace &trace, std::string *error)
         return fail("truncated header");
     trace.gcs.resize(gcs);
     for (auto &gc : trace.gcs) {
-        std::uint64_t major, phases;
-        if (!getVar(is, major) || !getVar(is, gc.liveObjects)
+        std::uint64_t major, caps, phases;
+        if (!getVar(is, major) || !getVar(is, caps)
+            || !getVar(is, gc.liveObjects)
             || !getVar(is, gc.bytesCopied)
             || !getVar(is, gc.bytesPromoted)
             || !getVar(is, gc.objectsScanned)
@@ -287,6 +289,7 @@ readTrace(std::istream &is, RunTrace &trace, std::string *error)
             return fail("truncated gc record");
         }
         gc.major = major != 0;
+        gc.capabilityMask = static_cast<std::uint32_t>(caps);
         gc.phases.resize(phases);
         for (auto &phase : gc.phases) {
             std::uint64_t kind, threads;
@@ -296,10 +299,8 @@ readTrace(std::istream &is, RunTrace &trace, std::string *error)
                 || !getVar(is, threads)) {
                 return fail("truncated phase record");
             }
-            if (kind > static_cast<std::uint64_t>(
-                    PhaseKind::MajorCompact)) {
+            if (kind > static_cast<std::uint64_t>(kLastPhaseKind))
                 return fail("bad phase kind");
-            }
             phase.kind = static_cast<PhaseKind>(kind);
             phase.threads.resize(threads);
             std::uint64_t total_buckets = 0;
@@ -374,7 +375,9 @@ traceEquals(const RunTrace &a, const RunTrace &b)
     for (std::size_t g = 0; g < a.gcs.size(); ++g) {
         const auto &x = a.gcs[g];
         const auto &y = b.gcs[g];
-        if (x.major != y.major || x.liveObjects != y.liveObjects
+        if (x.major != y.major
+            || x.capabilityMask != y.capabilityMask
+            || x.liveObjects != y.liveObjects
             || x.bytesCopied != y.bytesCopied
             || x.bytesPromoted != y.bytesPromoted
             || x.objectsScanned != y.objectsScanned

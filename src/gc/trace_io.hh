@@ -25,11 +25,13 @@ namespace charon::gc
  * column-contiguous (one run per Bucket field) with LEB128
  * varint-packed integers, mirroring the in-memory BucketColumns
  * layout; most bucket counters are small, so the on-disk stream is a
- * fraction of the old fixed-width row format.  The 8-byte magic and
+ * fraction of the old fixed-width row format.  Version 4 adds the
+ * per-GC collector capability mask and the BitSweep / RefCount
+ * primitive kinds with the RC phase kinds.  The 8-byte magic and
  * 8-byte little-endian version header framing is unchanged across
  * versions, so readers reject old/new files cleanly.
  */
-constexpr std::uint32_t kTraceFormatVersion = 3;
+constexpr std::uint32_t kTraceFormatVersion = 4;
 
 /** Serialize @p trace to @p os. */
 void writeTrace(std::ostream &os, const RunTrace &trace);

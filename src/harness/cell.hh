@@ -32,9 +32,13 @@ enum class CollectorKind : std::uint8_t
 {
     ParallelScavenge, ///< workload::Mutator (the paper's collector)
     G1,               ///< workload::G1Mutator (Table 1 extension)
+    Cms,              ///< Mutator over gc::CmsCollector (BitSweep)
+    Rc,               ///< Mutator over gc::RcCollector (RefCount)
 };
 
 const char *collectorKindName(CollectorKind kind);
+/** Short lowercase token used in keys and cache paths ("ps", "g1"). */
+const char *collectorKindToken(CollectorKind kind);
 
 /**
  * Everything that determines the bytes of a functional trace.  Two

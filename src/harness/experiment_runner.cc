@@ -32,6 +32,20 @@ collectorKindName(CollectorKind kind)
     switch (kind) {
       case CollectorKind::ParallelScavenge: return "ParallelScavenge";
       case CollectorKind::G1:               return "G1";
+      case CollectorKind::Cms:              return "CMS";
+      case CollectorKind::Rc:               return "RC";
+    }
+    return "?";
+}
+
+const char *
+collectorKindToken(CollectorKind kind)
+{
+    switch (kind) {
+      case CollectorKind::ParallelScavenge: return "ps";
+      case CollectorKind::G1:               return "g1";
+      case CollectorKind::Cms:              return "cms";
+      case CollectorKind::Rc:               return "rc";
     }
     return "?";
 }
@@ -40,8 +54,7 @@ std::string
 FunctionalKey::str() const
 {
     std::ostringstream os;
-    os << workload << '/'
-       << (collector == CollectorKind::G1 ? "g1" : "ps") << "/h"
+    os << workload << '/' << collectorKindToken(collector) << "/h"
        << heapBytes << "/s" << seed << "/t" << gcThreads << "/c"
        << numCubes << "/ct" << copyOffloadThreshold;
     return os.str();
@@ -115,8 +128,13 @@ ExperimentRunner::executeFunctional(const FunctionalKey &key)
         out.allocatedBytes = r.allocatedBytes;
         out.mutatorInstructions = r.mutatorInstructions;
     } else {
+        gc::CollectorModel model = gc::CollectorModel::ParallelScavenge;
+        if (key.collector == CollectorKind::Cms)
+            model = gc::CollectorModel::Cms;
+        else if (key.collector == CollectorKind::Rc)
+            model = gc::CollectorModel::Rc;
         workload::Mutator mut(params, key.heapBytes, key.seed,
-                              key.gcThreads, key.numCubes);
+                              key.gcThreads, key.numCubes, model);
         mut.recorder().setCopyOffloadThreshold(key.copyOffloadThreshold);
         auto r = mut.run();
         out.trace = mut.recorder().run();
@@ -308,6 +326,8 @@ putBreakdown(std::ostream &os, const platform::PrimBreakdown &b)
     putF64(os, b.search);
     putF64(os, b.scanPush);
     putF64(os, b.bitmapCount);
+    putF64(os, b.bitSweep);
+    putF64(os, b.refCount);
     putF64(os, b.glue);
 }
 
@@ -317,6 +337,7 @@ getBreakdown(std::istream &is, platform::PrimBreakdown &b)
     using namespace gc::io;
     return getF64(is, b.copy) && getF64(is, b.search)
            && getF64(is, b.scanPush) && getF64(is, b.bitmapCount)
+           && getF64(is, b.bitSweep) && getF64(is, b.refCount)
            && getF64(is, b.glue);
 }
 

@@ -105,8 +105,8 @@ std::string
 TraceCache::path(const FunctionalKey &key) const
 {
     std::ostringstream name;
-    name << key.workload << '-'
-         << (key.collector == CollectorKind::G1 ? "g1" : "ps") << '-'
+    name << key.workload << '-' << collectorKindToken(key.collector)
+         << '-'
          << std::hex
          << fnv1a(key.str() + "/v"
                   + std::to_string(gc::kTraceFormatVersion))

@@ -19,6 +19,8 @@ PrimBreakdown::byKind(PrimKind kind)
       case PrimKind::Search:      return search;
       case PrimKind::ScanPush:    return scanPush;
       case PrimKind::BitmapCount: return bitmapCount;
+      case PrimKind::BitSweep:    return bitSweep;
+      case PrimKind::RefCount:    return refCount;
     }
     sim::panic("bad primitive kind");
 }
@@ -310,8 +312,11 @@ PlatformSim::simulateGc(const gc::GcTrace &trace)
     timing.major = trace.major;
     Tick start = eq_.now();
 
-    if (usesCharon()) {
-        // Bulk host-cache flush at GC start (Section 4.6).
+    if (usesCharon() && trace.capabilityMask != 0) {
+        // Bulk host-cache flush at GC start (Section 4.6).  A
+        // collector with an empty capability set never dispatches to
+        // the device, so it skips the prologue and the whole replay
+        // stays on the host path.
         eq_.scheduleIn(device_->gcPrologueTicks(), [] {});
         eq_.run();
     }

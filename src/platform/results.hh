@@ -23,12 +23,15 @@ struct PrimBreakdown
     double search = 0;
     double scanPush = 0;
     double bitmapCount = 0;
-    double glue = 0; ///< "Other" in Figure 4
+    double bitSweep = 0; ///< CMS-style sweep free-run discovery
+    double refCount = 0; ///< RC/ZCT count maintenance
+    double glue = 0;     ///< "Other" in Figure 4
 
     double
     total() const
     {
-        return copy + search + scanPush + bitmapCount + glue;
+        return copy + search + scanPush + bitmapCount + bitSweep
+               + refCount + glue;
     }
 
     /** The offloadable fraction (everything but glue). */
@@ -41,6 +44,8 @@ struct PrimBreakdown
         search += o.search;
         scanPush += o.scanPush;
         bitmapCount += o.bitmapCount;
+        bitSweep += o.bitSweep;
+        refCount += o.refCount;
         glue += o.glue;
         return *this;
     }

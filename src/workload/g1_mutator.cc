@@ -30,6 +30,9 @@ G1Mutator::G1Mutator(const WorkloadParams &params,
     rec_ = std::make_unique<gc::TraceRecorder>(gc_threads, cubeShift_,
                                                num_cubes);
     g1_ = std::make_unique<gc::G1Collector>(*heap_, *rec_);
+    // Gate offload eligibility on G1's declared capability set (the
+    // declaration matches what G1 emits, so recording is unchanged).
+    rec_->setCapabilities(g1_->capabilities());
 }
 
 G1Mutator::RootSlot
@@ -102,8 +105,8 @@ G1Mutator::allocate(heap::KlassId klass, std::uint64_t array_len)
         rec_->recordMutator(result_.mutatorInstructions);
         result_.mutatorInstructions = 0;
         auto outcome = humongous
-                           ? g1_->onHumongousAllocationFailure()
-                           : g1_->onAllocationFailure();
+                           ? g1_->collectOnHumongousFailure()
+                           : g1_->collectOnAllocationFailure();
         switch (outcome) {
           case gc::G1Outcome::Young:
             ++result_.youngGcs;

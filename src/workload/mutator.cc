@@ -40,7 +40,8 @@ findMinimumHeapBytes(const WorkloadParams &params, std::uint64_t seed)
 }
 
 Mutator::Mutator(const WorkloadParams &params, std::uint64_t heap_bytes,
-                 std::uint64_t seed, int gc_threads, int num_cubes)
+                 std::uint64_t seed, int gc_threads, int num_cubes,
+                 gc::CollectorModel model)
     : params_(params), rng_(seed)
 {
     heapCfg_.heapBytes = mem::alignUp(heap_bytes, 4096);
@@ -48,7 +49,7 @@ Mutator::Mutator(const WorkloadParams &params, std::uint64_t heap_bytes,
     cubeShift_ = chooseCubeShift(heap_->vaLimit(), num_cubes);
     rec_ = std::make_unique<gc::TraceRecorder>(gc_threads, cubeShift_,
                                                num_cubes);
-    collector_ = std::make_unique<gc::Collector>(*heap_, *rec_);
+    collector_ = gc::makeCollector(model, *heap_, *rec_);
     tempRing_.reserve(params_.tempRingSlots);
 }
 
@@ -112,10 +113,11 @@ Mutator::allocate(heap::KlassId klass, std::uint64_t array_len)
     result_.mutatorInstructions += static_cast<std::uint64_t>(
         static_cast<double>(size_words) * params_.instrPerWord);
 
-    // Humongous path: objects that can never fit in Eden go straight
-    // to the Old generation (HotSpot behaves the same way).
-    if (size_words * 8 > heap_->region(Space::Eden).capacity()) {
-        Addr obj = heap_->allocOldObject(klass, array_len);
+    // Humongous path: objects the collector's fast path can never
+    // hold bypass it (for the generational families that is
+    // direct-to-Old, as in HotSpot).
+    if (collector_->isHumongous(size_words)) {
+        Addr obj = collector_->allocateHumongous(klass, array_len);
         if (obj == 0) {
             rec_->recordMutator(result_.mutatorInstructions);
             result_.mutatorInstructions = 0;
@@ -124,7 +126,7 @@ Mutator::allocate(heap::KlassId klass, std::uint64_t array_len)
                 ++result_.minorGcs;
             else if (outcome == gc::GcOutcome::Major)
                 ++result_.majorGcs;
-            obj = heap_->allocOldObject(klass, array_len);
+            obj = collector_->allocateHumongous(klass, array_len);
             if (obj == 0) {
                 oom_ = true;
                 return 0;
@@ -135,7 +137,7 @@ Mutator::allocate(heap::KlassId klass, std::uint64_t array_len)
     }
 
     for (int attempt = 0; attempt < 3; ++attempt) {
-        Addr obj = heap_->allocEden(klass, array_len);
+        Addr obj = collector_->allocate(klass, array_len);
         if (obj != 0) {
             result_.allocatedBytes += size_words * 8;
             return obj;

@@ -62,14 +62,18 @@ class Mutator
      * @param seed workload RNG seed
      * @param gc_threads GC threads the trace is striped over
      * @param num_cubes HMC cubes the heap is interleaved across
+     * @param model collector family managing the heap
      */
     Mutator(const WorkloadParams &params, std::uint64_t heap_bytes,
             std::uint64_t seed = 1, int gc_threads = 8,
-            int num_cubes = 4);
+            int num_cubes = 4,
+            gc::CollectorModel model =
+                gc::CollectorModel::ParallelScavenge);
 
     /** Run the application to completion (or OOM). */
     RunResult run();
 
+    gc::CollectorIface &collector() { return *collector_; }
     gc::TraceRecorder &recorder() { return *rec_; }
     heap::ManagedHeap &heap() { return *heap_; }
     int cubeShift() const { return cubeShift_; }
@@ -108,7 +112,7 @@ class Mutator
     heap::HeapConfig heapCfg_;
     std::unique_ptr<heap::ManagedHeap> heap_;
     std::unique_ptr<gc::TraceRecorder> rec_;
-    std::unique_ptr<gc::Collector> collector_;
+    std::unique_ptr<gc::CollectorIface> collector_;
     sim::Rng rng_;
     int cubeShift_ = 30;
 

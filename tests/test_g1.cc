@@ -283,7 +283,7 @@ TEST_F(G1Test, PolicyDriverCollectsUnderPressure)
     for (int i = 0; i < 600000; ++i) {
         Addr obj = heap->allocate(nodeId);
         if (obj == 0) {
-            auto outcome = g1->onAllocationFailure();
+            auto outcome = g1->collectOnAllocationFailure();
             ASSERT_NE(outcome, G1Outcome::OutOfMemory);
             obj = heap->allocate(nodeId);
             ASSERT_NE(obj, 0u);
@@ -339,7 +339,7 @@ TEST_F(G1Test, PropertyRandomGraphSurvivesG1Cycles)
                                       rng.range(1, 12))
                      : heap->allocate(nodeId);
         if (o == 0) {
-            ASSERT_NE(g1->onAllocationFailure(),
+            ASSERT_NE(g1->collectOnAllocationFailure(),
                       G1Outcome::OutOfMemory);
             --i;
             continue;
@@ -425,7 +425,7 @@ TEST_F(G1Test, PolicyEscalatesAfterEvacuationFailure)
     for (int i = 0; i < 400000; ++i) {
         Addr obj = heap->allocate(nodeId);
         if (obj == 0) {
-            auto outcome = g1->onAllocationFailure();
+            auto outcome = g1->collectOnAllocationFailure();
             if (outcome == G1Outcome::OutOfMemory)
                 break;
             outcome_mixed += outcome == G1Outcome::Mixed ? 1 : 0;

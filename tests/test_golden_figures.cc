@@ -43,6 +43,13 @@ goldenPath()
     return std::string(CHARON_GOLDEN_DIR) + "/fig12_golden.json";
 }
 
+/** Goldens for the newly-offloadable collector zoo (G1, CMS, RC). */
+std::string
+zooGoldenPath()
+{
+    return std::string(CHARON_GOLDEN_DIR) + "/zoo_golden.json";
+}
+
 constexpr double kRelTol = 1e-6;
 
 struct CellMetrics
@@ -55,6 +62,10 @@ struct CellMetrics
     double search = 0;
     double scanPush = 0;
     double bitmapCount = 0;
+    /** Only serialized in the zoo golden (always 0 on the fig12
+     *  grid, whose file format predates these primitives). */
+    double bitSweep = 0;
+    double refCount = 0;
     double glue = 0;
 };
 
@@ -86,10 +97,50 @@ goldenCells()
     return cells;
 }
 
-Golden
-measure()
+/** The zoo grid: one cell pair per newly-offloadable collector. */
+std::vector<Cell>
+zooCells()
 {
-    const auto cells = goldenCells();
+    const auto &cc = workload::findWorkload("CC");
+    struct Row
+    {
+        CollectorKind kind;
+        std::uint64_t heap;
+    };
+    // G1 wants the catalog region heap; RC keeps everything in the
+    // old space and needs double; CMS matches the fig12 sizing.
+    const Row rows[] = {
+        {CollectorKind::G1, cc.heapBytes},
+        {CollectorKind::Cms, cc.minHeapBytes * 2},
+        {CollectorKind::Rc, cc.heapBytes * 2},
+    };
+    std::vector<Cell> cells;
+    for (const auto &row : rows) {
+        for (auto kind : {sim::PlatformKind::HostDdr4,
+                          sim::PlatformKind::CharonNmp}) {
+            Cell c;
+            c.key.workload = "CC";
+            c.key.collector = row.kind;
+            c.key.heapBytes = row.heap;
+            c.platform = kind;
+            c.label = std::string("CC (")
+                      + collectorKindToken(row.kind) + ") on "
+                      + sim::platformName(kind);
+            cells.push_back(c);
+        }
+    }
+    return cells;
+}
+
+/**
+ * Run @p cells and collect the golden metrics.  Speedup rows pair
+ * consecutive cells (DDR4 then Charon) and are named by @p speedupName
+ * applied to the pair's first cell.
+ */
+Golden
+measureCells(const std::vector<Cell> &cells,
+             std::string (*speedupName)(const Cell &))
+{
     // No trace cache: the goldens must not depend on cache state.
     ExperimentRunner runner(RunnerConfig{0, std::string()});
     auto results = runner.run(cells);
@@ -108,18 +159,35 @@ measure()
         m.search = b.search;
         m.scanPush = b.scanPush;
         m.bitmapCount = b.bitmapCount;
+        m.bitSweep = b.bitSweep;
+        m.refCount = b.refCount;
         m.glue = b.glue;
         g.cells.push_back(m);
     }
-    // Per workload: DDR4 cell then Charon cell.
+    // Per pair: DDR4 cell then Charon cell.
     for (std::size_t w = 0; w * 2 + 1 < g.cells.size(); ++w) {
         double base = g.cells[w * 2].gcSeconds;
         double charon = g.cells[w * 2 + 1].gcSeconds;
-        std::string workload = cells[w * 2].key.workload;
-        g.speedups.emplace_back(workload,
+        g.speedups.emplace_back(speedupName(cells[w * 2]),
                                 charon > 0 ? base / charon : 0);
     }
     return g;
+}
+
+Golden
+measure()
+{
+    return measureCells(goldenCells(), [](const Cell &c) {
+        return c.key.workload;
+    });
+}
+
+Golden
+measureZoo()
+{
+    return measureCells(zooCells(), [](const Cell &c) {
+        return std::string(collectorKindToken(c.key.collector));
+    });
 }
 
 std::string
@@ -131,7 +199,8 @@ fmt(double v)
 }
 
 void
-writeGolden(const std::string &path, const Golden &g)
+writeGolden(const std::string &path, const Golden &g,
+            bool with_new_prims = false)
 {
     std::ofstream os(path);
     ASSERT_TRUE(os) << "cannot write " << path;
@@ -146,8 +215,12 @@ writeGolden(const std::string &path, const Golden &g)
            << "     \"copy\": " << fmt(m.copy) << ", "
            << "\"search\": " << fmt(m.search) << ", "
            << "\"scanPush\": " << fmt(m.scanPush) << ", "
-           << "\"bitmapCount\": " << fmt(m.bitmapCount) << ", "
-           << "\"glue\": " << fmt(m.glue) << "}"
+           << "\"bitmapCount\": " << fmt(m.bitmapCount) << ", ";
+        if (with_new_prims) {
+            os << "\"bitSweep\": " << fmt(m.bitSweep) << ", "
+               << "\"refCount\": " << fmt(m.refCount) << ", ";
+        }
+        os << "\"glue\": " << fmt(m.glue) << "}"
            << (i + 1 < g.cells.size() ? "," : "") << "\n";
     }
     os << "  ],\n  \"speedups\": [\n";
@@ -191,6 +264,8 @@ loadGolden(const std::string &path, Golden &g, std::string *error)
         m.search = c->num("search");
         m.scanPush = c->num("scanPush");
         m.bitmapCount = c->num("bitmapCount");
+        m.bitSweep = c->num("bitSweep");   // zoo golden only
+        m.refCount = c->num("refCount");   // zoo golden only
         m.glue = c->num("glue");
         g.cells.push_back(m);
     }
@@ -217,23 +292,12 @@ relNear(const char *what, double actual, double golden)
               "(see EXPERIMENTS.md).";
 }
 
-} // namespace
-
-TEST(GoldenFigures, Fig12CellsMatchGolden)
+void
+compareToGolden(const Golden &actual, const std::string &path)
 {
-    Golden actual = measure();
-    if (::testing::Test::HasFailure())
-        return; // a cell failed; the message above says which
-
-    if (std::getenv("CHARON_UPDATE_GOLDEN") != nullptr) {
-        writeGolden(goldenPath(), actual);
-        std::printf("golden file updated: %s\n", goldenPath().c_str());
-        return;
-    }
-
     Golden golden;
     std::string error;
-    ASSERT_TRUE(loadGolden(goldenPath(), golden, &error)) << error;
+    ASSERT_TRUE(loadGolden(path, golden, &error)) << error;
     ASSERT_EQ(actual.cells.size(), golden.cells.size())
         << "cell grid changed; regenerate the golden file";
 
@@ -252,6 +316,8 @@ TEST(GoldenFigures, Fig12CellsMatchGolden)
         EXPECT_TRUE(relNear("scanPush", a.scanPush, g.scanPush));
         EXPECT_TRUE(
             relNear("bitmapCount", a.bitmapCount, g.bitmapCount));
+        EXPECT_TRUE(relNear("bitSweep", a.bitSweep, g.bitSweep));
+        EXPECT_TRUE(relNear("refCount", a.refCount, g.refCount));
         EXPECT_TRUE(relNear("glue", a.glue, g.glue));
     }
 
@@ -263,6 +329,40 @@ TEST(GoldenFigures, Fig12CellsMatchGolden)
                             actual.speedups[i].second,
                             golden.speedups[i].second));
     }
+}
+
+} // namespace
+
+TEST(GoldenFigures, Fig12CellsMatchGolden)
+{
+    Golden actual = measure();
+    if (::testing::Test::HasFailure())
+        return; // a cell failed; the message above says which
+
+    if (std::getenv("CHARON_UPDATE_GOLDEN") != nullptr) {
+        writeGolden(goldenPath(), actual);
+        std::printf("golden file updated: %s\n", goldenPath().c_str());
+        return;
+    }
+    compareToGolden(actual, goldenPath());
+}
+
+TEST(GoldenFigures, ZooCellsMatchGolden)
+{
+    // One cell pair per newly-offloadable collector (G1 evacuation,
+    // CMS bit-sweep, RC reclamation), same tolerance and update
+    // procedure as the fig12 grid.
+    Golden actual = measureZoo();
+    if (::testing::Test::HasFailure())
+        return;
+
+    if (std::getenv("CHARON_UPDATE_GOLDEN") != nullptr) {
+        writeGolden(zooGoldenPath(), actual, true);
+        std::printf("golden file updated: %s\n",
+                    zooGoldenPath().c_str());
+        return;
+    }
+    compareToGolden(actual, zooGoldenPath());
 }
 
 TEST(GoldenFigures, SpeedupShapeIsSane)
