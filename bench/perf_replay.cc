@@ -10,12 +10,18 @@
  * simulator's hot path.
  *
  * The JSON carries two kinds of data:
- *  - perf numbers (wall-clock per cell, events/sec, peak RSS), which
- *    vary run to run and machine to machine — never compared by CI;
+ *  - perf numbers (wall-clock per cell, events/sec, peak RSS, the
+ *    cumulative speedup over the seed replay core), which vary run
+ *    to run and machine to machine — never compared by CI;
  *  - a functional digest (a hash over every cell's gcSeconds and
- *    energy bits), which is deterministic.  `--check=OLD.json` fails
- *    iff the digest differs, so CI catches functional regressions
- *    without ever failing on timing noise.
+ *    energy bits), which is deterministic AND mode-independent:
+ *    `--mode=scalar` replays event-at-a-time and must produce the
+ *    same digest as the default batched kernel.  `--check=OLD.json`
+ *    fails iff the digest differs, so CI catches functional
+ *    regressions without ever failing on timing noise.
+ *
+ * `--min-speedup=N` turns the reported speedup into a gate (exit 1
+ * below N); CI uses it on quiet runners, local runs leave it off.
  */
 
 #include <sys/resource.h>
@@ -24,6 +30,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -44,10 +51,19 @@ struct CellPerf
     std::string workload;
     sim::PlatformKind platform;
     double wallSeconds = 0; ///< best of --repeat replays
-    std::uint64_t events = 0;
+    std::uint64_t events = 0;        ///< executed + batched-away
+    std::uint64_t batchedEvents = 0; ///< absorbed by the batch kernel
     double gcSeconds = 0;
     double energyJ = 0;
 };
+
+/**
+ * The seed replay core's total wall time on this cell set (best-of-3,
+ * commit dffa6b9, same pinned traces): the denominator of the
+ * cumulative-speedup figure this bench reports and --min-speedup
+ * gates on.
+ */
+constexpr double kSeedTotalWallMs = 289.3;
 
 /** FNV-1a over the bit patterns of the functional results. */
 class Digest
@@ -102,6 +118,29 @@ peakRssKib()
     return static_cast<std::uint64_t>(ru.ru_maxrss); // KiB on Linux
 }
 
+/**
+ * Default output location: BENCH_replay.json at the repository root
+ * (found by walking up from the working directory to the first
+ * ancestor holding ROADMAP.md or .git), so CI's artifact path works
+ * no matter which build directory the bench runs from.  Falls back
+ * to the working directory outside a checkout.
+ */
+std::string
+defaultOutPath()
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    for (fs::path dir = fs::current_path(ec); !dir.empty();
+         dir = dir.parent_path()) {
+        if (fs::exists(dir / "ROADMAP.md", ec)
+            || fs::exists(dir / ".git", ec))
+            return (dir / "BENCH_replay.json").string();
+        if (dir == dir.root_path())
+            break;
+    }
+    return "BENCH_replay.json";
+}
+
 /** Pull "functional_digest": "...." out of a previous BENCH file. */
 bool
 readDigest(const std::string &path, std::string &digest,
@@ -138,18 +177,37 @@ main(int argc, char **argv)
 {
     harness::Options opt;
     int repeat = 3;
-    std::string outPath = "BENCH_replay.json";
+    std::string outPath = defaultOutPath();
     std::string checkPath;
+    double minSpeedup = 0;
+    auto mode = platform::PlatformSim::ReplayMode::Auto;
     opt.helpHeader =
         "perf_replay: time the replay core on the pinned Figure 12 "
         "cell set";
     opt.flag("--repeat", &repeat,
              "replays per cell; best time wins (default 3)");
     opt.flag("--out", &outPath,
-             "result file (default BENCH_replay.json)");
+             "result file (default BENCH_replay.json at\nthe "
+             "repository root)");
     opt.flag("--check", &checkPath,
              "compare the functional digest against a\nprevious "
              "result file; exit 1 on mismatch");
+    opt.flag(
+        "--mode",
+        [&mode](const std::string &v) {
+            if (v == "batched")
+                mode = platform::PlatformSim::ReplayMode::Auto;
+            else if (v == "scalar")
+                mode = platform::PlatformSim::ReplayMode::Scalar;
+            else
+                return false;
+            return true;
+        },
+        "replay kernel: batched (default) or scalar\n(the "
+        "event-at-a-time reference path)", "KERNEL");
+    opt.flag("--min-speedup", &minSpeedup,
+             "fail unless cumulative speedup over the\nseed replay "
+             "core reaches this factor (default\noff)");
     if (!harness::parseOptions(argc, argv, opt))
         return 2;
     if (repeat < 1)
@@ -197,30 +255,42 @@ main(int argc, char **argv)
             p.wallSeconds = 1e30;
             for (int r = 0; r < repeat; ++r) {
                 platform::PlatformSim sim(kind, cfg, run.cubeShift);
+                sim.setReplayMode(mode);
                 double t0 = nowSeconds();
                 auto timing = sim.simulate(run.trace);
                 double dt = nowSeconds() - t0;
                 if (dt < p.wallSeconds)
                     p.wallSeconds = dt;
-                p.events = sim.executedEvents();
+                // executed + batched is the scalar-equivalent event
+                // population (the replay-oracle invariant), so
+                // events/sec stays comparable across modes.
+                p.events = sim.executedEvents() + sim.batchedEvents();
+                p.batchedEvents = sim.batchedEvents();
                 p.gcSeconds = timing.gcSeconds;
                 p.energyJ = timing.totalEnergyJ();
             }
+            // Functional results only: event counts are a kernel
+            // property (batched replays absorb events the scalar
+            // path executes), not a model output, and must not
+            // perturb the digest CI compares across modes.
             digest.add(p.workload);
             digest.add(sim::platformName(kind));
             digest.add(p.gcSeconds);
             digest.add(p.energyJ);
-            digest.add(&p.events, sizeof p.events);
             perf.push_back(p);
         }
     }
 
     double totalWall = 0;
     std::uint64_t totalEvents = 0;
+    std::uint64_t totalBatched = 0;
     for (const auto &p : perf) {
         totalWall += p.wallSeconds;
         totalEvents += p.events;
+        totalBatched += p.batchedEvents;
     }
+    const double speedup =
+        totalWall > 0 ? kSeedTotalWallMs / (totalWall * 1e3) : 0.0;
 
     std::ofstream out(outPath);
     if (!out) {
@@ -230,6 +300,11 @@ main(int argc, char **argv)
     }
     out << "{\n  \"bench\": \"perf_replay\",\n";
     out << "  \"repeat\": " << repeat << ",\n";
+    out << "  \"mode\": \""
+        << (mode == platform::PlatformSim::ReplayMode::Scalar
+                ? "scalar"
+                : "batched")
+        << "\",\n";
     out << "  \"cells\": [\n";
     char line[512];
     for (std::size_t i = 0; i < perf.size(); ++i) {
@@ -238,10 +313,11 @@ main(int argc, char **argv)
             line, sizeof line,
             "    {\"workload\": \"%s\", \"platform\": \"%s\", "
             "\"wall_ms\": %.3f, \"events\": %" PRIu64
+            ", \"batched_events\": %" PRIu64
             ", \"events_per_sec\": %.0f, \"gc_seconds\": %.17g, "
             "\"energy_j\": %.17g}%s\n",
             p.workload.c_str(), sim::platformName(p.platform),
-            p.wallSeconds * 1e3, p.events,
+            p.wallSeconds * 1e3, p.events, p.batchedEvents,
             p.wallSeconds > 0 ? p.events / p.wallSeconds : 0.0,
             p.gcSeconds, p.energyJ,
             i + 1 < perf.size() ? "," : "");
@@ -251,11 +327,14 @@ main(int argc, char **argv)
     std::snprintf(line, sizeof line,
                   "  \"total_wall_ms\": %.3f,\n"
                   "  \"total_events\": %" PRIu64 ",\n"
+                  "  \"total_batched_events\": %" PRIu64 ",\n"
                   "  \"events_per_sec\": %.0f,\n"
+                  "  \"seed_total_wall_ms\": %.1f,\n"
+                  "  \"cumulative_speedup_vs_seed\": %.3f,\n"
                   "  \"peak_rss_kib\": %" PRIu64 ",\n",
-                  totalWall * 1e3, totalEvents,
+                  totalWall * 1e3, totalEvents, totalBatched,
                   totalWall > 0 ? totalEvents / totalWall : 0.0,
-                  peakRssKib());
+                  kSeedTotalWallMs, speedup, peakRssKib());
     out << line;
     out << "  \"functional_digest\": \"" << digest.str() << "\"\n}\n";
     out.close();
@@ -265,6 +344,9 @@ main(int argc, char **argv)
                 perf.size(), totalWall * 1e3,
                 totalWall > 0 ? totalEvents / totalWall / 1e6 : 0.0,
                 peakRssKib());
+    std::printf("perf_replay: %.2fx vs seed (%.1f ms), %" PRIu64
+                " of %" PRIu64 " events batched\n",
+                speedup, kSeedTotalWallMs, totalBatched, totalEvents);
     std::printf("perf_replay: functional digest %s -> %s\n",
                 digest.str().c_str(), outPath.c_str());
 
@@ -284,6 +366,14 @@ main(int argc, char **argv)
         }
         std::printf("perf_replay: functional digest matches %s\n",
                     checkPath.c_str());
+    }
+
+    if (minSpeedup > 0 && speedup < minSpeedup) {
+        std::fprintf(stderr,
+                     "perf_replay: SPEEDUP GATE FAILED: %.2fx < "
+                     "required %.2fx\n",
+                     speedup, minSpeedup);
+        return 1;
     }
     return 0;
 }

@@ -10,24 +10,6 @@ namespace charon::accel
 using gc::PrimKind;
 using sim::Tick;
 
-/**
- * Countdown join for multi-resource buckets.
- */
-struct CharonDevice::Join
-{
-    std::size_t remaining;
-    Tick last = 0;
-    mem::StreamCallback done;
-
-    void
-    arrive(Tick t)
-    {
-        last = std::max(last, t);
-        if (--remaining == 0 && done)
-            done(last);
-    }
-};
-
 namespace
 {
 
@@ -282,9 +264,8 @@ CharonDevice::execCopy(const gc::Bucket &b, mem::StreamCallback done)
     double mai_rate = cfg_.charon.maiEntries * 256.0
                       / static_cast<double>(lat);
 
-    auto join = std::make_shared<Join>();
-    join->remaining = 3;
-    join->done = std::move(done);
+    sim::Join *join = joins_.acquire(
+        3, sim::JoinPool::wrap(std::move(done)));
     auto arrive = [join](Tick t) { join->arrive(t); };
 
     // One primitive executes on one unit: its combined load+store
@@ -318,9 +299,8 @@ CharonDevice::execSearch(const gc::Bucket &b, mem::StreamCallback done)
     double mai_rate = cfg_.charon.maiEntries * 256.0
                       / static_cast<double>(lat);
 
-    auto join = std::make_shared<Join>();
-    join->remaining = 2;
-    join->done = std::move(done);
+    sim::Join *join = joins_.acquire(
+        2, sim::JoinPool::wrap(std::move(done)));
     auto arrive = [join](Tick t) { join->arrive(t); };
 
     // The search datapath compares 32 B of card bytes per cycle
@@ -402,9 +382,13 @@ CharonDevice::execScanPush(const gc::Bucket &b, double hit_rate,
     }
     double random_rate = std::max(mlp, 1.0) * 16.0 / avg_lat;
 
-    auto join = std::make_shared<Join>();
-    join->remaining = 2 + static_cast<std::size_t>(cubes);
-    join->done = std::move(done);
+    // 3 + cubes flows fan out below, but the bucket completes on the
+    // (2 + cubes)-th: the trailing metadata write is posted, so the
+    // host unblocks without waiting for the slowest flow.
+    sim::Join *join = joins_.acquire(
+        3 + static_cast<std::size_t>(cubes),
+        sim::JoinPool::wrap(std::move(done)),
+        /*fire_after=*/2 + static_cast<std::size_t>(cubes));
     auto arrive = [join](Tick t) { join->arrive(t); };
 
     pool(PrimKind::ScanPush, unit_cube)
@@ -447,9 +431,8 @@ CharonDevice::execBitmapCount(const gc::Bucket &b, double hit_rate,
 
     const bool remote_cache = !cfg_.charon.distributedStructures
                               && !cfg_.charon.cpuSide && unit_cube != 0;
-    auto join = std::make_shared<Join>();
-    join->remaining = remote_cache ? 3u : 2u;
-    join->done = std::move(done);
+    sim::Join *join = joins_.acquire(
+        remote_cache ? 3u : 2u, sim::JoinPool::wrap(std::move(done)));
     auto arrive = [join](Tick t) { join->arrive(t); };
 
     // Compute: one 64-bit word pair per cycle over both maps, on a
@@ -494,9 +477,8 @@ CharonDevice::execBitSweep(const gc::Bucket &b, mem::StreamCallback done)
     double mai_rate = cfg_.charon.maiEntries * 256.0
                       / static_cast<double>(lat);
 
-    auto join = std::make_shared<Join>();
-    join->remaining = 3;
-    join->done = std::move(done);
+    sim::Join *join = joins_.acquire(
+        3, sim::JoinPool::wrap(std::move(done)));
     auto arrive = [join](Tick t) { join->arrive(t); };
 
     // The sweep consumes a 64-bit word pair per cycle on a Bitmap
@@ -554,9 +536,8 @@ CharonDevice::execRefCount(const gc::Bucket &b, mem::StreamCallback done)
     avg_lat /= cubes;
     double random_rate = std::max(mlp, 1.0) * 16.0 / avg_lat;
 
-    auto join = std::make_shared<Join>();
-    join->remaining = 2 + static_cast<std::size_t>(cubes);
-    join->done = std::move(done);
+    sim::Join *join = joins_.acquire(
+        2 + static_cast<std::size_t>(cubes), sim::JoinPool::wrap(std::move(done)));
     auto arrive = [join](Tick t) { join->arrive(t); };
 
     pool(PrimKind::RefCount, unit_cube)

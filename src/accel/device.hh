@@ -32,6 +32,7 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/instrumentation.hh"
+#include "sim/join.hh"
 
 namespace charon::accel
 {
@@ -111,12 +112,11 @@ class CharonDevice
     /** Pool channel for a kind on a cube. */
     mem::FluidChannel &pool(gc::PrimKind kind, int cube);
 
-    /** Join helper: completes when @p parts flows have drained. */
-    struct Join;
-
     sim::EventQueue &eq_;
     hmc::HmcMemory &hmc_;
     sim::SystemConfig cfg_;
+    /** Fan-in joins for multi-resource buckets. */
+    sim::JoinPool joins_;
 
     // Per-cube pools (index = cube); Scan&Push has one pool at the
     // central cube unless placed locally.

@@ -65,6 +65,32 @@ HostModel::invocationOverhead(PrimKind kind) const
     return clock_.cyclesToTicks(static_cast<double>(cycles));
 }
 
+Tick
+HostModel::bitmapCountTicks(std::uint64_t range_bits) const
+{
+    double cycles =
+        static_cast<double>(range_bits) * costs_.cpuCyclesPerBitmapBit;
+    return clock_.cyclesToTicks(cycles);
+}
+
+void
+HostModel::noteStallBegin(Tick at)
+{
+    if (!timeline_)
+        return;
+    timeline_->counter(stallTrack_, at,
+                       static_cast<double>(++stalledThreads_));
+}
+
+void
+HostModel::noteStallEnd(Tick at)
+{
+    if (!timeline_)
+        return;
+    timeline_->counter(stallTrack_, at,
+                       static_cast<double>(--stalledThreads_));
+}
+
 void
 HostModel::execBucket(const gc::Bucket &bucket, mem::Addr synth_addr,
                       mem::StreamCallback done)
@@ -77,19 +103,12 @@ HostModel::execBucket(const gc::Bucket &bucket, mem::Addr synth_addr,
         });
         return;
     }
-    if (timeline_) {
-        timeline_->counter(stallTrack_, eq_.now(),
-                           static_cast<double>(++stalledThreads_));
-    }
+    noteStallBegin(eq_.now());
     const Tick overhead =
         invocationOverhead(bucket.kind) * bucket.invocations;
     auto wrapped = [this, overhead, done](Tick t) {
         eq_.schedule(t + overhead, [done, t, overhead, this] {
-            if (timeline_) {
-                timeline_->counter(stallTrack_, eq_.now(),
-                                   static_cast<double>(
-                                       --stalledThreads_));
-            }
+            noteStallEnd(eq_.now());
             if (done)
                 done(t + overhead);
         });
@@ -235,9 +254,7 @@ HostModel::execBitmapCount(const gc::Bucket &b, mem::StreamCallback done)
     // The Figure 8 loop is compute-bound on the host: the touched
     // bitmap range lives comfortably in the L2 (8 KB of bitmap covers
     // 4 MB of heap), so time is cycles-per-bit over the walked range.
-    double cycles =
-        static_cast<double>(b.rangeBits) * costs_.cpuCyclesPerBitmapBit;
-    Tick t = eq_.now() + clock_.cyclesToTicks(cycles);
+    Tick t = eq_.now() + bitmapCountTicks(b.rangeBits);
     eq_.schedule(t, [done, t] {
         if (done)
             done(t);

@@ -71,9 +71,66 @@ cellKey(const harness::Cell &cell, int screenGcs)
     return os.str();
 }
 
+std::string
+canonicalCellKey(const harness::Cell &cell, int screenGcs,
+                 const gc::TraceProfile &profile)
+{
+    auto key = harness::ExperimentRunner::resolve(cell.key);
+    const auto &cfg = cell.config;
+    const bool hmc = cell.platform != sim::PlatformKind::HostDdr4;
+    const bool charon =
+        cell.platform == sim::PlatformKind::CharonNmp
+        || cell.platform == sim::PlatformKind::CharonCpuSide;
+    std::ostringstream os;
+    // The "i1" version tag keeps canonical records disjoint from
+    // every primary ("c1|...") key, so the two families can never
+    // collide in one journal.
+    os << "i1|" << key.str() << '|' << sim::platformName(cell.platform)
+       << "|t" << cfg.gcThreads;
+    if (hmc) {
+        os << "/q" << cfg.hmc.cubes << "/tsv"
+           << fmtDouble(cfg.hmc.internalGBsPerCube) << "/link"
+           << fmtDouble(cfg.hmc.linkGBs) << "/top"
+           << (cfg.hmc.topology == sim::HmcTopology::Star ? "star"
+                                                          : "chain");
+    }
+    if (charon) {
+        os << "/cs" << cfg.charon.copySearchUnits << "/bc"
+           << cfg.charon.bitmapCountUnits << "/sp"
+           << cfg.charon.scanPushUnits;
+        if (profile.anyOffload())
+            os << "/mai" << cfg.charon.maiEntries;
+        if (profile.offloads(gc::PrimKind::BitmapCount)
+            || profile.offloads(gc::PrimKind::ScanPush)
+            || profile.offloads(gc::PrimKind::RefCount)) {
+            os << (cfg.charon.distributedStructures ? "/dist" : "/uni");
+        }
+        if (profile.offloads(gc::PrimKind::ScanPush)
+            || profile.offloads(gc::PrimKind::RefCount)) {
+            os << (cfg.charon.scanPushLocal ? "/splocal" : "/spcentral");
+        }
+    }
+    os << "|g" << screenGcs;
+    return os.str();
+}
+
+const gc::TraceProfile &
+Explorer::profileFor(const harness::FunctionalKey &key)
+{
+    auto resolved = harness::ExperimentRunner::resolve(key);
+    auto it = profiles_.find(resolved.str());
+    if (it == profiles_.end()) {
+        auto run = runner_.functional(resolved);
+        it = profiles_
+                 .emplace(resolved.str(), gc::profileTrace(run->trace))
+                 .first;
+    }
+    return it->second;
+}
+
 std::vector<JournalRecord>
 Explorer::runCells(const std::vector<harness::Cell> &cells,
-                   const std::vector<std::string> &keys)
+                   const std::vector<std::string> &keys, int screenGcs)
 {
     std::vector<JournalRecord> records(cells.size());
     std::vector<std::size_t> misses;
@@ -90,16 +147,65 @@ Explorer::runCells(const std::vector<harness::Cell> &cells,
     if (SweepJournal::interrupted())
         throw SweepInterrupted();
 
-    std::vector<harness::Cell> missCells;
-    missCells.reserve(misses.size());
-    for (std::size_t i : misses)
-        missCells.push_back(cells[i]);
-    auto results = runner_.run(missCells);
-    for (std::size_t k = 0; k < misses.size(); ++k) {
-        std::size_t i = misses[k];
-        records[i] = toRecord(keys[i], results[k]);
+    // Incremental pass: give every primary miss a second chance under
+    // its canonical (pruned) key before simulating anything.  Misses
+    // that collide on a canonical key inside this batch are simulated
+    // once (the first in submission order) and shared afterwards, so
+    // an N-point sweep over pruned knobs costs one replay.  Custom
+    // pipelines and fault plans are outside the canonical contract
+    // (their keys do not capture everything that shapes the result).
+    std::vector<std::string> canon(cells.size());
+    std::map<std::string, std::size_t> owners;
+    std::vector<std::size_t> simulate;
+    std::vector<std::pair<std::size_t, std::size_t>> followers;
+    for (std::size_t i : misses) {
+        const auto &cell = cells[i];
+        if (cell.customRun || cell.faults.enabled()) {
+            simulate.push_back(i);
+            continue;
+        }
+        canon[i] = canonicalCellKey(cell, screenGcs,
+                                    profileFor(cell.key));
+        JournalRecord rec;
+        if (journal_.lookup(canon[i], rec)) {
+            // Re-home the shared record under the primary key so
+            // resumed sweeps hit it without the incremental pass.
+            rec.key = keys[i];
+            records[i] = rec;
+            journal_.append(records[i]);
+            ++incrementalHits_;
+            continue;
+        }
+        auto [owner, fresh] = owners.emplace(canon[i], i);
+        if (fresh)
+            simulate.push_back(i);
+        else
+            followers.emplace_back(i, owner->second);
+    }
+
+    if (!simulate.empty()) {
+        std::vector<harness::Cell> missCells;
+        missCells.reserve(simulate.size());
+        for (std::size_t i : simulate)
+            missCells.push_back(cells[i]);
+        auto results = runner_.run(missCells);
+        for (std::size_t k = 0; k < simulate.size(); ++k) {
+            std::size_t i = simulate[k];
+            records[i] = toRecord(keys[i], results[k]);
+            journal_.append(records[i]);
+            if (!canon[i].empty()) {
+                JournalRecord crec = records[i];
+                crec.key = canon[i];
+                journal_.append(crec);
+            }
+            ++evaluated_;
+        }
+    }
+    for (auto [i, owner] : followers) {
+        records[i] = records[owner];
+        records[i].key = keys[i];
         journal_.append(records[i]);
-        ++evaluated_;
+        ++incrementalHits_;
     }
     return records;
 }
@@ -138,7 +244,7 @@ Explorer::evaluate(const std::vector<DsePoint> &points, int screenGcs)
         }
     }
 
-    auto records = runCells(cells, keys);
+    auto records = runCells(cells, keys, screenGcs);
 
     std::vector<PointEval> evals;
     evals.reserve(points.size());

@@ -23,6 +23,7 @@
 #define CHARON_DSE_EXPLORER_HH
 
 #include <cstddef>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -46,6 +47,35 @@ namespace charon::dse
  * stale journals — they are caches, the golden tests are the guard.
  */
 std::string cellKey(const harness::Cell &cell, int screenGcs);
+
+/**
+ * The cell's *canonical* journal identity: cellKey() with every knob
+ * the replay provably cannot observe pruned away, so cells that
+ * differ only in irrelevant timing knobs share one record.
+ *
+ * Pruning rules (each one is a bit-identity argument, not a
+ * heuristic):
+ *  - a DDR4 cell never constructs the HMC or the device, so every
+ *    hmc.* and charon.* knob is dropped;
+ *  - Host-HMC and Ideal cells never construct the device, so every
+ *    charon.* knob is dropped;
+ *  - Charon cells always keep the hmc.* knobs and the three unit
+ *    counts (idle units still draw energy), but drop `maiEntries`
+ *    when @p profile shows no device-eligible bucket with work,
+ *    `distributedStructures` when none of {BitmapCount, Scan&Push,
+ *    RefCount} can dispatch, and `scanPushLocal` when neither
+ *    Scan&Push nor RefCount can (those are the only code paths that
+ *    read each knob);
+ *  - `cpuSide` is always dropped: PlatformSim's constructor pins it
+ *    from the platform kind.
+ *
+ * @p profile must be the profile of the cell's *full* functional
+ * trace; screening truncation only removes buckets, so pruning by
+ * the full-trace profile is conservative (never shares too much) and
+ * keeps the key a pure function of (cell, screenGcs).
+ */
+std::string canonicalCellKey(const harness::Cell &cell, int screenGcs,
+                             const gc::TraceProfile &profile);
 
 /**
  * Thrown by Explorer::runCells when SIGINT/SIGTERM arrived (after
@@ -97,10 +127,21 @@ class Explorer
      * Run @p cells journal-first: cells whose @p keys hit return the
      * journalled record; the misses run through the harness as one
      * batch and are appended.  Results align with @p cells.
+     *
+     * Primary misses get a second, incremental chance before any
+     * simulation: the cell's canonical key (canonicalCellKey(), built
+     * from the functional trace's TraceProfile) is looked up too, and
+     * misses that collide on a canonical key — points differing only
+     * in knobs this replay cannot observe — are simulated once and
+     * shared.  Every record an incremental hit produces is appended
+     * under the cell's *primary* key, so resumed sweeps keep hitting
+     * the primary path and old journals stay valid.  @p screenGcs
+     * must be the screening depth the keys were built with.  Cells
+     * with custom pipelines or fault plans skip canonical sharing.
      */
     std::vector<JournalRecord>
     runCells(const std::vector<harness::Cell> &cells,
-             const std::vector<std::string> &keys);
+             const std::vector<std::string> &keys, int screenGcs = 0);
 
     /**
      * Evaluate @p points (two cells each).  @p screenGcs > 0 replays
@@ -114,15 +155,26 @@ class Explorer
     std::size_t journalHits() const { return hits_; }
     /** Cells actually simulated so far. */
     std::size_t evaluatedCells() const { return evaluated_; }
+    /**
+     * Cells answered incrementally: primary-key misses resolved from
+     * a canonical-key record (journalled earlier or simulated for a
+     * sibling in the same batch) instead of a fresh replay.
+     */
+    std::size_t incrementalHits() const { return incrementalHits_; }
 
     harness::ExperimentRunner &runner() { return runner_; }
     SweepJournal &journal() { return journal_; }
 
   private:
+    /** Full-trace profile for @p key, memoized per resolved key. */
+    const gc::TraceProfile &profileFor(const harness::FunctionalKey &key);
+
     harness::ExperimentRunner &runner_;
     SweepJournal &journal_;
     std::size_t hits_ = 0;
     std::size_t evaluated_ = 0;
+    std::size_t incrementalHits_ = 0;
+    std::map<std::string, gc::TraceProfile> profiles_;
 };
 
 /**

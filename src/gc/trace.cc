@@ -169,4 +169,27 @@ RunTrace::majorCount() const
     return n;
 }
 
+TraceProfile
+profileTrace(const RunTrace &trace)
+{
+    TraceProfile profile;
+    for (const auto &gc : trace.gcs) {
+        for (const auto &phase : gc.phases) {
+            const auto &b = phase.buckets;
+            const std::size_t n = b.size();
+            for (std::size_t i = 0; i < n; ++i) {
+                if (b.invocations[i] == 0)
+                    continue;
+                const std::uint32_t bit =
+                    1u << static_cast<unsigned>(b.kind[i]);
+                if (b.hostOnly[i])
+                    profile.hostKinds |= bit;
+                else
+                    profile.offloadKinds |= bit;
+            }
+        }
+    }
+    return profile;
+}
+
 } // namespace charon::gc

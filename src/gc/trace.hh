@@ -255,6 +255,38 @@ struct RunTrace
     std::uint64_t majorCount() const;
 };
 
+/**
+ * Which primitive kinds a trace can actually exercise, per dispatch
+ * route — the relevance summary the DSE layer prunes journal keys
+ * with.  A timing knob that only affects kinds outside a route's mask
+ * cannot change that replay's result by a single bit, because no
+ * bucket ever reaches the code that reads it.
+ *
+ * Buckets with zero invocations complete immediately on every route
+ * without touching any model, so they set no bits.
+ */
+struct TraceProfile
+{
+    /** OR of primBit(kind) over device-eligible buckets with work. */
+    std::uint32_t offloadKinds = 0;
+    /** OR of primBit(kind) over host-only buckets with work. */
+    std::uint32_t hostKinds = 0;
+
+    bool anyOffload() const { return offloadKinds != 0; }
+
+    bool
+    offloads(PrimKind kind) const
+    {
+        return (offloadKinds & (1u << static_cast<unsigned>(kind))) != 0;
+    }
+};
+
+/**
+ * Profile @p trace with one columnar pass per phase (kind, hostOnly,
+ * invocations columns only — no bucket materialization).
+ */
+TraceProfile profileTrace(const RunTrace &trace);
+
 } // namespace charon::gc
 
 #endif // CHARON_GC_TRACE_HH

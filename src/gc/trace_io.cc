@@ -1,5 +1,6 @@
 #include "trace_io.hh"
 
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -122,11 +123,32 @@ getVar(std::istream &is, std::uint64_t &v)
         int c = is.get();
         if (c == std::char_traits<char>::eof())
             return false;
+        // The tenth byte holds only bit 63: a continuation flag or
+        // any higher value bit would encode past 64 bits, which the
+        // writer never produces — corrupt input, not a wide value.
+        if (shift == 63 && (c & 0xfe) != 0)
+            return false;
         v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
         if ((c & 0x80) == 0)
             return true;
     }
     return false; // over-long encoding
+}
+
+/**
+ * Ceiling on every element count the decoder honors (collections,
+ * phases, threads, buckets, mutator segments).  Real traces sit
+ * orders of magnitude below it; a corrupted count above it would
+ * otherwise turn one flipped byte into a multi-gigabyte resize.
+ */
+constexpr std::uint64_t kMaxElementCount = 1u << 24;
+
+/** Read a varint that sizes a container: bounded, never trusted. */
+bool
+getCount(std::istream &is, std::uint64_t &v,
+         std::uint64_t cap = kMaxElementCount)
+{
+    return getVar(is, v) && v <= cap;
 }
 
 /** Write a whole u64 column, varint-packed. */
@@ -183,16 +205,18 @@ getColumns(std::istream &is, BucketColumns &c, std::size_t n)
         }
         k = static_cast<PrimKind>(v);
     }
+    // Cube ids are small non-negative ints; a value that does not
+    // round-trip the int32 cast is corruption, not a big system.
     std::uint64_t u;
     c.srcCube.resize(n);
     for (auto &v : c.srcCube) {
-        if (!getVar(is, u))
+        if (!getVar(is, u) || u > INT32_MAX)
             return false;
         v = static_cast<std::int32_t>(u);
     }
     c.dstCube.resize(n);
     for (auto &v : c.dstCube) {
-        if (!getVar(is, u))
+        if (!getVar(is, u) || u > INT32_MAX)
             return false;
         v = static_cast<std::int32_t>(u);
     }
@@ -272,8 +296,8 @@ readTrace(std::istream &is, RunTrace &trace, std::string *error)
 
     trace = RunTrace{};
     std::uint64_t gcs;
-    if (!getVar(is, gcs))
-        return fail("truncated header");
+    if (!getCount(is, gcs))
+        return fail("truncated or oversized header");
     trace.gcs.resize(gcs);
     for (auto &gc : trace.gcs) {
         std::uint64_t major, caps, phases;
@@ -285,9 +309,11 @@ readTrace(std::istream &is, RunTrace &trace, std::string *error)
             || !getVar(is, gc.refsVisited)
             || !getVar(is, gc.cardsSearched)
             || !getVar(is, gc.bitmapCountCalls)
-            || !getVar(is, phases)) {
-            return fail("truncated gc record");
+            || !getCount(is, phases)) {
+            return fail("truncated or oversized gc record");
         }
+        if (caps > UINT32_MAX)
+            return fail("bad capability mask");
         gc.major = major != 0;
         gc.capabilityMask = static_cast<std::uint32_t>(caps);
         gc.phases.resize(phases);
@@ -296,25 +322,34 @@ readTrace(std::istream &is, RunTrace &trace, std::string *error)
             if (!getVar(is, kind)
                 || !getF64(is, phase.bitmapCacheHitRate)
                 || !getVar(is, phase.bitmapCacheWritebacks)
-                || !getVar(is, threads)) {
-                return fail("truncated phase record");
+                || !getCount(is, threads)) {
+                return fail("truncated or oversized phase record");
             }
             if (kind > static_cast<std::uint64_t>(kLastPhaseKind))
                 return fail("bad phase kind");
+            // The recorder only measures rates in [0, 1]; anything
+            // else (including NaN from flipped exponent bits) is
+            // corruption that would silently skew replay timing.
+            if (!(phase.bitmapCacheHitRate >= 0.0
+                  && phase.bitmapCacheHitRate <= 1.0)) {
+                return fail("bad bitmap-cache hit rate");
+            }
             phase.kind = static_cast<PhaseKind>(kind);
             phase.threads.resize(threads);
             std::uint64_t total_buckets = 0;
             for (auto &t : phase.threads) {
                 std::uint64_t count;
-                if (!getVar(is, count)
+                if (!getCount(is, count)
                     || !getVar(is, t.glueInstructions)
                     || !getVar(is, t.glueMemAccesses)) {
-                    return fail("truncated thread record");
+                    return fail("truncated or oversized thread record");
                 }
                 t.firstBucket =
                     static_cast<std::uint32_t>(total_buckets);
                 t.bucketCount = static_cast<std::uint32_t>(count);
                 total_buckets += count;
+                if (total_buckets > kMaxElementCount)
+                    return fail("oversized bucket record");
             }
             if (!getColumns(is, phase.buckets,
                             static_cast<std::size_t>(total_buckets))) {
@@ -323,8 +358,8 @@ readTrace(std::istream &is, RunTrace &trace, std::string *error)
         }
     }
     std::uint64_t segments;
-    if (!getVar(is, segments))
-        return fail("truncated mutator segments");
+    if (!getCount(is, segments))
+        return fail("truncated or oversized mutator segments");
     trace.mutatorInstructions.resize(segments);
     for (auto &n : trace.mutatorInstructions) {
         if (!getVar(is, n))

@@ -7,30 +7,6 @@
 namespace charon::hmc
 {
 
-namespace
-{
-
-/**
- * Countdown join: fires @p done with the max completion tick once
- * @p parts sub-flows have finished.
- */
-struct Join
-{
-    std::size_t remaining;
-    sim::Tick last = 0;
-    mem::StreamCallback done;
-
-    void
-    arrive(sim::Tick t)
-    {
-        last = std::max(last, t);
-        if (--remaining == 0 && done)
-            done(last);
-    }
-};
-
-} // namespace
-
 HmcMemory::HmcMemory(sim::EventQueue &eq, const sim::HmcConfig &cfg,
                      const sim::Instrumentation &instr)
     : eq_(eq), cfg_(cfg), hostPort_(*this)
@@ -163,8 +139,8 @@ HmcMemory::stream(const Origin &origin, const mem::StreamRequest &req,
     // region interleaving, a segment boundary falls every
     // 2^cubeShift bytes.
     const std::uint64_t region = 1ull << cubeShift_;
-    struct Segment { int cube; std::uint64_t bytes; };
-    std::vector<Segment> segments;
+    auto &segments = segScratch_;
+    segments.clear();
     mem::Addr addr = req.addr;
     std::uint64_t left = req.bytes;
     if (left == 0) {
@@ -188,9 +164,8 @@ HmcMemory::stream(const Origin &origin, const mem::StreamRequest &req,
         left -= take;
     }
 
-    auto join = std::make_shared<Join>();
-    join->remaining = segments.size();
-    join->done = std::move(done);
+    sim::Join *join = joins_.acquire(
+        segments.size(), sim::JoinPool::wrap(std::move(done)));
     // A multi-segment stream divides the requester's issue rate.
     double per_seg_rate =
         req.maxRate > 0
@@ -241,7 +216,8 @@ HmcMemory::streamSegment(const Origin &origin, int cube,
     // Chain: link id i == the segment between cubes i-1 and i; id 0
     // is the host link to cube 0.  A transfer occupies every segment
     // between its endpoints.
-    std::vector<mem::FluidChannel *> route;
+    auto &route = routeScratch_;
+    route.clear();
     route.push_back(internal_[static_cast<std::size_t>(cube)].get());
     if (cfg_.topology == sim::HmcTopology::Chain) {
         int from = origin.isHost ? -1 : origin.cube;
@@ -276,22 +252,21 @@ HmcMemory::streamSegment(const Origin &origin, int cube,
     const std::uint64_t link_bytes = static_cast<std::uint64_t>(
         static_cast<double>(bytes) * hdr_factor);
 
-    auto join = std::make_shared<Join>();
-    join->remaining = route.size();
     const sim::Tick extra = static_cast<sim::Tick>(2 * h)
                             * cfg_.linkLatency();
-    join->done = [done, extra, this](sim::Tick t) {
-        // Tail latency of the final response hop(s).
-        if (extra == 0) {
-            if (done)
-                done(t);
-            return;
-        }
-        eq_.schedule(t + extra, [done, t, extra] {
-            if (done)
-                done(t + extra);
+    sim::Join *join = joins_.acquire(
+        route.size(), [done, extra, this](sim::Tick t) {
+            // Tail latency of the final response hop(s).
+            if (extra == 0) {
+                if (done)
+                    done(t);
+                return;
+            }
+            eq_.schedule(t + extra, [done, t, extra] {
+                if (done)
+                    done(t + extra);
+            });
         });
-    };
 
     for (std::size_t i = 0; i < route.size(); ++i) {
         bool is_dram = (i == 0);
@@ -315,7 +290,8 @@ HmcMemory::linkStream(int cube_a, int cube_b, std::uint64_t bytes,
     CHARON_ASSERT(cube_a >= 0 && cube_a < cfg_.cubes
                       && cube_b >= 0 && cube_b < cfg_.cubes,
                   "bad cube pair %d,%d", cube_a, cube_b);
-    std::vector<mem::FluidChannel *> route;
+    auto &route = routeScratch_;
+    route.clear();
     if (cfg_.topology == sim::HmcTopology::Chain) {
         int lo = std::min(cube_a, cube_b), hi = std::max(cube_a, cube_b);
         for (int seg = lo + 1; seg <= hi; ++seg)
@@ -334,9 +310,8 @@ HmcMemory::linkStream(int cube_a, int cube_b, std::uint64_t bytes,
         });
         return;
     }
-    auto join = std::make_shared<Join>();
-    join->remaining = route.size();
-    join->done = std::move(done);
+    sim::Join *join = joins_.acquire(
+        route.size(), sim::JoinPool::wrap(std::move(done)));
     for (auto *link : route) {
         link->startFlow(bytes, max_rate,
                         [join](sim::Tick t) { join->arrive(t); });

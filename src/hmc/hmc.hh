@@ -27,6 +27,7 @@
 #include "mem/mem_model.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/join.hh"
 
 namespace charon::hmc
 {
@@ -188,6 +189,16 @@ class HmcMemory
 
     double usefulBytes_ = 0;
     double localBytes_ = 0;
+
+    sim::JoinPool joins_;
+    /** Hot-path scratch (stream/streamSegment never reenter). */
+    std::vector<mem::FluidChannel *> routeScratch_;
+    struct Segment
+    {
+        int cube;
+        std::uint64_t bytes;
+    };
+    std::vector<Segment> segScratch_;
 
     HostPort hostPort_;
 };

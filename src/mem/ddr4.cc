@@ -92,8 +92,8 @@ Ddr4Memory::stream(const StreamRequest &req, StreamCallback done)
     const auto n = channels_.size();
     const double eff = efficiency(req.pattern);
     usefulBytes_ += static_cast<double>(req.bytes);
-    auto remaining = std::make_shared<std::size_t>(n);
-    auto last_finish = std::make_shared<sim::Tick>(0);
+    sim::Join *join =
+        joins_.acquire(n, sim::JoinPool::wrap(std::move(done)));
     std::uint64_t inflated =
         static_cast<std::uint64_t>(static_cast<double>(req.bytes) / eff);
     std::uint64_t base = inflated / n;
@@ -107,12 +107,7 @@ Ddr4Memory::stream(const StreamRequest &req, StreamCallback done)
                 ? (req.maxRate / static_cast<double>(n)) / eff
                 : 0;
         channels_[ch]->startFlow(
-            slice, rate,
-            [remaining, last_finish, done](sim::Tick t) {
-                *last_finish = std::max(*last_finish, t);
-                if (--*remaining == 0 && done)
-                    done(*last_finish);
-            });
+            slice, rate, [join](sim::Tick t) { join->arrive(t); });
     }
 }
 

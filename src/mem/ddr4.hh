@@ -20,6 +20,7 @@
 #include "mem/mem_model.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/join.hh"
 
 namespace charon::mem
 {
@@ -64,6 +65,7 @@ class Ddr4Memory : public MemPort
     sim::Ddr4Config cfg_;
     std::vector<std::unique_ptr<FluidChannel>> channels_;
     double usefulBytes_ = 0; ///< excludes occupancy-overhead inflation
+    sim::JoinPool joins_;
 };
 
 } // namespace charon::mem

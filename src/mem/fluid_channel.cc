@@ -61,15 +61,13 @@ FluidChannel::startFlow(std::uint64_t bytes, double maxRate,
     }
     advance();
     bytesTransferred_ += static_cast<double>(bytes);
-    Flow flow;
-    flow.bytesLeft = static_cast<double>(bytes);
-    flow.maxRate = maxRate;
-    flow.rate = 0;
-    flow.done = std::move(done);
-    flows_.push_back(std::move(flow));
+    flowBytes_.push_back(static_cast<double>(bytes));
+    flowMax_.push_back(maxRate);
+    flowRate_.push_back(0);
+    flowDone_.push_back(std::move(done));
     if (timeline_) {
         timeline_->counter(track_, eq_.now(),
-                           static_cast<double>(flows_.size()));
+                           static_cast<double>(flowBytes_.size()));
     }
     reallocate();
 }
@@ -95,11 +93,12 @@ FluidChannel::advance()
     }
     double dt = static_cast<double>(now - lastAdvance_);
     double allocated = 0;
-    for (auto &flow : flows_) {
-        flow.bytesLeft -= flow.rate * dt;
-        if (flow.bytesLeft < 0)
-            flow.bytesLeft = 0;
-        allocated += flow.rate;
+    const std::size_t n = flowBytes_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        flowBytes_[i] -= flowRate_[i] * dt;
+        if (flowBytes_[i] < 0)
+            flowBytes_[i] = 0;
+        allocated += flowRate_[i];
     }
     utilizedTicks_ += dt * (allocated / capacity_);
     lastAdvance_ = now;
@@ -108,40 +107,93 @@ FluidChannel::advance()
 void
 FluidChannel::reallocate()
 {
-    // Max-min fair (progressive filling) with per-flow caps.  The
-    // scratch index list is a member so the hot path never allocates.
-    double remaining = capacity_;
-    auto &uncapped = uncappedScratch_;
-    uncapped.clear();
-    for (std::uint32_t i = 0; i < flows_.size(); ++i) {
-        flows_[i].rate = 0;
-        uncapped.push_back(i);
+    const std::size_t n = flowBytes_.size();
+    if (n == 1) {
+        // Single flow: progressive filling reduces to one comparison.
+        // share == capacity_ / 1.0 == capacity_ exactly (IEEE), so
+        // the rate is bit-identical to the generic loop below.
+        double rate = (flowMax_[0] > 0 && flowMax_[0] <= capacity_)
+                          ? flowMax_[0]
+                          : capacity_;
+        flowRate_[0] = rate;
+        if (timer_)
+            eq_.deschedule(timer_);
+        sim::Tick when =
+            eq_.now()
+            + static_cast<sim::Tick>(std::ceil(flowBytes_[0] / rate));
+        timer_ = eq_.schedule(when, [this] { onTimer(); });
+        return;
     }
-    bool progressed = true;
-    while (!uncapped.empty() && remaining > 0 && progressed) {
-        progressed = false;
-        double share = remaining / static_cast<double>(uncapped.size());
-        // Give every flow whose cap is below the fair share its cap;
-        // compact the survivors stably so the accumulation order
-        // stays the insertion order.
-        std::size_t kept = 0;
-        for (std::size_t k = 0; k < uncapped.size(); ++k) {
-            Flow &flow = flows_[uncapped[k]];
-            if (flow.maxRate > 0 && flow.maxRate <= share) {
-                flow.rate = flow.maxRate;
-                remaining -= flow.maxRate;
+
+    // Max-min fair (progressive filling) with per-flow caps.  The
+    // first round is fused: a single pass caps the flows whose cap is
+    // below the initial fair share and collects the survivors into
+    // the scratch index list (a member so the hot path never
+    // allocates).  In the common case nothing is capped and the pass
+    // assigns every flow the fair share directly; the arithmetic —
+    // share values and subtraction order — is exactly the generic
+    // progressive loop's, so the rates are bit-identical to it.
+    if (n != 0) {
+        double remaining = capacity_;
+        double share = capacity_ / static_cast<double>(n);
+        auto &uncapped = uncappedScratch_;
+        uncapped.clear();
+        bool progressed = false;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (flowMax_[i] > 0 && flowMax_[i] <= share) {
+                flowRate_[i] = flowMax_[i];
+                remaining -= flowMax_[i];
                 progressed = true;
             } else {
-                uncapped[kept++] = uncapped[k];
+                flowRate_[i] = 0;
+                uncapped.push_back(i);
             }
         }
-        uncapped.resize(kept);
         if (!progressed) {
-            // Everybody left can absorb the fair share.
-            for (std::uint32_t i : uncapped)
-                flows_[i].rate = share;
-            remaining = 0;
-            uncapped.clear();
+            // Nobody's cap binds: everybody absorbs the fair share.
+            // Fused with the timer scan below (same visit order and
+            // comparisons, so the projected finish is bit-identical).
+            double earliest = -1;
+            for (std::size_t i = 0; i < n; ++i) {
+                flowRate_[i] = share;
+                double eta = flowBytes_[i] / share;
+                if (earliest < 0 || eta < earliest)
+                    earliest = eta;
+            }
+            if (timer_)
+                eq_.deschedule(timer_);
+            sim::Tick when =
+                eq_.now()
+                + static_cast<sim::Tick>(std::ceil(earliest));
+            timer_ = eq_.schedule(when, [this] { onTimer(); });
+            return;
+        } else {
+            // Later rounds: give every flow whose cap is below the
+            // fair share its cap; compact the survivors stably so
+            // the accumulation order stays the insertion order.
+            while (!uncapped.empty() && remaining > 0 && progressed) {
+                progressed = false;
+                share =
+                    remaining / static_cast<double>(uncapped.size());
+                std::size_t kept = 0;
+                for (std::size_t k = 0; k < uncapped.size(); ++k) {
+                    std::uint32_t i = uncapped[k];
+                    if (flowMax_[i] > 0 && flowMax_[i] <= share) {
+                        flowRate_[i] = flowMax_[i];
+                        remaining -= flowMax_[i];
+                        progressed = true;
+                    } else {
+                        uncapped[kept++] = uncapped[k];
+                    }
+                }
+                uncapped.resize(kept);
+                if (!progressed) {
+                    for (std::uint32_t i : uncapped)
+                        flowRate_[i] = share;
+                    remaining = 0;
+                    uncapped.clear();
+                }
+            }
         }
     }
 
@@ -151,13 +203,13 @@ FluidChannel::reallocate()
         eq_.deschedule(timer_);
         timer_ = 0;
     }
-    if (flows_.empty())
+    if (n == 0)
         return;
     double earliest = -1;
-    for (const auto &flow : flows_) {
-        if (flow.rate <= 0)
+    for (std::size_t i = 0; i < n; ++i) {
+        if (flowRate_[i] <= 0)
             continue;
-        double eta = flow.bytesLeft / flow.rate;
+        double eta = flowBytes_[i] / flowRate_[i];
         if (earliest < 0 || eta < earliest)
             earliest = eta;
     }
@@ -178,26 +230,35 @@ FluidChannel::onTimer()
     auto &done = doneScratch_;
     done.clear();
     std::size_t kept = 0;
-    for (std::size_t i = 0; i < flows_.size(); ++i) {
-        if (flows_[i].bytesLeft <= kFinishEpsilon) {
-            done.push_back(std::move(flows_[i].done));
+    const std::size_t n = flowBytes_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (flowBytes_[i] <= kFinishEpsilon) {
+            done.push_back(std::move(flowDone_[i]));
         } else {
-            if (kept != i)
-                flows_[kept] = std::move(flows_[i]);
+            if (kept != i) {
+                flowBytes_[kept] = flowBytes_[i];
+                flowMax_[kept] = flowMax_[i];
+                flowRate_[kept] = flowRate_[i];
+                flowDone_[kept] = std::move(flowDone_[i]);
+            }
             ++kept;
         }
     }
-    flows_.resize(kept);
+    flowBytes_.resize(kept);
+    flowMax_.resize(kept);
+    flowRate_.resize(kept);
+    flowDone_.resize(kept);
     sim::Tick now = eq_.now();
     if (timeline_ && !done.empty()) {
         timeline_->counter(track_, now,
-                           static_cast<double>(flows_.size()));
+                           static_cast<double>(flowBytes_.size()));
     }
     for (auto &cb : done) {
         if (cb)
             cb(now);
     }
-    advance();
+    // No advance() here: the clock has not moved since the one above,
+    // and any reentrant startFlow already advanced to this tick.
     reallocate();
 }
 

@@ -81,7 +81,7 @@ class FluidChannel
     double utilizedTicks() const { return utilizedTicks_.value(); }
 
     /** Number of currently active flows. */
-    std::size_t activeFlows() const { return flows_.size(); }
+    std::size_t activeFlows() const { return flowBytes_.size(); }
 
     /** Stats access (bytes, utilization). */
     const sim::StatGroup &stats() const { return stats_; }
@@ -90,14 +90,6 @@ class FluidChannel
     void resetStats() { stats_.resetAll(); }
 
   private:
-    struct Flow
-    {
-        double bytesLeft;
-        double maxRate;  // 0 == unlimited
-        double rate;     // current allocation
-        StreamCallback done;
-    };
-
     /** Advance all flows to now() at their current rates. */
     void advance();
 
@@ -110,13 +102,20 @@ class FluidChannel
     sim::EventQueue &eq_;
     double capacity_;
     /**
-     * Active flows in insertion order — the order the progressive
-     * filling must visit them in so the floating-point accumulation
-     * sequence (and therefore every projected finish time) matches
-     * runs made with any earlier container choice.  Erases compact
-     * stably for the same reason.
+     * Active flows in insertion order, structure-of-arrays: the
+     * advance/reallocate loops run once per completion timer and
+     * touch only the 8-byte column they need instead of striding
+     * over a ~90-byte flow record.  The insertion order is the order
+     * the progressive filling must visit flows in so the
+     * floating-point accumulation sequence (and therefore every
+     * projected finish time) matches runs made with any earlier
+     * container choice.  Erases compact all columns stably for the
+     * same reason.
      */
-    std::vector<Flow> flows_;
+    std::vector<double> flowBytes_;        ///< bytes left
+    std::vector<double> flowMax_;          ///< cap (0 == unlimited)
+    std::vector<double> flowRate_;         ///< current allocation
+    std::vector<StreamCallback> flowDone_; ///< completion callbacks
     sim::Tick lastAdvance_ = 0;
     sim::EventId timer_ = 0;
     std::vector<std::uint32_t> uncappedScratch_; ///< reallocate() reuse

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Batched columnar replay of dependency-free phases.
+ *
+ * A phase is batchable when every bucket's completion time is a
+ * closed-form function of its start tick: the zero-cycle Ideal
+ * offload, the empty host call, and the compute-bound Bitmap Count
+ * loop.  None of those touch a shared memory port or a unit pool, so
+ * nothing a thread does can perturb another thread's timing — the
+ * only cross-thread coupling left is the event *order*, which drives
+ * the breakdown's floating-point accumulation sequence and the
+ * timeline emission sequence.
+ *
+ * The kernel therefore re-times the phase without the global event
+ * queue: it stages the exact events the scalar path would schedule in
+ * a phase-local (when, seq) mini-heap, walks them in the same order,
+ * and performs the same accumulations and emissions at the same
+ * ticks.  Local seq numbers start at zero, but only their relative
+ * order matters — phases are barriers, so the global queue is empty
+ * for the whole batch and the scalar path's seq values are likewise
+ * only compared against each other.  The clock is then jumped with
+ * EventQueue::advanceTo() so the next phase schedules against the
+ * same 'now' the scalar path would have left behind.
+ *
+ * Bit-identity with runPhaseScalar is the contract (the differential
+ * replay oracle enforces it); every divergence from the scalar code
+ * below is annotated with why it cannot change a result bit.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "platform_sim.hh"
+#include "sim/logging.hh"
+
+namespace charon::platform
+{
+
+using gc::PrimKind;
+using sim::PlatformKind;
+using sim::Tick;
+
+namespace
+{
+
+/** Stages of a bucket's event chain (one scalar event each). */
+enum Stage : std::uint8_t
+{
+    /** Glue lump retired; the thread starts its first bucket. */
+    kGlueDone,
+    /** Same-tick completion (Ideal offload, empty host call). */
+    kSingleDone,
+    /** Bitmap Count bit loop done; invocation overhead remains. */
+    kComputeDone,
+    /** Invocation overhead retired; the bucket completes. */
+    kBucketDone,
+};
+
+/** One staged event: what the scalar path would have scheduled. */
+struct BatchEv
+{
+    Tick when;
+    std::uint64_t seq;
+    std::uint32_t thread;
+    std::uint8_t stage;
+};
+
+/**
+ * Heap comparator: true when @p a fires after @p b — the inverse of
+ * the event queue's strict (when, seq) pop order.
+ */
+bool
+later(const BatchEv &a, const BatchEv &b)
+{
+    return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+}
+
+/** Per-thread replay cursor (the batched ThreadAgent). */
+struct BatchThread
+{
+    gc::ThreadSpan span;
+    std::size_t next = 0;
+    Tick glue = 0;
+    Tick bucketStart = 0;
+    PrimKind kind = PrimKind::Copy;
+    Tick overhead = 0;
+    sim::Timeline::TrackId ttrack = 0;
+};
+
+} // namespace
+
+bool
+PlatformSim::phaseBatchable(const gc::PhaseTrace &phase) const
+{
+    // A fault engine can re-route or stall any bucket mid-phase, so
+    // faulty replays always take the event-driven path.
+    if (fault_)
+        return false;
+    const auto &b = phase.buckets;
+    const std::size_t n = b.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!b.hostOnly[i]) {
+            if (kind_ == PlatformKind::Ideal)
+                continue; // zero-cycle offload: the bucket is free
+            if (usesCharon())
+                return false; // device route: ports and unit pools
+        }
+        // Host route: only the empty call (immediate completion) and
+        // the compute-bound Bitmap Count loop avoid the memory ports.
+        if (b.invocations[i] != 0 && b.kind[i] != PrimKind::BitmapCount)
+            return false;
+    }
+    return true;
+}
+
+void
+PlatformSim::runPhaseBatched(const gc::PhaseTrace &phase,
+                             PrimBreakdown &breakdown)
+{
+    const Tick phase_start = eq_.now();
+    const std::size_t nthreads = phase.threads.size();
+    std::vector<BatchThread> threads(nthreads);
+    std::vector<BatchEv> heap;
+    heap.reserve(nthreads + 4);
+    std::uint64_t next_seq = 0;
+
+    auto push_ev = [&](Tick when, std::uint32_t th, std::uint8_t st) {
+        heap.push_back(BatchEv{when, next_seq++, th, st});
+        std::push_heap(heap.begin(), heap.end(), later);
+    };
+
+    // Advance a thread to its next bucket (the scalar step()):
+    // classify the row straight off the columns and stage the first
+    // event of its chain.  Returns without staging when the thread
+    // has drained its span.
+    auto start_next = [&](std::uint32_t th, Tick now) {
+        BatchThread &t = threads[th];
+        if (t.next >= t.span.bucketCount)
+            return; // thread done
+        const auto &cols = phase.buckets;
+        const std::size_t i = t.span.firstBucket + t.next++;
+        t.bucketStart = now;
+        t.kind = cols.kind[i];
+        ++batchedBuckets_;
+
+        const bool free_offload =
+            kind_ == PlatformKind::Ideal && !cols.hostOnly[i];
+        if (free_offload || cols.invocations[i] == 0) {
+            // Scalar: one event at the current tick (the Ideal
+            // zero-cycle schedule or execBucket's empty-call path).
+            push_ev(now, th, kSingleDone);
+            return;
+        }
+        CHARON_ASSERT(t.kind == PrimKind::BitmapCount,
+                      "non-closed-form bucket in a batched phase");
+        // Scalar: execBucket emits the stall-begin sample, then
+        // execBitmapCount schedules the bit loop's completion; the
+        // invocation overhead is added when that event fires.
+        host_->noteStallBegin(now);
+        t.overhead = host_->invocationOverhead(t.kind)
+                     * cols.invocations[i];
+        push_ev(now + host_->bitmapCountTicks(cols.rangeBits[i]), th,
+                kComputeDone);
+    };
+
+    // Setup mirrors runPhaseScalar: glue totals, glue spans, thread
+    // tracks, and the glue-done events' seqs all in thread order.
+    for (std::size_t ti = 0; ti < nthreads; ++ti) {
+        BatchThread &t = threads[ti];
+        t.span = phase.threads[ti];
+        t.ttrack = timeline_ ? threadTrack(ti) : 0;
+        t.glue = host_->glueTicks(t.span.glueInstructions);
+        glueSecondsTotal_ += sim::ticksToSeconds(t.glue);
+        if (timeline_ && t.glue > 0) {
+            timeline_->completeSpan(t.ttrack, glueName_, phase_start,
+                                    phase_start + t.glue);
+        }
+        push_ev(phase_start + t.glue,
+                static_cast<std::uint32_t>(ti), kGlueDone);
+    }
+
+    // Drain the staged events in the queue's exact (when, seq) order.
+    Tick last = phase_start;
+    while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), later);
+        const BatchEv ev = heap.back();
+        heap.pop_back();
+        ++batchedEvents_;
+        last = ev.when;
+        BatchThread &t = threads[ev.thread];
+
+        // The scalar finish(): accumulate the bucket's wall time into
+        // the breakdown (+= 0.0 for same-tick buckets, an IEEE
+        // identity on the non-negative accumulator), emit its span,
+        // and step to the next bucket.
+        auto finish = [&] {
+            breakdown.byKind(t.kind) +=
+                sim::ticksToSeconds(ev.when - t.bucketStart);
+            if (timeline_) {
+                timeline_->completeSpan(
+                    t.ttrack, primNames_[static_cast<int>(t.kind)],
+                    t.bucketStart, ev.when);
+            }
+            start_next(ev.thread, ev.when);
+        };
+
+        switch (ev.stage) {
+          case kGlueDone:
+            breakdown.glue += sim::ticksToSeconds(t.glue);
+            start_next(ev.thread, ev.when);
+            break;
+          case kComputeDone:
+            // Scalar: the wrapped callback schedules the overhead
+            // completion relative to the compute finish tick.
+            push_ev(ev.when + t.overhead, ev.thread, kBucketDone);
+            break;
+          case kBucketDone:
+            host_->noteStallEnd(ev.when);
+            finish();
+            break;
+          case kSingleDone:
+            finish();
+            break;
+        }
+    }
+
+    // Land the clock exactly where the scalar eq_.run() would have:
+    // at the last executed event (or the phase start when the phase
+    // had no threads at all).
+    eq_.advanceTo(last);
+}
+
+} // namespace charon::platform

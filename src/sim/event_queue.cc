@@ -7,172 +7,79 @@
 namespace charon::sim
 {
 
-namespace
+EventQueue::EventQueue()
 {
-
-constexpr std::size_t npos = static_cast<std::size_t>(-1);
-
-} // namespace
-
-EventQueue::EventQueue() : buckets_(16) {}
-
-std::size_t
-EventQueue::bucketOf(Tick when) const
-{
-    return (when / width_) & (buckets_.size() - 1);
+    heap_.reserve(64);
 }
 
-EventId
-EventQueue::schedule(Tick when, Callback fn)
+void
+EventQueue::growSlab()
 {
-    CHARON_ASSERT(when >= now_,
-                  "scheduling at %llu before now %llu",
-                  static_cast<unsigned long long>(when),
-                  static_cast<unsigned long long>(now_));
-    EventId id = nextId_++;
-    state_.push_back(Pending);
-    ++pending_;
-    maybeGrow();
-    // A locateMin jump may have moved the cursor window past this
-    // event's; pull it back so nothing pending sits behind it.
-    if (when < cursorTop_) {
-        cursorTop_ = when / width_ * width_;
-        cursor_ = bucketOf(when);
+    chunks_.push_back(
+        std::make_unique<Slot[]>(std::size_t{1} << kChunkShift));
+}
+
+void
+EventQueue::popTop()
+{
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+}
+
+void
+EventQueue::compact()
+{
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+        std::uint32_t slot = heap_[i].slot;
+        if (state_[slotAt(slot).id - 1] == Pending)
+            heap_[keep++] = heap_[i];
+        else
+            releaseSlot(slot);
     }
-    buckets_[bucketOf(when)].push_back(
-        Entry{when, nextSeq_++, id, std::move(fn)});
-    return id;
+    heap_.resize(keep);
+    // Heapify from scratch; pop order depends only on (when, seq),
+    // never on the internal arrangement, so this is order-neutral.
+    for (std::size_t i = keep / 2; i-- > 0;)
+        siftDown(i);
 }
 
 bool
-EventQueue::deschedule(EventId id)
-{
-    // An id is cancellable iff it is still pending; its entry stays
-    // behind as a tombstone and is swept on the next bucket scan.
-    if (id == 0 || id >= nextId_ || state_[id - 1] != Pending)
-        return false;
-    state_[id - 1] = Cancelled;
-    --pending_;
-    return true;
-}
-
-bool
-EventQueue::locateMin(std::size_t &bucket, std::size_t &index)
+EventQueue::findMin()
 {
     if (pending_ == 0)
         return false;
-    const std::size_t nb = buckets_.size();
-    auto earlier = [](const Entry &a, const Entry &b) {
-        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
-    };
-    // One pass over the calendar year starting at the cursor window.
-    for (std::size_t i = 0; i < nb; ++i) {
-        std::size_t b = (cursor_ + i) & (nb - 1);
-        Tick top = cursorTop_ + width_ * i;
-        auto &vec = buckets_[b];
-        std::size_t best = npos;
-        for (std::size_t j = 0; j < vec.size();) {
-            if (state_[vec[j].id - 1] != Pending) {
-                vec[j] = std::move(vec.back());
-                vec.pop_back();
-                continue;
-            }
-            if (vec[j].when < top + width_
-                && (best == npos || earlier(vec[j], vec[best])))
-                best = j;
-            ++j;
-        }
-        if (best != npos) {
-            cursor_ = b;
-            cursorTop_ = top;
-            bucket = b;
-            index = best;
+    while (!heap_.empty()) {
+        std::uint32_t slot = heap_.front().slot;
+        if (state_[slotAt(slot).id - 1] == Pending)
             return true;
-        }
+        releaseSlot(slot);
+        popTop();
     }
-    // Nothing due within a year: jump straight to the earliest
-    // pending event instead of stepping window by window.
-    std::size_t bb = npos, be = npos;
-    for (std::size_t b = 0; b < nb; ++b) {
-        auto &vec = buckets_[b];
-        for (std::size_t j = 0; j < vec.size();) {
-            if (state_[vec[j].id - 1] != Pending) {
-                vec[j] = std::move(vec.back());
-                vec.pop_back();
-                continue;
-            }
-            if (be == npos || earlier(vec[j], buckets_[bb][be])) {
-                bb = b;
-                be = j;
-            }
-            ++j;
-        }
-    }
-    CHARON_ASSERT(be != npos, "pending count %llu but no entry found",
+    CHARON_ASSERT(false, "pending count %llu but heap empty",
                   static_cast<unsigned long long>(pending_));
-    cursor_ = bb;
-    cursorTop_ = buckets_[bb][be].when / width_ * width_;
-    bucket = bb;
-    index = be;
-    return true;
-}
-
-EventQueue::Entry
-EventQueue::take(std::vector<Entry> &bucket, std::size_t i)
-{
-    Entry e = std::move(bucket[i]);
-    if (i + 1 != bucket.size())
-        bucket[i] = std::move(bucket.back());
-    bucket.pop_back();
-    return e;
-}
-
-void
-EventQueue::resize(std::size_t nb)
-{
-    std::vector<Entry> all;
-    all.reserve(pending_);
-    Tick lo = maxTick, hi = 0;
-    for (auto &vec : buckets_) {
-        for (auto &e : vec) {
-            if (state_[e.id - 1] != Pending)
-                continue;
-            lo = std::min(lo, e.when);
-            hi = std::max(hi, e.when);
-            all.push_back(std::move(e));
-        }
-    }
-    // Width ~ the average spacing of the pending population, so each
-    // window holds O(1) events under the near-monotonic load.
-    width_ = all.empty()
-                 ? Tick{1}
-                 : std::max<Tick>(1, (hi - lo) / all.size() + 1);
-    buckets_.assign(nb, {});
-    cursorTop_ = now_ / width_ * width_;
-    cursor_ = bucketOf(now_);
-    for (auto &e : all)
-        buckets_[bucketOf(e.when)].push_back(std::move(e));
-}
-
-void
-EventQueue::maybeGrow()
-{
-    if (pending_ > 2 * buckets_.size())
-        resize(2 * buckets_.size());
+    return false;
 }
 
 bool
 EventQueue::step()
 {
-    std::size_t b, i;
-    if (!locateMin(b, i))
+    if (!findMin())
         return false;
-    Entry e = take(buckets_[b], i);
-    state_[e.id - 1] = Fired;
+    const Node top = heap_.front();
+    Slot &s = slotAt(top.slot);
+    state_[s.id - 1] = Fired;
     --pending_;
-    now_ = e.when;
+    now_ = top.when;
     ++executed_;
-    e.fn();
+    popTop();
+    // Execute in place: the chunked slab never relocates a slot, so
+    // callbacks scheduled by s.fn() cannot move it mid-call, and its
+    // Fired state keeps deschedule()/compact() hands off.
+    s.fn();
+    releaseSlot(top.slot);
     return true;
 }
 
@@ -180,21 +87,36 @@ std::uint64_t
 EventQueue::run(Tick until)
 {
     std::uint64_t executed = 0;
-    std::size_t b, i;
-    while (locateMin(b, i)) {
-        if (buckets_[b][i].when > until) {
+    while (findMin()) {
+        const Node top = heap_.front();
+        if (top.when > until) {
             now_ = until;
             return executed;
         }
-        Entry e = take(buckets_[b], i);
-        state_[e.id - 1] = Fired;
+        Slot &s = slotAt(top.slot);
+        state_[s.id - 1] = Fired;
         --pending_;
-        now_ = e.when;
+        now_ = top.when;
         ++executed_;
-        e.fn();
+        popTop();
+        s.fn();
+        releaseSlot(top.slot);
         ++executed;
     }
     return executed;
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    CHARON_ASSERT(when >= now_,
+                  "advanceTo %llu before now %llu",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(now_));
+    CHARON_ASSERT(!findMin() || heap_.front().when >= when,
+                  "advanceTo %llu past a pending event",
+                  static_cast<unsigned long long>(when));
+    now_ = when;
 }
 
 } // namespace charon::sim

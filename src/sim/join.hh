@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Pooled countdown join for fan-out/fan-in completion.
+ *
+ * Every layered memory operation (a DDR4 stream over N channels, an
+ * HMC segment over its route, a Charon bucket over its resources)
+ * fans out into parallel flows and needs one callback when the last
+ * of them drains.  The replay issues hundreds of thousands of these,
+ * so the join object must not cost a heap allocation per fan-out:
+ * joins live in per-pool slabs with stable addresses and recycle
+ * through a free list, and the fan-out callbacks capture a raw
+ * pointer (8 bytes — always inside the callback's inline budget).
+ *
+ * Lifetime protocol: exactly @p parts arrive() calls per acquire();
+ * the final one recycles the join and then fires the stored
+ * callback.  Nothing may touch a join after its last arrive().
+ *
+ * Call sites whose completion intentionally does not wait for every
+ * flow (a trailing posted write) pass a @p fire_after threshold below
+ * @p parts: the callback fires on the fire_after-th arrival while the
+ * join stays live — and pooled — until all @p parts have arrived.
+ */
+
+#ifndef CHARON_SIM_JOIN_HH
+#define CHARON_SIM_JOIN_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "sim/callback.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace charon::sim
+{
+
+class JoinPool;
+
+/**
+ * Countdown join: fires its callback with the latest arrival tick
+ * once the expected number of sub-flows has arrived.  Obtained from
+ * a JoinPool, never constructed directly.
+ */
+class Join
+{
+  public:
+    /**
+     * Inline budget sized for the widest wrapper the memory layers
+     * store (a 48-inline stream callback plus two scalars), so a
+     * join never heap-allocates its completion.
+     */
+    using Callback = Function<void(Tick), 72>;
+
+    void arrive(Tick t); // defined after JoinPool
+
+  private:
+    friend class JoinPool;
+    Join() = default;
+
+    std::size_t remaining_ = 0; ///< arrivals until recycle
+    std::size_t untilFire_ = 0; ///< arrivals until done_ fires
+    Tick last_ = 0;
+    Callback done_;
+    JoinPool *pool_ = nullptr;
+};
+
+/**
+ * Slab-and-free-list allocator for Join objects.  One pool per
+ * owning component (the simulator is single-threaded per replay, but
+ * replays run concurrently under --jobs, so the pool must never be
+ * shared across owners).
+ */
+class JoinPool
+{
+  public:
+    /**
+     * Re-wrap a narrower callback without masking its nullness: a
+     * null Function wrapped verbatim would present as a non-null
+     * callable that crashes when invoked.
+     */
+    template <std::size_t N>
+    static Join::Callback
+    wrap(Function<void(Tick), N> f)
+    {
+        return f ? Join::Callback(std::move(f)) : Join::Callback();
+    }
+
+    /**
+     * A join expecting @p parts arrivals, firing @p done on the
+     * @p fire_after-th (default: the last).
+     */
+    Join *
+    acquire(std::size_t parts, Join::Callback done,
+            std::size_t fire_after = 0)
+    {
+        CHARON_ASSERT(parts > 0, "join must expect at least one part");
+        if (fire_after == 0)
+            fire_after = parts;
+        CHARON_ASSERT(fire_after <= parts,
+                      "join cannot fire after more arrivals than it "
+                      "expects");
+        Join *j;
+        if (!free_.empty()) {
+            j = free_.back();
+            free_.pop_back();
+        } else {
+            j = &storage_.emplace_back(Join());
+            j->pool_ = this;
+        }
+        j->remaining_ = parts;
+        j->untilFire_ = fire_after;
+        j->last_ = 0;
+        j->done_ = std::move(done);
+        return j;
+    }
+
+  private:
+    friend class Join;
+    void release(Join *j) { free_.push_back(j); }
+
+    std::deque<Join> storage_; ///< deque: addresses never move
+    std::vector<Join *> free_;
+};
+
+inline void
+Join::arrive(Tick t)
+{
+    CHARON_ASSERT(remaining_ > 0, "arrive on a recycled join");
+    last_ = std::max(last_, t);
+    const bool fire = untilFire_ > 0 && --untilFire_ == 0;
+    if (--remaining_ > 0) {
+        // Early-fire joins invoke the callback while still live;
+        // later arrivals only feed the countdown to recycling.
+        if (fire) {
+            Callback cb = std::move(done_);
+            if (cb)
+                cb(last_);
+        }
+        return;
+    }
+    // Recycle before invoking: the callback may reentrantly fan out
+    // again and acquire from the same pool.
+    Callback cb = std::move(done_);
+    Tick last = last_;
+    pool_->release(this);
+    if (fire && cb)
+        cb(last);
+}
+
+} // namespace charon::sim
+
+#endif // CHARON_SIM_JOIN_HH

@@ -367,6 +367,163 @@ TEST(Explorer, CellKeySeparatesConfigAndScreenDepth)
 }
 
 // ---------------------------------------------------------------------
+// Incremental recompute: canonical keys + cross-point record sharing
+
+TEST(Explorer, CanonicalKeyPrunesWhatTheReplayCannotObserve)
+{
+    DsePoint point;
+    auto fk = harness::ExperimentRunner::resolve(point.functionalKey());
+    harness::Cell c;
+    c.key = fk;
+    c.config = point.systemConfig();
+    gc::TraceProfile none; // no bucket ever carries work
+
+    // DDR4 never constructs the HMC or the device: every hmc.* and
+    // charon.* knob prunes away; gcThreads stays observable.
+    c.platform = sim::PlatformKind::HostDdr4;
+    harness::Cell v = c;
+    v.config.hmc.cubes = 16;
+    v.config.hmc.internalGBsPerCube = 640.0;
+    v.config.charon.copySearchUnits = 1;
+    v.config.charon.maiEntries = 99;
+    EXPECT_EQ(canonicalCellKey(c, 0, none), canonicalCellKey(v, 0, none));
+    harness::Cell t = c;
+    t.config.gcThreads = 4;
+    EXPECT_NE(canonicalCellKey(c, 0, none), canonicalCellKey(t, 0, none));
+    EXPECT_NE(canonicalCellKey(c, 0, none), canonicalCellKey(c, 4, none))
+        << "screen depth must stay in the canonical key";
+
+    // Host-HMC builds the interconnect but never the device.
+    c.platform = sim::PlatformKind::HostHmc;
+    v = c;
+    v.config.charon.copySearchUnits = 1;
+    v.config.charon.maiEntries = 99;
+    EXPECT_EQ(canonicalCellKey(c, 0, none), canonicalCellKey(v, 0, none));
+    v = c;
+    v.config.hmc.cubes = 16;
+    EXPECT_NE(canonicalCellKey(c, 0, none), canonicalCellKey(v, 0, none));
+
+    // Charon keeps hmc knobs and unit counts (idle units draw
+    // energy); the structure knobs prune by what the trace can
+    // actually dispatch.
+    gc::TraceProfile copyOnly;
+    copyOnly.offloadKinds = 1u << unsigned(gc::PrimKind::Copy);
+    gc::TraceProfile scanPush;
+    scanPush.offloadKinds = 1u << unsigned(gc::PrimKind::ScanPush);
+    c.platform = sim::PlatformKind::CharonNmp;
+
+    harness::Cell units = c;
+    units.config.charon.bitmapCountUnits = 1;
+    EXPECT_NE(canonicalCellKey(c, 0, none),
+              canonicalCellKey(units, 0, none));
+
+    harness::Cell mai = c;
+    mai.config.charon.maiEntries = 99;
+    EXPECT_EQ(canonicalCellKey(c, 0, none), canonicalCellKey(mai, 0, none))
+        << "no offload-eligible work: maiEntries is unobservable";
+    EXPECT_NE(canonicalCellKey(c, 0, copyOnly),
+              canonicalCellKey(mai, 0, copyOnly))
+        << "any offload work reads the MAI";
+
+    harness::Cell dist = c;
+    dist.config.charon.distributedStructures =
+        !c.config.charon.distributedStructures;
+    EXPECT_EQ(canonicalCellKey(c, 0, copyOnly),
+              canonicalCellKey(dist, 0, copyOnly))
+        << "Copy never consults distributedStructures";
+    EXPECT_NE(canonicalCellKey(c, 0, scanPush),
+              canonicalCellKey(dist, 0, scanPush));
+
+    harness::Cell spl = c;
+    spl.config.charon.scanPushLocal = !c.config.charon.scanPushLocal;
+    EXPECT_EQ(canonicalCellKey(c, 0, copyOnly),
+              canonicalCellKey(spl, 0, copyOnly));
+    EXPECT_NE(canonicalCellKey(c, 0, scanPush),
+              canonicalCellKey(spl, 0, scanPush));
+
+    // cpuSide is pinned from the platform kind, so it never matters.
+    harness::Cell side = c;
+    side.config.charon.cpuSide = !c.config.charon.cpuSide;
+    EXPECT_EQ(canonicalCellKey(c, 0, scanPush),
+              canonicalCellKey(side, 0, scanPush));
+
+    // The families can never collide inside one journal.
+    EXPECT_EQ(canonicalCellKey(c, 0, scanPush).rfind("i1|", 0), 0u);
+    EXPECT_EQ(cellKey(c, 0).rfind("c1|", 0), 0u);
+}
+
+TEST(Explorer, PrunedKnobSweepSimulatesOnceAndShares)
+{
+    // Three DDR4 cells differing only in a device knob the baseline
+    // replay cannot observe: distinct primary keys, one canonical
+    // key.  The sweep must cost one simulation, and every record it
+    // produces must land under its primary key so resumed sweeps
+    // never need the incremental pass again.
+    const std::string path =
+        freshDir("incremental") + "/sweep.dse.jsonl";
+    DsePoint point;
+    auto fk = harness::ExperimentRunner::resolve(point.functionalKey());
+    std::vector<harness::Cell> cells;
+    std::vector<std::string> keys;
+    for (int units : {2, 4, 8}) {
+        harness::Cell c;
+        c.key = fk;
+        c.platform = sim::PlatformKind::HostDdr4;
+        c.config = point.systemConfig();
+        c.config.charon.copySearchUnits = units;
+        keys.push_back(cellKey(c, 0));
+        cells.push_back(std::move(c));
+    }
+    EXPECT_NE(keys[0], keys[1]) << "primary keys see the pruned knob";
+
+    {
+        SweepJournal journal(path);
+        harness::ExperimentRunner runner(
+            harness::RunnerConfig{1, std::string()});
+        Explorer explorer(runner, journal);
+        auto records = explorer.runCells(cells, keys);
+        ASSERT_EQ(records.size(), 3u);
+        EXPECT_EQ(explorer.journalHits(), 0u);
+        EXPECT_EQ(explorer.evaluatedCells(), 1u)
+            << "the N-point pruned-knob sweep must replay once";
+        EXPECT_EQ(explorer.incrementalHits(), 2u);
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            ASSERT_TRUE(records[i].ok) << records[i].error;
+            EXPECT_EQ(records[i].key, keys[i]);
+            // Shared records are bitwise copies of the one replay.
+            EXPECT_EQ(records[i].gcSeconds, records[0].gcSeconds);
+            EXPECT_EQ(records[i].hostEnergyJ, records[0].hostEnergyJ);
+            EXPECT_EQ(records[i].dramBytes, records[0].dramBytes);
+        }
+    }
+
+    // Resume path: a fresh journal answers every cell from its
+    // primary key — plus a brand-new sibling from the canonical
+    // record, still with zero fresh simulation.
+    {
+        harness::Cell extra = cells[0];
+        extra.config.charon.copySearchUnits = 16;
+        auto extraCells = cells;
+        auto extraKeys = keys;
+        extraCells.push_back(extra);
+        extraKeys.push_back(cellKey(extra, 0));
+
+        SweepJournal resumed(path);
+        harness::ExperimentRunner runner(
+            harness::RunnerConfig{1, std::string()});
+        Explorer explorer(runner, resumed);
+        auto records = explorer.runCells(extraCells, extraKeys);
+        ASSERT_EQ(records.size(), 4u);
+        EXPECT_EQ(explorer.journalHits(), 3u)
+            << "re-homed records must hit on the primary path";
+        EXPECT_EQ(explorer.incrementalHits(), 1u);
+        EXPECT_EQ(explorer.evaluatedCells(), 0u);
+        EXPECT_EQ(records[3].gcSeconds, records[0].gcSeconds);
+        EXPECT_EQ(records[3].key, extraKeys[3]);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Golden guard: the smoke grid's Pareto CSV is pinned.
 
 std::string

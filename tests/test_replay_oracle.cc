@@ -1,0 +1,393 @@
+/**
+ * @file
+ * The differential replay oracle: the batched columnar kernel
+ * (PlatformSim::ReplayMode::Auto) must be bit-identical to the
+ * event-at-a-time path (ReplayMode::Scalar) on every platform, for
+ * every trace.
+ *
+ * "Bit-identical" is taken literally: every timing double, every
+ * per-collection breakdown, every roll-up cell, and the full timeline
+ * event stream (type, track, name, ticks, counter values, in emission
+ * order) are compared with exact equality — no tolerances.  The suite
+ * drives the oracle with real traces from all four collector families
+ * ({ps, g1, cms, rc}) and with seeded randomized synthetic traces
+ * that mix closed-form and event-driven buckets, then pins the
+ * engagement guarantee (a known-batchable phase must actually take
+ * the batched kernel) and the empty-capability-mask host identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gc/capability.hh"
+#include "gc/rollup.hh"
+#include "platform/platform_sim.hh"
+#include "sim/instrumentation.hh"
+#include "sim/timeline.hh"
+#include "workload/g1_mutator.hh"
+#include "workload/mutator.hh"
+
+using namespace charon;
+using platform::PlatformSim;
+using sim::PlatformKind;
+
+namespace
+{
+
+constexpr PlatformKind kAllPlatforms[] = {
+    PlatformKind::HostDdr4,      PlatformKind::HostHmc,
+    PlatformKind::CharonNmp,     PlatformKind::CharonCpuSide,
+    PlatformKind::Ideal,
+};
+
+void
+expectBreakdownEq(const platform::PrimBreakdown &a,
+                  const platform::PrimBreakdown &b)
+{
+    EXPECT_EQ(a.copy, b.copy);
+    EXPECT_EQ(a.search, b.search);
+    EXPECT_EQ(a.scanPush, b.scanPush);
+    EXPECT_EQ(a.bitmapCount, b.bitmapCount);
+    EXPECT_EQ(a.bitSweep, b.bitSweep);
+    EXPECT_EQ(a.refCount, b.refCount);
+    EXPECT_EQ(a.glue, b.glue);
+}
+
+void
+expectTimingEq(const platform::RunTiming &a,
+               const platform::RunTiming &b)
+{
+    EXPECT_EQ(a.platform, b.platform);
+    EXPECT_EQ(a.gcSeconds, b.gcSeconds);
+    EXPECT_EQ(a.minorSeconds, b.minorSeconds);
+    EXPECT_EQ(a.majorSeconds, b.majorSeconds);
+    EXPECT_EQ(a.mutatorSeconds, b.mutatorSeconds);
+    EXPECT_EQ(a.dramBytes, b.dramBytes);
+    EXPECT_EQ(a.avgGcBandwidthGBs, b.avgGcBandwidthGBs);
+    EXPECT_EQ(a.localAccessFraction, b.localAccessFraction);
+    EXPECT_EQ(a.hostEnergyJ, b.hostEnergyJ);
+    EXPECT_EQ(a.dramEnergyJ, b.dramEnergyJ);
+    EXPECT_EQ(a.unitEnergyJ, b.unitEnergyJ);
+    expectBreakdownEq(a.minorBreakdown, b.minorBreakdown);
+    expectBreakdownEq(a.majorBreakdown, b.majorBreakdown);
+    ASSERT_EQ(a.gcs.size(), b.gcs.size());
+    for (std::size_t i = 0; i < a.gcs.size(); ++i) {
+        SCOPED_TRACE("gc " + std::to_string(i));
+        EXPECT_EQ(a.gcs[i].major, b.gcs[i].major);
+        EXPECT_EQ(a.gcs[i].seconds, b.gcs[i].seconds);
+        expectBreakdownEq(a.gcs[i].breakdown, b.gcs[i].breakdown);
+    }
+    EXPECT_TRUE(gc::rollupEquals(a.rollup(), b.rollup()));
+}
+
+/**
+ * The two timelines must agree event-for-event in emission order —
+ * the strictest observable ordering witness the simulator exposes.
+ */
+void
+expectTimelineEq(const sim::Timeline &a, const sim::Timeline &b)
+{
+    ASSERT_EQ(a.trackCount(), b.trackCount());
+    for (std::size_t t = 0; t < a.trackCount(); ++t) {
+        EXPECT_EQ(a.trackName(static_cast<sim::Timeline::TrackId>(t)),
+                  b.trackName(static_cast<sim::Timeline::TrackId>(t)));
+    }
+    const auto &ea = a.events();
+    const auto &eb = b.events();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        SCOPED_TRACE("event " + std::to_string(i));
+        EXPECT_EQ(ea[i].type, eb[i].type);
+        EXPECT_EQ(ea[i].track, eb[i].track);
+        EXPECT_EQ(a.eventName(ea[i].name), b.eventName(eb[i].name));
+        EXPECT_EQ(ea[i].start, eb[i].start);
+        EXPECT_EQ(ea[i].end, eb[i].end);
+        EXPECT_EQ(ea[i].value, eb[i].value);
+    }
+}
+
+/**
+ * Replay @p trace twice on @p kind — batched-where-possible vs
+ * forced-scalar — and compare every observable.  Returns the number
+ * of buckets the Auto replay sent through the batched kernel.
+ */
+std::uint64_t
+oracle(const gc::RunTrace &trace, int cube_shift, PlatformKind kind)
+{
+    SCOPED_TRACE(sim::platformName(kind));
+    auto cfg = sim::SystemConfig::table2();
+
+    sim::Timeline tl_auto("auto"), tl_scalar("scalar");
+    PlatformSim auto_sim(kind, cfg, cube_shift,
+                         sim::Instrumentation(&tl_auto));
+    PlatformSim scalar_sim(kind, cfg, cube_shift,
+                           sim::Instrumentation(&tl_scalar));
+    scalar_sim.setReplayMode(PlatformSim::ReplayMode::Scalar);
+
+    auto a = auto_sim.simulate(trace);
+    auto b = scalar_sim.simulate(trace);
+    expectTimingEq(a, b);
+    expectTimelineEq(tl_auto, tl_scalar);
+    EXPECT_EQ(scalar_sim.batchedBuckets(), 0u)
+        << "Scalar mode must never enter the batched kernel";
+    // Every event the kernel absorbs is one the queue did not run:
+    // the two replays must cover the same event population.
+    EXPECT_EQ(auto_sim.executedEvents() + auto_sim.batchedEvents(),
+              scalar_sim.executedEvents());
+    return auto_sim.batchedBuckets();
+}
+
+std::uint64_t
+oracleAllPlatforms(const gc::RunTrace &trace, int cube_shift)
+{
+    std::uint64_t batched = 0;
+    for (PlatformKind kind : kAllPlatforms)
+        batched += oracle(trace, cube_shift, kind);
+    return batched;
+}
+
+// ---------------------------------------------------------------------
+// Real traces: all four collector families.
+
+/** Cheapest calibrated recording of the CC workload under @p model. */
+struct Recorded
+{
+    gc::RunTrace trace;
+    int cubeShift = 0;
+};
+
+Recorded
+record(gc::CollectorModel model)
+{
+    const auto &params = workload::findWorkload("CC");
+    // RC serves every allocation from the old space, so it needs the
+    // full catalog heap; the generational families need far less.
+    std::uint64_t heap = model == gc::CollectorModel::Rc
+                             ? params.heapBytes * 2
+                             : params.minHeapBytes * 2;
+    workload::Mutator mut(params, heap, 1, 8, 4, model);
+    auto r = mut.run();
+    EXPECT_FALSE(r.oom) << "OOM under "
+                        << gc::collectorModelName(model);
+    return Recorded{mut.recorder().run(), mut.cubeShift()};
+}
+
+TEST(ReplayOracle, ParallelScavengeTraceAllPlatforms)
+{
+    auto rec = record(gc::CollectorModel::ParallelScavenge);
+    ASSERT_FALSE(rec.trace.gcs.empty());
+    // PS major summaries are pure Bitmap Count phases, so the kernel
+    // must engage on at least the host-route platforms.
+    EXPECT_GT(oracleAllPlatforms(rec.trace, rec.cubeShift), 0u);
+}
+
+TEST(ReplayOracle, G1TraceAllPlatforms)
+{
+    const auto &params = workload::findWorkload("CC");
+    workload::G1Mutator mut(params, params.heapBytes, 1, 8, 4);
+    auto r = mut.run();
+    ASSERT_FALSE(r.oom);
+    gc::RunTrace trace = mut.recorder().run();
+    ASSERT_FALSE(trace.gcs.empty());
+    oracleAllPlatforms(trace, mut.cubeShift());
+}
+
+TEST(ReplayOracle, CmsTraceAllPlatforms)
+{
+    auto rec = record(gc::CollectorModel::Cms);
+    ASSERT_FALSE(rec.trace.gcs.empty());
+    oracleAllPlatforms(rec.trace, rec.cubeShift);
+}
+
+TEST(ReplayOracle, RcTraceAllPlatforms)
+{
+    auto rec = record(gc::CollectorModel::Rc);
+    ASSERT_FALSE(rec.trace.gcs.empty());
+    oracleAllPlatforms(rec.trace, rec.cubeShift);
+}
+
+// ---------------------------------------------------------------------
+// Seeded synthetic traces: adversarial mixes of closed-form rows
+// (Ideal offloads, empty calls, Bitmap Count) and event-driven rows,
+// so batchable and non-batchable phases interleave inside one run.
+
+gc::RunTrace
+makeRandomTrace(std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    auto u = [&](std::uint64_t lo, std::uint64_t hi) {
+        return lo + rng() % (hi - lo + 1);
+    };
+    gc::RunTrace trace;
+    const int ngcs = static_cast<int>(u(1, 3));
+    for (int g = 0; g < ngcs; ++g) {
+        gc::GcTrace gct;
+        gct.major = u(0, 1) != 0;
+        const int nphases = static_cast<int>(u(1, 4));
+        for (int p = 0; p < nphases; ++p) {
+            gc::PhaseTrace phase;
+            phase.kind = static_cast<gc::PhaseKind>(u(0, 7));
+            phase.bitmapCacheHitRate =
+                static_cast<double>(u(0, 100)) / 100.0;
+            const int nthreads = static_cast<int>(u(1, 4));
+            for (int t = 0; t < nthreads; ++t) {
+                gc::ThreadWork work;
+                work.glueInstructions = u(0, 20000);
+                work.glueMemAccesses = u(0, 500);
+                const int nbuckets = static_cast<int>(u(0, 5));
+                for (int bi = 0; bi < nbuckets; ++bi) {
+                    gc::Bucket b;
+                    // Two-thirds closed-form-capable rows keep the
+                    // kernel engaged; the rest forces whole phases
+                    // down the event-driven path.
+                    b.kind = u(0, 2) != 0
+                                 ? gc::PrimKind::BitmapCount
+                                 : static_cast<gc::PrimKind>(u(0, 5));
+                    b.srcCube = static_cast<int>(u(0, 3));
+                    b.dstCube =
+                        u(0, 1) ? b.srcCube : static_cast<int>(u(0, 3));
+                    b.hostOnly = u(0, 1) != 0;
+                    b.invocations = u(0, 1) ? u(1, 40) : 0;
+                    b.seqReadBytes = u(0, 1u << 16);
+                    b.writeBytes = u(0, 1u << 14);
+                    b.randomAccesses = u(0, 256);
+                    b.randomBytes = b.randomAccesses * 16;
+                    b.refsVisited = u(0, 512);
+                    b.rangeBits = u(0, 1u << 14);
+                    b.bitmapRmwAccesses = u(0, b.randomAccesses);
+                    b.stackPushes = u(0, 128);
+                    work.buckets.push_back(b);
+                }
+                phase.addThread(work);
+            }
+            gct.phases.push_back(std::move(phase));
+        }
+        trace.gcs.push_back(std::move(gct));
+        trace.mutatorInstructions.push_back(u(0, 1000000));
+    }
+    return trace;
+}
+
+TEST(ReplayOracle, SyntheticRandomTracesAllPlatforms)
+{
+    std::uint64_t batched = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        batched += oracleAllPlatforms(makeRandomTrace(seed), 22);
+    }
+    EXPECT_GT(batched, 0u)
+        << "the randomized sweep never exercised the batched kernel";
+}
+
+// ---------------------------------------------------------------------
+// Engagement guarantee: a phase built entirely from closed-form rows
+// must take the batched kernel, and the kernel must absorb exactly
+// the events the scalar path would have queued for it.
+
+TEST(ReplayOracle, KnownBatchablePhaseTakesTheBatchedKernel)
+{
+    gc::RunTrace trace;
+    gc::GcTrace gct;
+    gct.major = true;
+    gc::PhaseTrace phase;
+    phase.kind = gc::PhaseKind::MajorSummary;
+    for (int t = 0; t < 3; ++t) {
+        gc::ThreadWork work;
+        work.glueInstructions = 5000 + 1000 * t;
+        gc::Bucket count;
+        count.kind = gc::PrimKind::BitmapCount;
+        count.hostOnly = true;
+        count.invocations = 8 + t;
+        count.rangeBits = 1 << 12;
+        work.buckets.push_back(count);
+        gc::Bucket empty;
+        empty.kind = gc::PrimKind::Copy;
+        empty.hostOnly = true;
+        empty.invocations = 0;
+        work.buckets.push_back(empty);
+        phase.addThread(work);
+    }
+    const std::uint64_t total_buckets = phase.buckets.size();
+    gct.phases.push_back(std::move(phase));
+    trace.gcs.push_back(std::move(gct));
+    trace.mutatorInstructions.push_back(0);
+
+    for (PlatformKind kind :
+         {PlatformKind::HostDdr4, PlatformKind::HostHmc}) {
+        SCOPED_TRACE(sim::platformName(kind));
+        auto cfg = sim::SystemConfig::table2();
+        PlatformSim sim_auto(kind, cfg, 22);
+        PlatformSim sim_scalar(kind, cfg, 22);
+        sim_scalar.setReplayMode(PlatformSim::ReplayMode::Scalar);
+        auto a = sim_auto.simulate(trace);
+        auto b = sim_scalar.simulate(trace);
+        expectTimingEq(a, b);
+        EXPECT_EQ(sim_auto.batchedBuckets(), total_buckets)
+            << "every bucket of the closed-form phase must batch";
+        EXPECT_GT(sim_auto.batchedEvents(), 0u);
+        EXPECT_EQ(sim_auto.executedEvents() + sim_auto.batchedEvents(),
+                  sim_scalar.executedEvents());
+    }
+
+    // On Ideal the device-eligible rows are free as well: flip the
+    // buckets to offloadable and the phase must still batch whole.
+    for (auto &g : trace.gcs)
+        for (auto &p : g.phases)
+            for (auto &flag : p.buckets.hostOnly)
+                flag = 0;
+    PlatformSim ideal(PlatformKind::Ideal, sim::SystemConfig::table2(),
+                      22);
+    PlatformSim ideal_scalar(PlatformKind::Ideal,
+                             sim::SystemConfig::table2(), 22);
+    ideal_scalar.setReplayMode(PlatformSim::ReplayMode::Scalar);
+    auto a = ideal.simulate(trace);
+    auto b = ideal_scalar.simulate(trace);
+    expectTimingEq(a, b);
+    EXPECT_EQ(ideal.batchedBuckets(), total_buckets);
+}
+
+// ---------------------------------------------------------------------
+// Empty capability mask: with every bucket recorded hostOnly and the
+// mask stamped 0, the Charon replay must degrade to the exact
+// accelerator-free host execution — and both of its replay modes must
+// agree with each other.
+
+TEST(ReplayOracle, EmptyCapabilityMaskIsHostIdentity)
+{
+    const auto &params = workload::findWorkload("CC");
+    workload::Mutator mut(params, params.minHeapBytes * 2, 1, 8, 4);
+    mut.recorder().setCapabilities(gc::CapabilitySet::none());
+    auto r = mut.run();
+    ASSERT_FALSE(r.oom);
+    const gc::RunTrace trace = mut.recorder().run();
+    ASSERT_FALSE(trace.gcs.empty());
+    for (const auto &g : trace.gcs)
+        ASSERT_EQ(g.capabilityMask, 0u);
+
+    // Batched-vs-scalar identity on the degraded Charon replay.
+    oracle(trace, mut.cubeShift(), PlatformKind::CharonNmp);
+
+    // Charon-vs-host identity: with nothing to offload the
+    // accelerator contributes nothing to time or traffic.  (Unit
+    // energy is platform-dependent bookkeeping and localAccessFraction
+    // is defined only on Charon platforms; everything else must agree
+    // bit-for-bit.)
+    auto cfg = sim::SystemConfig::table2();
+    PlatformSim charon(PlatformKind::CharonNmp, cfg, mut.cubeShift());
+    PlatformSim host(PlatformKind::HostHmc, cfg, mut.cubeShift());
+    auto a = charon.simulate(trace);
+    auto b = host.simulate(trace);
+    EXPECT_EQ(a.gcSeconds, b.gcSeconds);
+    EXPECT_EQ(a.minorSeconds, b.minorSeconds);
+    EXPECT_EQ(a.majorSeconds, b.majorSeconds);
+    EXPECT_EQ(a.mutatorSeconds, b.mutatorSeconds);
+    EXPECT_EQ(a.dramBytes, b.dramBytes);
+    EXPECT_EQ(a.hostEnergyJ, b.hostEnergyJ);
+    expectBreakdownEq(a.breakdown(), b.breakdown());
+}
+
+} // namespace

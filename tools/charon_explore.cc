@@ -201,10 +201,13 @@ main(int argc, char **argv)
         return 130;
     }
 
-    std::fprintf(stderr, "dse: journal %s: %zu hits, %zu evaluated\n",
+    std::fprintf(stderr,
+                 "dse: journal %s: %zu hits, %zu incremental, "
+                 "%zu evaluated\n",
                  journal.enabled() ? journal.path().c_str()
                                    : "(disabled)",
-                 explorer.journalHits(), explorer.evaluatedCells());
+                 explorer.journalHits(), explorer.incrementalHits(),
+                 explorer.evaluatedCells());
     harness::finishTimeline(runner, opt);
     return report.finish(std::cout);
 }
