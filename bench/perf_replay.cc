@@ -38,6 +38,8 @@
 
 #include "bench_common.hh"
 
+#include "harness/repo_root.hh"
+
 #include "platform/platform_sim.hh"
 
 using namespace charon;
@@ -119,26 +121,23 @@ peakRssKib()
 }
 
 /**
- * Default output location: BENCH_replay.json at the repository root
- * (found by walking up from the working directory to the first
- * ancestor holding ROADMAP.md or .git), so CI's artifact path works
- * no matter which build directory the bench runs from.  Falls back
- * to the working directory outside a checkout.
+ * Default output location: BENCH_replay.json at the repository root,
+ * so CI's artifact path works no matter which build directory the
+ * bench runs from.  Root discovery lives in harness::findRepoRoot —
+ * notably it keeps climbing past the `.git` entries that fetched
+ * dependencies plant under `build-X/_deps/<pkg>-src`, which used to
+ * capture the walk when the bench ran from an out-of-tree build.
+ * Falls back to the working directory outside a checkout.
  */
 std::string
 defaultOutPath()
 {
     namespace fs = std::filesystem;
     std::error_code ec;
-    for (fs::path dir = fs::current_path(ec); !dir.empty();
-         dir = dir.parent_path()) {
-        if (fs::exists(dir / "ROADMAP.md", ec)
-            || fs::exists(dir / ".git", ec))
-            return (dir / "BENCH_replay.json").string();
-        if (dir == dir.root_path())
-            break;
-    }
-    return "BENCH_replay.json";
+    fs::path cwd = fs::current_path(ec);
+    if (ec)
+        return "BENCH_replay.json";
+    return (harness::findRepoRoot(cwd) / "BENCH_replay.json").string();
 }
 
 /** Pull "functional_digest": "...." out of a previous BENCH file. */

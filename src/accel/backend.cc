@@ -1,0 +1,59 @@
+#include "backend.hh"
+
+#include "accel/area_energy.hh"
+#include "accel/cxl.hh"
+#include "accel/device.hh"
+#include "accel/igpu.hh"
+#include "sim/logging.hh"
+
+namespace charon::accel
+{
+
+std::unique_ptr<OffloadBackend>
+makeBackend(sim::PlatformKind kind, sim::EventQueue &eq,
+            hmc::HmcMemory *hmc, mem::Ddr4Memory *ddr4,
+            const sim::SystemConfig &cfg,
+            const sim::Instrumentation &instr)
+{
+    switch (sim::backendFor(kind)) {
+      case sim::BackendKind::None:
+        return nullptr;
+      case sim::BackendKind::Charon: {
+        CHARON_ASSERT(hmc != nullptr,
+                      "Charon backend requires HMC memory");
+        // Figure 16 CPU-side unit placement is a platform property,
+        // not a preset the caller must remember to set.
+        sim::SystemConfig dev_cfg = cfg;
+        dev_cfg.charon.cpuSide =
+            (kind == sim::PlatformKind::CharonCpuSide);
+        return std::make_unique<CharonDevice>(eq, *hmc, dev_cfg, instr);
+      }
+      case sim::BackendKind::Igpu:
+        CHARON_ASSERT(ddr4 != nullptr,
+                      "iGPU backend requires DDR4 memory");
+        return std::make_unique<IgpuDevice>(eq, *ddr4, cfg, instr);
+      case sim::BackendKind::Cxl:
+        CHARON_ASSERT(ddr4 != nullptr,
+                      "CXL backend requires expander DRAM");
+        return std::make_unique<CxlDevice>(eq, *ddr4, cfg, instr);
+    }
+    return nullptr;
+}
+
+double
+backendAreaMm2(sim::PlatformKind kind, const sim::SystemConfig &cfg)
+{
+    switch (sim::backendFor(kind)) {
+      case sim::BackendKind::None:
+        return 0.0;
+      case sim::BackendKind::Charon:
+        return AreaModel(cfg.charon).totalMm2();
+      case sim::BackendKind::Igpu:
+        return cfg.igpu.areaMm2;
+      case sim::BackendKind::Cxl:
+        return cfg.cxl.areaMm2;
+    }
+    return 0.0;
+}
+
+} // namespace charon::accel

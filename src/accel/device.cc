@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accel/area_energy.hh"
 #include "sim/logging.hh"
 
 namespace charon::accel
@@ -590,6 +591,24 @@ CharonDevice::unitBusySeconds() const
                         * sp_units;
     }
     return unit_seconds;
+}
+
+double
+CharonDevice::unitEnergyJ(double gc_seconds) const
+{
+    const auto &ch = cfg_.charon;
+    int total_units = ch.copySearchUnits + ch.bitmapCountUnits
+                      + ch.scanPushUnits;
+    double busy = unitBusySeconds();
+    double unit_seconds = total_units * gc_seconds;
+    return busy * ch.unitActivePowerW
+           + std::max(0.0, unit_seconds - busy) * ch.unitIdlePowerW;
+}
+
+double
+CharonDevice::areaMm2() const
+{
+    return AreaModel(cfg_.charon).totalMm2();
 }
 
 } // namespace charon::accel

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "accel/backend.hh"
 #include "fault/fault.hh"
 #include "gc/trace.hh"
 #include "hmc/hmc.hh"
@@ -38,10 +39,10 @@ namespace charon::accel
 {
 
 /**
- * The accelerator: executes trace buckets on behalf of blocked host
- * threads.
+ * The near-memory accelerator backend: executes trace buckets on
+ * behalf of blocked host threads.
  */
-class CharonDevice
+class CharonDevice : public OffloadBackend
 {
   public:
     /**
@@ -56,6 +57,17 @@ class CharonDevice
                  const sim::SystemConfig &cfg,
                  const sim::Instrumentation &instr = {});
 
+    sim::BackendKind kind() const override
+    {
+        return sim::BackendKind::Charon;
+    }
+
+    /** Charon implements every primitive of Table 1. */
+    std::uint32_t capabilityMask() const override
+    {
+        return gc::kAllPrimsMask;
+    }
+
     /**
      * Execute one aggregated bucket.
      * @param bucket the work (kind, cubes, bytes, invocation count)
@@ -64,23 +76,28 @@ class CharonDevice
      * @param done completion callback (the host thread unblocks)
      */
     void execBucket(const gc::Bucket &bucket, double bitmap_hit_rate,
-                    mem::StreamCallback done);
+                    mem::StreamCallback done) override;
 
     /**
      * Host-side cost of the bulk cache flush at GC start
      * (Section 4.6 "Effect on Host Cache"): LLC size over the
      * off-chip bandwidth.
      */
-    sim::Tick gcPrologueTicks() const;
+    sim::Tick gcPrologueTicks() const override;
 
     /** Round-trip offload overhead per invocation to @p cube. */
-    sim::Tick offloadOverhead(int cube) const;
+    sim::Tick offloadOverhead(int cube) const override;
 
     /** Unit-seconds of processing-unit activity (for energy). */
-    double unitBusySeconds() const;
+    double unitBusySeconds() const override;
 
     /** Offload request+response packet bytes issued so far. */
-    double packetBytes() const { return packetBytes_; }
+    double packetBytes() const override { return packetBytes_; }
+
+    /** Busy units at active power, the rest of unit-time idling. */
+    double unitEnergyJ(double gc_seconds) const override;
+
+    double areaMm2() const override;
 
     const sim::CharonConfig &config() const { return cfg_.charon; }
 
@@ -91,7 +108,7 @@ class CharonDevice
      * host-mediated walk, adding a link round trip to the average
      * probe latency of Scan&Push.
      */
-    void setFaultEngine(const fault::FaultEngine *engine)
+    void setFaultEngine(const fault::FaultEngine *engine) override
     {
         fault_ = engine;
     }

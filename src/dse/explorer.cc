@@ -5,7 +5,7 @@
 #include <numeric>
 #include <sstream>
 
-#include "accel/area_energy.hh"
+#include "accel/backend.hh"
 
 namespace charon::dse
 {
@@ -77,10 +77,14 @@ canonicalCellKey(const harness::Cell &cell, int screenGcs,
 {
     auto key = harness::ExperimentRunner::resolve(cell.key);
     const auto &cfg = cell.config;
-    const bool hmc = cell.platform != sim::PlatformKind::HostDdr4;
-    const bool charon =
-        cell.platform == sim::PlatformKind::CharonNmp
-        || cell.platform == sim::PlatformKind::CharonCpuSide;
+    // iGPU and CXL replays are DDR4-backed: HMC/Charon knobs are
+    // unobservable there and prune away like on the DDR4 baseline.
+    const bool hmc =
+        cell.platform != sim::PlatformKind::HostDdr4
+        && cell.platform != sim::PlatformKind::IgpuOffload
+        && cell.platform != sim::PlatformKind::CxlMsa;
+    const bool charon = sim::backendFor(cell.platform)
+                        == sim::BackendKind::Charon;
     std::ostringstream os;
     // The "i1" version tag keeps canonical records disjoint from
     // every primary ("c1|...") key, so the two families can never
@@ -221,8 +225,7 @@ Explorer::evaluate(const std::vector<DsePoint> &points, int screenGcs)
         auto fk = harness::ExperimentRunner::resolve(
             point.functionalKey());
         auto cfg = point.systemConfig();
-        for (auto kind : {sim::PlatformKind::HostDdr4,
-                          sim::PlatformKind::CharonNmp}) {
+        for (auto kind : {sim::PlatformKind::HostDdr4, point.backend}) {
             harness::Cell c;
             c.key = fk;
             c.platform = kind;
@@ -260,8 +263,8 @@ Explorer::evaluate(const std::vector<DsePoint> &points, int screenGcs)
         if (e.ok && e.charon.gcSeconds > 0)
             e.speedup = e.base.gcSeconds / e.charon.gcSeconds;
         e.energyJ = e.charon.totalEnergyJ();
-        e.areaMm2 =
-            accel::AreaModel(points[p].systemConfig().charon).totalMm2();
+        e.areaMm2 = accel::backendAreaMm2(points[p].backend,
+                                          points[p].systemConfig());
         evals.push_back(std::move(e));
     }
     return evals;

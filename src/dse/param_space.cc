@@ -23,6 +23,11 @@ DsePoint::str() const
     // and resume stays intact.
     if (collector != harness::CollectorKind::ParallelScavenge)
         os << '/' << harness::collectorKindToken(collector);
+    // Same back-compat rule for the backend axis: the default
+    // (near-memory Charon) emits nothing, so journals written before
+    // the axis existed resume with zero re-evaluated cells.
+    if (backend != sim::PlatformKind::CharonNmp)
+        os << "/bk-" << sim::backendName(sim::backendFor(backend));
     os << "/h" << heapBytes << "/s" << seed << "/t"
        << gcThreads << "/c" << numCubes << "/ct"
        << copyOffloadThreshold << "/cs" << copySearchUnits << "/bc"
@@ -214,6 +219,24 @@ const AxisDef kAxes[] = {
     {"distributed", "distributed bitmap cache/TLB (0|1)",
      [](DsePoint &p, const std::string &v) {
          return parseBool(v, p.distributedStructures);
+     }},
+    {"backend", "offload backend vs the DDR4 baseline "
+                "(nmp igpu cxl host)",
+     [](DsePoint &p, const std::string &v) {
+         using sim::PlatformKind;
+         static const std::pair<const char *, PlatformKind> kinds[] = {
+             {"nmp", PlatformKind::CharonNmp},
+             {"igpu", PlatformKind::IgpuOffload},
+             {"cxl", PlatformKind::CxlMsa},
+             {"host", PlatformKind::HostHmc},
+         };
+         for (const auto &[token, kind] : kinds) {
+             if (v == token) {
+                 p.backend = kind;
+                 return true;
+             }
+         }
+         return false;
      }},
 };
 

@@ -51,6 +51,13 @@ struct DsePoint
     double linkGBs = 80.0;
     bool distributedStructures = false;
 
+    /**
+     * Offload backend evaluated against the DDR4 host baseline:
+     * CharonNmp (default), IgpuOffload, CxlMsa, or HostHmc (the
+     * "no accelerator, better memory" control).
+     */
+    sim::PlatformKind backend = sim::PlatformKind::CharonNmp;
+
     /** Canonical text form: the point's identity in journals and
      *  reports. */
     std::string str() const;

@@ -1,0 +1,24 @@
+#include "repo_root.hh"
+
+namespace charon::harness
+{
+
+namespace fs = std::filesystem;
+
+fs::path
+findRepoRoot(const fs::path &start)
+{
+    std::error_code ec;
+    fs::path gitFallback;
+    for (fs::path dir = start; !dir.empty(); dir = dir.parent_path()) {
+        if (fs::exists(dir / "ROADMAP.md", ec))
+            return dir;
+        if (gitFallback.empty() && fs::exists(dir / ".git", ec))
+            gitFallback = dir;
+        if (dir == dir.root_path())
+            break;
+    }
+    return gitFallback.empty() ? start : gitFallback;
+}
+
+} // namespace charon::harness

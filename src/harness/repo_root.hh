@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Repository-root discovery for tools that drop artifacts at the
+ * checkout root (BENCH_replay.json, reports) regardless of which
+ * build directory they run from.
+ */
+
+#ifndef CHARON_HARNESS_REPO_ROOT_HH
+#define CHARON_HARNESS_REPO_ROOT_HH
+
+#include <filesystem>
+
+namespace charon::harness
+{
+
+/**
+ * Walk up from @p start looking for the repository root.
+ *
+ * A `ROADMAP.md` ancestor wins outright: it only exists at this
+ * repository's top level, so it is immune to nested checkouts.  A
+ * `.git` entry (directory *or* file — worktrees and submodules use a
+ * gitlink file) is only remembered as a fallback and the walk keeps
+ * climbing, because fetched dependencies under `build-X/_deps/x-src`
+ * carry their own `.git` and would otherwise capture the search from
+ * any out-of-tree build directory.  With neither marker anywhere up
+ * the chain, @p start itself is returned.
+ */
+std::filesystem::path findRepoRoot(const std::filesystem::path &start);
+
+} // namespace charon::harness
+
+#endif // CHARON_HARNESS_REPO_ROOT_HH

@@ -102,7 +102,7 @@ PlatformSim::phaseBatchable(const gc::PhaseTrace &phase) const
         if (!b.hostOnly[i]) {
             if (kind_ == PlatformKind::Ideal)
                 continue; // zero-cycle offload: the bucket is free
-            if (usesCharon())
+            if (backend_)
                 return false; // device route: ports and unit pools
         }
         // Host route: only the empty call (immediate completion) and

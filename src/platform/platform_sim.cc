@@ -61,18 +61,18 @@ PlatformSim::PlatformSim(PlatformKind kind, const sim::SystemConfig &cfg,
     } else {
         ddr4_ = std::make_unique<mem::Ddr4Memory>(eq_, cfg_.ddr4, instr);
     }
-    if (usesCharon()) {
-        sim::SystemConfig dev_cfg = cfg_;
-        dev_cfg.charon.cpuSide =
-            (kind_ == PlatformKind::CharonCpuSide);
-        device_ = std::make_unique<accel::CharonDevice>(eq_, *hmc_,
-                                                        dev_cfg, instr);
-        device_->setFaultEngine(fault_.get());
+    backend_ = accel::makeBackend(kind_, eq_, hmc_.get(), ddr4_.get(),
+                                  cfg_, instr);
+    if (backend_)
+        backend_->setFaultEngine(fault_.get());
+    // The backend may substitute the host attachment (a CXL expander
+    // puts the host across its link); otherwise the platform default.
+    mem::MemPort *port = backend_ ? backend_->hostPort() : nullptr;
+    if (!port) {
+        port = usesHmc() ? static_cast<mem::MemPort *>(&hmc_->hostPort())
+                         : ddr4_.get();
     }
-    mem::MemPort &port =
-        usesHmc() ? static_cast<mem::MemPort &>(hmc_->hostPort())
-                  : *ddr4_;
-    host_ = std::make_unique<cpu::HostModel>(eq_, cfg_.host, port,
+    host_ = std::make_unique<cpu::HostModel>(eq_, cfg_.host, *port,
                                              costs_, instr);
     if (timeline_) {
         for (int k = 0; k < gc::kNumPrimKinds; ++k)
@@ -99,15 +99,12 @@ PlatformSim::usesHmc() const
 {
     // Only the DDR4 baseline keeps conventional DIMMs; the Ideal
     // platform is "host paired with a zero-cycle offload device",
-    // evaluated on the same HMC memory as Charon.
-    return kind_ != PlatformKind::HostDdr4;
-}
-
-bool
-PlatformSim::usesCharon() const
-{
-    return kind_ == PlatformKind::CharonNmp
-           || kind_ == PlatformKind::CharonCpuSide;
+    // evaluated on the same HMC memory as Charon.  The iGPU and CXL
+    // backends are DDR4-backed: the iGPU shares the host controller,
+    // and the CXL expander's media is commodity DRAM behind a link.
+    return kind_ != PlatformKind::HostDdr4
+           && kind_ != PlatformKind::IgpuOffload
+           && kind_ != PlatformKind::CxlMsa;
 }
 
 /**
@@ -204,8 +201,8 @@ struct PlatformSim::ThreadAgent
             }
         }
         const std::uint64_t my_epoch = epoch;
-        ps.device_->execBucket(cur, hitRate,
-                               [this, my_epoch](Tick t) {
+        ps.backend_->execBucket(cur, hitRate,
+                                [this, my_epoch](Tick t) {
                                    if (epoch != my_epoch)
                                        return;
                                    if (watchdog) {
@@ -225,7 +222,8 @@ struct PlatformSim::ThreadAgent
         PlatformSim &ps = *sim;
         bucketStart = ps.eq_.now();
 
-        const bool offload = ps.usesCharon() && !cur.hostOnly;
+        const bool offload = ps.backend_ && !cur.hostOnly
+                             && ps.backend_->supports(cur.kind);
         const bool ideal =
             ps.kind_ == PlatformKind::Ideal && !cur.hostOnly;
         if (ideal) {
@@ -323,12 +321,12 @@ PlatformSim::simulateGc(const gc::GcTrace &trace)
     timing.major = trace.major;
     Tick start = eq_.now();
 
-    if (usesCharon() && trace.capabilityMask != 0) {
-        // Bulk host-cache flush at GC start (Section 4.6).  A
-        // collector with an empty capability set never dispatches to
-        // the device, so it skips the prologue and the whole replay
-        // stays on the host path.
-        eq_.scheduleIn(device_->gcPrologueTicks(), [] {});
+    if (backend_ && trace.capabilityMask != 0) {
+        // Backend prologue at GC start (cache flush, kernel warmup,
+        // coherence handoff).  A collector with an empty capability
+        // set never dispatches to the device, so it skips the
+        // prologue and the whole replay stays on the host path.
+        eq_.scheduleIn(backend_->gcPrologueTicks(), [] {});
         eq_.run();
     }
     timing.rollup.major = trace.major;
@@ -404,24 +402,16 @@ PlatformSim::simulate(const gc::RunTrace &trace)
         usesHmc() ? hmc_->energyPj() : ddr4_->energyPj();
     result.dramEnergyJ = dram_pj * 1e-12;
 
-    // GC threads that offload to Charon spin-wait on the response
-    // packet (Section 4.1: "the host thread remains blocked"), so the
-    // cores draw active power on every platform; the savings come
-    // from shorter pauses and the lower pJ/bit of stacked DRAM.
+    // GC threads that offload spin-wait on the response (Section 4.1:
+    // "the host thread remains blocked"), so the cores draw active
+    // power on every platform; the savings come from shorter pauses
+    // and the lower pJ/bit of stacked DRAM.
     const auto &h = cfg_.host;
     result.hostEnergyJ =
         (h.numCores * h.coreActivePowerW + h.uncorePowerW)
         * result.gcSeconds;
-    if (usesCharon()) {
-        const auto &ch = cfg_.charon;
-        int total_units = ch.copySearchUnits + ch.bitmapCountUnits
-                          + ch.scanPushUnits;
-        double busy = device_->unitBusySeconds();
-        double unit_seconds = total_units * result.gcSeconds;
-        result.unitEnergyJ =
-            busy * ch.unitActivePowerW
-            + std::max(0.0, unit_seconds - busy) * ch.unitIdlePowerW;
-    }
+    if (backend_)
+        result.unitEnergyJ = backend_->unitEnergyJ(result.gcSeconds);
     return result;
 }
 

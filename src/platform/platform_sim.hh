@@ -19,7 +19,7 @@
 #include <ostream>
 #include <vector>
 
-#include "accel/device.hh"
+#include "accel/backend.hh"
 #include "cpu/host_model.hh"
 #include "fault/fault.hh"
 #include "gc/costs.hh"
@@ -105,6 +105,12 @@ class PlatformSim
     /** The HMC backing store (HMC-backed kinds only, else nullptr). */
     hmc::HmcMemory *hmcMemory() { return hmc_.get(); }
 
+    /** The offload backend (pure-host platforms: nullptr). */
+    const accel::OffloadBackend *backend() const
+    {
+        return backend_.get();
+    }
+
     /** Events the simulation kernel has executed (perf metric). */
     std::uint64_t executedEvents() const
     {
@@ -131,7 +137,6 @@ class PlatformSim
     struct ThreadAgent;
 
     bool usesHmc() const;
-    bool usesCharon() const;
 
     /** Run one phase to completion; returns its breakdown. */
     PrimBreakdown runPhase(const gc::PhaseTrace &phase,
@@ -163,7 +168,7 @@ class PlatformSim
     std::unique_ptr<fault::FaultEngine> fault_;
     std::unique_ptr<mem::Ddr4Memory> ddr4_;
     std::unique_ptr<hmc::HmcMemory> hmc_;
-    std::unique_ptr<accel::CharonDevice> device_;
+    std::unique_ptr<accel::OffloadBackend> backend_;
     std::unique_ptr<cpu::HostModel> host_;
 
     double glueSecondsTotal_ = 0; ///< thread-seconds of host glue

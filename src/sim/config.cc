@@ -17,6 +17,45 @@ platformName(PlatformKind kind)
         return "Charon-CPU-side";
       case PlatformKind::Ideal:
         return "Ideal";
+      case PlatformKind::IgpuOffload:
+        return "iGPU";
+      case PlatformKind::CxlMsa:
+        return "CXL-MSA";
+    }
+    return "unknown";
+}
+
+BackendKind
+backendFor(PlatformKind kind)
+{
+    switch (kind) {
+      case PlatformKind::CharonNmp:
+      case PlatformKind::CharonCpuSide:
+        return BackendKind::Charon;
+      case PlatformKind::IgpuOffload:
+        return BackendKind::Igpu;
+      case PlatformKind::CxlMsa:
+        return BackendKind::Cxl;
+      case PlatformKind::HostDdr4:
+      case PlatformKind::HostHmc:
+      case PlatformKind::Ideal:
+        break;
+    }
+    return BackendKind::None;
+}
+
+const char *
+backendName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::None:
+        return "host";
+      case BackendKind::Charon:
+        return "nmp";
+      case BackendKind::Igpu:
+        return "igpu";
+      case BackendKind::Cxl:
+        return "cxl";
     }
     return "unknown";
 }

@@ -240,7 +240,97 @@ struct CharonConfig
     double hostFlushScale = 64.0;
 };
 
-/** Which machine executes the GC: the four platforms of Figure 12. */
+/**
+ * Integrated-GPU offload backend ("Trash Talk" comparison point).
+ *
+ * The GPU slice sits on the host die: offloaded primitives stream
+ * through the same DDR4 controller the mutator threads use — no
+ * TSV-bandwidth advantage — and every offload call pays a
+ * driver/doorbell kernel-launch latency that near-memory units avoid.
+ */
+struct IgpuConfig
+{
+    /** EU clusters a GC kernel can occupy concurrently. */
+    int computeUnits = 8;
+    double euFreqHz = 1.2e9;
+
+    /** Per-offload kernel dispatch latency (driver + doorbell + EU
+     *  thread spawn).  Hundreds of ns, vs ~10 ns for a Charon packet. */
+    double launchLatencyNs = 450.0;
+
+    /** Outstanding misses the GPU L2 sustains (device-wide MLP cap). */
+    int concurrentRequests = 48;
+
+    /**
+     * EU cycles to dispatch one work item (one primitive invocation)
+     * inside a running kernel: thread setup + divergence overhead.
+     */
+    int dispatchCyclesPerInvocation = 64;
+
+    /**
+     * EU cycles per bitmap bit for the loop-carried bit scans
+     * (Bitmap Count's first-fit run search, Bit Sweep's free-run
+     * walk).  The run-length state makes each iteration depend on
+     * the last, so the scan runs on one scalar EU lane per bucket —
+     * no SIMT win, and the in-order EU at a third of the host clock
+     * retires bits *slower* than the host's 2.6 cycles/bit.
+     */
+    double bitLoopCyclesPerBit = 2.0;
+
+    /** Per-EU-cluster power (the whole slice = computeUnits x this). */
+    double activePowerW = 1.5;
+    double idlePowerW = 0.1;
+
+    /** GT2-class slice area charged to the backend (mm^2 @22nm). */
+    double areaMm2 = 38.0;
+};
+
+/**
+ * CXL memory-side accelerator: processing units on a CXL.mem expander,
+ * next to the expander DRAM but across a serial link from the host.
+ * The PIM-adoption survey's mechanisms are modeled as costs: device-side
+ * translation with host-managed invalidations (a fraction of device
+ * accesses pays a host-mediated walk) and coherence back-invalidation
+ * round-trips when the device writes host-cacheable GC metadata.
+ */
+struct CxlConfig
+{
+    /** Effective CXL.mem bandwidth of the x8 port (GB/s). */
+    double linkGBs = 64.0;
+
+    /** One-way port-to-port link latency (ns). */
+    double linkLatencyNs = 35.0;
+
+    /** Near-DRAM processing units on the expander. */
+    int deviceUnits = 8;
+    double unitFreqHz = 1.0e9;
+
+    /** Outstanding device requests into the expander DRAM. */
+    int concurrentRequests = 32;
+
+    /**
+     * Fraction of device translations missing the device TLB and
+     * requiring a host round-trip (host-managed invalidations keep the
+     * device TLB small and occasionally cold).
+     */
+    double translationWalkRate = 0.02;
+
+    /** Back-invalidation snoop bytes per metadata cache line written. */
+    int snoopBytes = 64;
+
+    double unitActivePowerW = 1.5;
+    double unitIdlePowerW = 0.05;
+
+    /** Device logic area (units + TLB + link PHY share), mm^2. */
+    double areaMm2 = 6.0;
+};
+
+/**
+ * Which machine executes the GC: the four platforms of Figure 12 plus
+ * the alternative offload backends (iGPU, CXL memory-side accelerator).
+ * New kinds append after Ideal: the integer values are serialized in
+ * timing caches and must stay stable.
+ */
 enum class PlatformKind
 {
     HostDdr4,      ///< baseline: host CPU + DDR4
@@ -248,10 +338,24 @@ enum class PlatformKind
     CharonNmp,     ///< Charon in the HMC logic layer
     CharonCpuSide, ///< Charon next to the host memory controller
     Ideal,         ///< offloaded primitives complete in zero time
+    IgpuOffload,   ///< integrated GPU sharing LLC + DDR4 controller
+    CxlMsa,        ///< memory-side accelerator on a CXL.mem expander
 };
 
 /** Printable platform name. */
 const char *platformName(PlatformKind kind);
+
+/** The offload engine (if any) a platform pairs with the host. */
+enum class BackendKind
+{
+    None,   ///< pure host platforms and the zero-cost Ideal
+    Charon, ///< near-memory units (HMC logic layer or CPU-side)
+    Igpu,   ///< integrated GPU
+    Cxl,    ///< CXL memory-side accelerator
+};
+
+BackendKind backendFor(PlatformKind kind);
+const char *backendName(BackendKind kind);
 
 /** Bundle of everything a platform needs. */
 struct SystemConfig
@@ -260,6 +364,8 @@ struct SystemConfig
     Ddr4Config ddr4;
     HmcConfig hmc;
     CharonConfig charon;
+    IgpuConfig igpu;
+    CxlConfig cxl;
     int gcThreads = 8;
 
     // ------------------------------------------------------------------

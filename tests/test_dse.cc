@@ -113,6 +113,29 @@ TEST(ParamSpace, WorkloadAxisCanonicalizesCase)
     EXPECT_EQ(points[0].workload, "KM");
 }
 
+TEST(ParamSpace, BackendTokenOmittedOnDefaultForJournalBackCompat)
+{
+    // The exact default identity every pre-backend-axis journal was
+    // written under.  If this literal ever changes, old sweeps stop
+    // resuming — bump it only with a migration story.
+    EXPECT_EQ(DsePoint().str(),
+              "KM/h0/s1/t8/c4/ct256/cs8/bc8/sp8/tsv320/link80/uni");
+
+    // Off-default backends are tagged; re-selecting the default adds
+    // nothing, so nmp sweeps keep hitting legacy records too.
+    std::string error;
+    DsePoint p;
+    ASSERT_TRUE(applyAxisValue(p, "backend", "nmp", &error)) << error;
+    EXPECT_EQ(p.str(), DsePoint().str());
+    ASSERT_TRUE(applyAxisValue(p, "backend", "igpu", &error)) << error;
+    EXPECT_NE(p.str().find("/bk-igpu/"), std::string::npos) << p.str();
+    ASSERT_TRUE(applyAxisValue(p, "backend", "cxl", &error)) << error;
+    EXPECT_NE(p.str().find("/bk-cxl/"), std::string::npos);
+    ASSERT_TRUE(applyAxisValue(p, "backend", "host", &error)) << error;
+    EXPECT_NE(p.str().find("/bk-host/"), std::string::npos);
+    EXPECT_FALSE(applyAxisValue(p, "backend", "fpga", &error));
+}
+
 TEST(ParamSpace, SampleIsSeededSubsetInEnumerationOrder)
 {
     ParamSpace space;
@@ -344,6 +367,84 @@ TEST(Explorer, JournalHitsShortCircuitSimulation)
         << "full journal must mean zero simulated cells";
     EXPECT_EQ(records[0].gcSeconds, sampleRecord(keys[0], 1).gcSeconds);
     EXPECT_EQ(records[1].gcSeconds, sampleRecord(keys[1], 2).gcSeconds);
+}
+
+TEST(Explorer, LegacyJournalWithoutBackendTokensResumesClean)
+{
+    // A journal written before the backend axis existed holds cells
+    // keyed on {DDR4, Charon} only.  Resuming the same sweep today
+    // must replay entirely from that journal (0 evaluated cells),
+    // and an igpu point must share the DDR4 baseline cell with the
+    // default point instead of re-simulating it.
+    DsePoint def; // pre-axis sweeps only ever produced this shape
+    DsePoint ig = def;
+    ig.backend = sim::PlatformKind::IgpuOffload;
+    auto fk = harness::ExperimentRunner::resolve(def.functionalKey());
+
+    auto makeCell = [&](const DsePoint &p, sim::PlatformKind kind) {
+        harness::Cell c;
+        c.key = fk;
+        c.platform = kind;
+        c.config = p.systemConfig();
+        return c;
+    };
+    // Cells exactly as Explorer::evaluate lays them out: baseline
+    // then offload, per point.
+    std::vector<harness::Cell> cells = {
+        makeCell(def, sim::PlatformKind::HostDdr4),
+        makeCell(def, def.backend),
+        makeCell(ig, sim::PlatformKind::HostDdr4),
+        makeCell(ig, ig.backend),
+    };
+    std::vector<std::string> keys;
+    for (const auto &c : cells)
+        keys.push_back(cellKey(c, 0));
+
+    // Legacy keys never carried a backend token, and the new ones
+    // only differ by platform name — the baseline cell is shared.
+    for (const auto &k : keys)
+        EXPECT_EQ(k.find("bk-"), std::string::npos) << k;
+    EXPECT_EQ(keys[0], keys[2]) << "igpu point must reuse the DDR4 "
+                                   "baseline cell";
+    EXPECT_NE(keys[1], keys[3]);
+
+    // Seed the journal the way a pre-axis sweep left it, plus the
+    // one genuinely new cell; resume must evaluate nothing.
+    SweepJournal journal{std::string()};
+    journal.append(sampleRecord(keys[0], 1));
+    journal.append(sampleRecord(keys[1], 2));
+    journal.append(sampleRecord(keys[3], 3));
+
+    harness::ExperimentRunner runner(
+        harness::RunnerConfig{1, std::string()});
+    Explorer explorer(runner, journal);
+    auto records = explorer.runCells(cells, keys);
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_EQ(explorer.journalHits(), 4u);
+    EXPECT_EQ(explorer.evaluatedCells(), 0u)
+        << "legacy journal plus the shared baseline must cover the "
+           "whole grid";
+    EXPECT_EQ(records[0].gcSeconds, records[2].gcSeconds);
+    EXPECT_EQ(records[3].gcSeconds, sampleRecord(keys[3], 3).gcSeconds);
+
+    // DDR4-backed offload backends prune HMC/Charon knobs exactly
+    // like the host baseline: they are unobservable there.
+    gc::TraceProfile scanPush;
+    scanPush.offloadKinds = 1u << unsigned(gc::PrimKind::ScanPush);
+    harness::Cell knob = cells[3];
+    knob.config.charon.maiEntries = 99;
+    knob.config.hmc.cubes = 16;
+    EXPECT_EQ(canonicalCellKey(cells[3], 0, scanPush),
+              canonicalCellKey(knob, 0, scanPush));
+    harness::Cell cxl = cells[3];
+    cxl.platform = sim::PlatformKind::CxlMsa;
+    harness::Cell cxlKnob = knob;
+    cxlKnob.platform = sim::PlatformKind::CxlMsa;
+    EXPECT_EQ(canonicalCellKey(cxl, 0, scanPush),
+              canonicalCellKey(cxlKnob, 0, scanPush));
+    EXPECT_NE(canonicalCellKey(cells[3], 0, scanPush),
+              canonicalCellKey(cxl, 0, scanPush))
+        << "backends must not collide with each other";
 }
 
 TEST(Explorer, CellKeySeparatesConfigAndScreenDepth)

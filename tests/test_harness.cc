@@ -17,6 +17,7 @@
 
 #include "gc/trace_io.hh"
 #include "harness/experiment_runner.hh"
+#include "harness/repo_root.hh"
 #include "harness/trace_cache.hh"
 #include "workload/catalog.hh"
 
@@ -472,4 +473,61 @@ TEST(ExperimentRunner, RollupMatchesBreakdownExactly)
                 EXPECT_NEAR(wall, gc_timing.seconds, 1e-9);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// findRepoRoot: artifact-path discovery for out-of-tree build dirs.
+// ---------------------------------------------------------------------
+
+TEST(RepoRoot, RoadmapAncestorBeatsNestedGitCheckout)
+{
+    // The regression shape: a fetched dependency's checkout under
+    // build-rel/_deps/<pkg>-src/ carries its own .git, and the bench
+    // used to stop there instead of climbing to the real root.
+    namespace fs = std::filesystem;
+    fs::path root = freshDir("reporoot-nested");
+    std::ofstream(root / "ROADMAP.md") << "north star\n";
+    fs::path depsSrc = root / "build-rel" / "_deps" / "x-src";
+    fs::create_directories(depsSrc / ".git");
+    fs::path start = depsSrc / "inner";
+    fs::create_directories(start);
+    EXPECT_EQ(findRepoRoot(start), root);
+    // Out-of-tree flavor of the same walk: build-*/ directly under
+    // the root must also land on the root, not on build-*/ itself.
+    fs::path buildDir = root / "build-asan";
+    fs::create_directories(buildDir);
+    EXPECT_EQ(findRepoRoot(buildDir), root);
+}
+
+TEST(RepoRoot, GitIsOnlyAFallbackWithoutRoadmap)
+{
+    namespace fs = std::filesystem;
+    fs::path root = freshDir("reporoot-gitonly");
+    fs::create_directories(root / ".git");
+    fs::path start = root / "build" / "bench";
+    fs::create_directories(start);
+    EXPECT_EQ(findRepoRoot(start), root);
+
+    // A gitlink *file* (worktree / submodule) counts the same as a
+    // .git directory.
+    fs::path wt = freshDir("reporoot-gitfile");
+    std::ofstream(wt / ".git") << "gitdir: elsewhere\n";
+    fs::path wtStart = wt / "sub";
+    fs::create_directories(wtStart);
+    EXPECT_EQ(findRepoRoot(wtStart), wt);
+
+    // The *first* .git seen wins among fallbacks: a nested checkout
+    // with no ROADMAP.md above it is its own root.
+    fs::path nested = root / "vendor" / "dep";
+    fs::create_directories(nested / ".git");
+    EXPECT_EQ(findRepoRoot(nested), nested);
+}
+
+TEST(RepoRoot, NoMarkersReturnsStart)
+{
+    namespace fs = std::filesystem;
+    fs::path bare = freshDir("reporoot-bare");
+    fs::path start = bare / "deep" / "er";
+    fs::create_directories(start);
+    EXPECT_EQ(findRepoRoot(start), start);
 }

@@ -44,6 +44,7 @@ main(int argc, char **argv)
     std::string preset;
     std::vector<std::string> axisSpecs;
     std::string workload;
+    std::string backend;
     std::uint64_t heapMib = 0;
     std::string search = "grid";
     int samples = 16;
@@ -69,6 +70,9 @@ main(int argc, char **argv)
              "base workload of the sweep (default KM)");
     opt.flag("--heap-mib", &heapMib,
              "base max heap in MiB (0 = catalog\ndefault)");
+    opt.flag("--backend", &backend,
+             "base offload backend: nmp | igpu |\ncxl | host "
+             "(default nmp)");
     opt.flag("--search", &search,
              "grid | random | halving (default grid)");
     opt.flag("--samples", &samples,
@@ -149,6 +153,10 @@ main(int argc, char **argv)
                 && !dse::applyAxisValue(space.base, "heap-mib",
                                         std::to_string(heapMib),
                                         &error))
+                return usageError(error);
+            if (!backend.empty()
+                && !dse::applyAxisValue(space.base, "backend",
+                                        backend, &error))
                 return usageError(error);
             for (const auto &spec : axisSpecs)
                 if (!space.axisSpec(spec, &error))

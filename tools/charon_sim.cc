@@ -65,6 +65,10 @@ parsePlatform(const std::string &name)
         return sim::PlatformKind::CharonCpuSide;
     if (name == "ideal")
         return sim::PlatformKind::Ideal;
+    if (name == "igpu")
+        return sim::PlatformKind::IgpuOffload;
+    if (name == "cxl")
+        return sim::PlatformKind::CxlMsa;
     return std::nullopt;
 }
 
@@ -94,8 +98,8 @@ parseArgs(int argc, char **argv, SimOptions &opt)
             }
             return true;
         },
-        "comma list of ddr4,hmc,charon,\ncharon-cpu,ideal (default: "
-        "all)",
+        "comma list of ddr4,hmc,charon,\ncharon-cpu,ideal,igpu,cxl "
+        "(default:\nthe paper's five)",
         "LIST");
     common.flag("--save-trace", &opt.saveTrace,
                 "persist the primitive trace");
