@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Fleet bench: multi-tenant tail latency under arbitration policies.
+ *
+ * The grid crosses tenant mixes (services, mixed) with arrival curves
+ * (steady, diurnal, spike) and arbitration policies (fcfs, fair,
+ * deadline) on one shared Charon device, reporting fleet-wide
+ * p50/p99/p99.9 GC-pause and request-latency quantiles plus the
+ * host-fallback and SLO-miss counts.  A per-tenant breakdown follows
+ * for the headline regime (spike arrivals), where the pause-deadline
+ * policy's bail-out-to-host trade is expected to beat FCFS on pause
+ * p99.9: synchronized spikes convoy collections onto the device, and
+ * under FCFS the queue delay compounds while the deadline policy caps
+ * each pause at the (bounded) host collection.
+ *
+ * Determinism: profile replays go through the harness (parallel,
+ * assembled in submission order); every fleet DES is single-threaded
+ * and seeded, so the whole report is byte-identical at any --jobs.
+ *
+ *   fleet --smoke                 # pinned CI grid (one mix)
+ *   fleet --tenants 12 --fault unit-death:cube=0:at-ns=100000000
+ */
+
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "fault/fault.hh"
+#include "fleet/fleet_sim.hh"
+
+using namespace charon;
+using namespace charon::bench;
+using namespace charon::fleet;
+
+namespace
+{
+
+std::string
+quant(const sim::QuantileAccumulator &q, double p)
+{
+    return report::num(q.quantile(p), 3);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::Options opt;
+    opt.helpHeader =
+        "fleet: multi-tenant GC arbitration under tail-latency SLOs\n"
+        "(mixes x arrival curves x policies; see EXPERIMENTS.md)";
+
+    int tenants = 16;
+    double sloMs = 1.0;
+    double horizonSec = 1.0;
+    double gcRateScale = 24.0;
+    std::uint64_t seed = 1;
+    bool smoke = false;
+    std::vector<std::string> faultSpecs;
+    opt.flag("--tenants", &tenants, "tenant heaps per mix\n(default 16)");
+    opt.flag("--slo-ms", &sloMs,
+             "GC-pause SLO deadline in ms; the paper's\n1/64-scale "
+             "heaps make ~1 ms here ~60 ms of\nproduction pause "
+             "(default 1)");
+    opt.flag("--horizon", &horizonSec,
+             "simulated seconds of arrivals\n(default 1)");
+    opt.flag("--gc-scale", &gcRateScale,
+             "consolidation density: solo-profile GC\ncycles per "
+             "horizon (default 24)");
+    opt.flag("--seed", &seed,
+             "fleet seed for arrival + service jitter\nstreams "
+             "(default 1)");
+    opt.flag("--smoke", &smoke,
+             "pinned small grid (one mix, CI)");
+    opt.flag(
+        "--fault",
+        [&faultSpecs](const std::string &v) {
+            faultSpecs.push_back(v);
+            return true;
+        },
+        "kill arbiter slots: unit-death / cube-offline\nspecs with "
+        "at-ns (repeatable)",
+        "KIND[:KEY=V]...");
+    if (!harness::parseOptions(argc, argv, opt))
+        return 2;
+
+    fault::FaultPlan faults;
+    faults.seed = seed;
+    for (const auto &text : faultSpecs) {
+        fault::FaultSpec spec;
+        std::string error;
+        if (!fault::parseFaultSpec(text, spec, &error)) {
+            std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+            return 2;
+        }
+        faults.specs.push_back(spec);
+    }
+
+    std::vector<std::string> mixes = fleetMixNames();
+    if (smoke) {
+        mixes = {"services"};
+        tenants = 12;
+        horizonSec = 0.5;
+    }
+
+    // The fleet DES is deterministic on its own; only the profile
+    // replays fan out over the worker pool, so keep the runner's
+    // timeline collection off and let the fleet emit its own
+    // tenant-tagged timelines below.
+    harness::RunnerConfig rc = opt.runnerConfig();
+    rc.timeline = false;
+    ExperimentRunner runner(rc);
+    Report report(opt);
+
+    auto &table = report.table(
+        "fleet",
+        "Fleet: tail latency by mix, arrival curve, and arbitration "
+        "policy (" + std::to_string(tenants) + " tenants, SLO "
+            + report::num(sloMs, 1) + " ms, seed "
+            + std::to_string(seed) + ")",
+        {"mix", "arrival", "policy", "GC p50(ms)", "GC p99(ms)",
+         "GC p99.9(ms)", "req p50(ms)", "req p99.9(ms)", "host GCs",
+         "SLO miss"});
+    auto &perTenant = report.table(
+        "fleet-tenants",
+        "Fleet: per-tenant breakdown under spike arrivals",
+        {"mix", "policy", "tenant", "GCs", "GC p50(ms)", "GC p99(ms)",
+         "GC p99.9(ms)", "req p99.9(ms)", "host GCs", "SLO miss"});
+
+    bool regimeShown = false;
+    std::vector<std::unique_ptr<sim::Timeline>> timelines;
+    for (const auto &mix : mixes) {
+        auto specs = fleetMix(mix, tenants);
+        std::vector<TenantProfile> profiles;
+        std::string error;
+        if (!buildProfiles(runner, specs, &profiles, &error)) {
+            harness::CellResult r;
+            r.error = error;
+            report.cellFailed(mix + " profiles", r);
+            continue;
+        }
+
+        double spikeP999[kNumArbPolicies] = {};
+        for (int c = 0; c < kNumArrivalCurves; ++c) {
+            auto curve = static_cast<ArrivalCurve>(c);
+            for (int p = 0; p < kNumArbPolicies; ++p) {
+                auto policy = static_cast<ArbPolicy>(p);
+                FleetConfig cfg;
+                cfg.tenants = specs;
+                cfg.policy = policy;
+                cfg.sloMs = sloMs;
+                cfg.arrival.curve = curve;
+                cfg.arrival.horizonSec = horizonSec;
+                cfg.gcRateScale = gcRateScale;
+                cfg.seed = seed;
+                cfg.faults = faults;
+                // One run carries the exported timelines: the first
+                // mix under spike arrivals with the deadline policy.
+                cfg.timeline = !opt.traceOut.empty()
+                               && timelines.empty()
+                               && curve == ArrivalCurve::Spike
+                               && policy == ArbPolicy::DeadlineAware;
+
+                FleetResult res = runFleet(cfg, profiles);
+                table.addRow({mix, arrivalCurveName(curve),
+                              arbPolicyName(policy),
+                              quant(res.pauseMs, 0.50),
+                              quant(res.pauseMs, 0.99),
+                              quant(res.pauseMs, 0.999),
+                              quant(res.requestMs, 0.50),
+                              quant(res.requestMs, 0.999),
+                              std::to_string(res.hostFallbacks),
+                              std::to_string(res.sloMisses)});
+                if (curve == ArrivalCurve::Spike) {
+                    spikeP999[p] = res.pauseMs.quantile(0.999);
+                    for (const auto &tr : res.tenants) {
+                        perTenant.addRow(
+                            {mix, arbPolicyName(policy), tr.name,
+                             std::to_string(tr.gcs),
+                             quant(tr.pauseMs, 0.50),
+                             quant(tr.pauseMs, 0.99),
+                             quant(tr.pauseMs, 0.999),
+                             quant(tr.requestMs, 0.999),
+                             std::to_string(tr.hostFallbacks),
+                             std::to_string(tr.sloMisses)});
+                    }
+                }
+                if (cfg.timeline)
+                    timelines = std::move(res.timelines);
+            }
+        }
+
+        double fcfs = spikeP999[static_cast<int>(ArbPolicy::Fcfs)];
+        double deadline =
+            spikeP999[static_cast<int>(ArbPolicy::DeadlineAware)];
+        table.note("\n" + mix + ": spike GC p99.9 "
+                   + report::num(fcfs, 3) + " ms under fcfs vs "
+                   + report::num(deadline, 3) + " ms under deadline ("
+                   + (deadline < fcfs ? "deadline wins"
+                                      : "NO deadline win")
+                   + ")");
+        if (deadline < fcfs)
+            regimeShown = true;
+    }
+    table.note("pause = arbitration wait + collection; host GCs = "
+               "deadline bail-outs (and every GC once slots are "
+               "fault-killed to zero)");
+
+    if (!opt.traceOut.empty() && !timelines.empty()) {
+        std::vector<const sim::Timeline *> ptrs;
+        for (const auto &tl : timelines)
+            ptrs.push_back(tl.get());
+        std::ofstream out(opt.traceOut);
+        sim::Timeline::writeChromeTrace(out, ptrs);
+        std::fprintf(stderr, "fleet: wrote %zu tenant timelines to %s\n",
+                     ptrs.size(), opt.traceOut.c_str());
+    }
+
+    int rc_exit = report.finish(std::cout);
+    if (rc_exit == 0 && !regimeShown && faultSpecs.empty()) {
+        std::fprintf(stderr,
+                     "fleet: deadline policy never beat fcfs on spike "
+                     "p99.9 — arbitration regime lost\n");
+        return 1;
+    }
+    return rc_exit;
+}

@@ -40,6 +40,22 @@ makeBackend(sim::PlatformKind kind, sim::EventQueue &eq,
     return nullptr;
 }
 
+int
+concurrentOffloadSlots(sim::PlatformKind kind,
+                       const sim::SystemConfig &cfg)
+{
+    switch (sim::backendFor(kind)) {
+      case sim::BackendKind::None:
+        return 0;
+      case sim::BackendKind::Charon:
+        return cfg.hmc.cubes;
+      case sim::BackendKind::Igpu:
+      case sim::BackendKind::Cxl:
+        return 1;
+    }
+    return 0;
+}
+
 double
 backendAreaMm2(sim::PlatformKind kind, const sim::SystemConfig &cfg)
 {

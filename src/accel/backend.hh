@@ -130,6 +130,18 @@ makeBackend(sim::PlatformKind kind, sim::EventQueue &eq,
 /** Area of the offload engine @p kind carries (0 for pure host). */
 double backendAreaMm2(sim::PlatformKind kind, const sim::SystemConfig &cfg);
 
+/**
+ * How many tenant GCs the platform's shared offload engine can
+ * accelerate concurrently (the fleet arbiter's slot capacity):
+ * one slot per HMC cube for the near-memory configurations (each
+ * cube's unit pair serves one collection at near-full rate when the
+ * tenant heap is interleaved), 1 for the single-device iGPU/CXL
+ * engines, and 0 for pure-host platforms — no shared accelerator,
+ * so nothing to arbitrate.
+ */
+int concurrentOffloadSlots(sim::PlatformKind kind,
+                           const sim::SystemConfig &cfg);
+
 } // namespace charon::accel
 
 #endif // CHARON_ACCEL_BACKEND_HH

@@ -28,6 +28,13 @@ DsePoint::str() const
     // the axis existed resume with zero re-evaluated cells.
     if (backend != sim::PlatformKind::CharonNmp)
         os << "/bk-" << sim::backendName(sim::backendFor(backend));
+    // Fleet axes follow the same off-default-only rule.
+    if (tenants != 0)
+        os << "/ft" << tenants;
+    if (arbPolicy != "fcfs")
+        os << "/arb-" << arbPolicy;
+    if (fleetSloMs != 0)
+        os << "/slo" << fleetSloMs;
     os << "/h" << heapBytes << "/s" << seed << "/t"
        << gcThreads << "/c" << numCubes << "/ct"
        << copyOffloadThreshold << "/cs" << copySearchUnits << "/bc"
@@ -122,25 +129,14 @@ struct AxisDef
 };
 
 const AxisDef kAxes[] = {
-    {"workload", "catalog short name (BS KM LR CC PR ALS)",
+    {"workload", "catalog short name (BS KM LR CC PR ALS SRV SES)",
      [](DsePoint &p, const std::string &v) {
-         // Validate against the catalog here so a typo fails at
+         // Validate against the catalogs here so a typo fails at
          // registration instead of hitting findWorkload's fatal path
          // mid-sweep; canonicalize the case while at it.
-         for (const auto &w : workload::workloadCatalog()) {
-             if (w.name.size() == v.size()
-                 && std::equal(v.begin(), v.end(), w.name.begin(),
-                               [](char a, char b) {
-                                   return std::toupper(
-                                              static_cast<unsigned char>(
-                                                  a))
-                                          == std::toupper(
-                                              static_cast<unsigned char>(
-                                                  b));
-                               })) {
-                 p.workload = w.name;
-                 return true;
-             }
+         if (const auto *w = workload::findWorkloadOrNull(v)) {
+             p.workload = w->name;
+             return true;
          }
          return false;
      }},
@@ -219,6 +215,21 @@ const AxisDef kAxes[] = {
     {"distributed", "distributed bitmap cache/TLB (0|1)",
      [](DsePoint &p, const std::string &v) {
          return parseBool(v, p.distributedStructures);
+     }},
+    {"tenants", "tenant heaps sharing the node (0 = single-tenant)",
+     [](DsePoint &p, const std::string &v) {
+         return parseInt(v, p.tenants) && p.tenants <= 64;
+     }},
+    {"arb", "fleet arbitration policy (fcfs fair deadline)",
+     [](DsePoint &p, const std::string &v) {
+         if (v != "fcfs" && v != "fair" && v != "deadline")
+             return false;
+         p.arbPolicy = v;
+         return true;
+     }},
+    {"slo-ms", "fleet GC-pause SLO deadline in ms (0 = none)",
+     [](DsePoint &p, const std::string &v) {
+         return parseDouble(v, p.fleetSloMs) && p.fleetSloMs >= 0;
      }},
     {"backend", "offload backend vs the DDR4 baseline "
                 "(nmp igpu cxl host)",

@@ -58,6 +58,17 @@ struct DsePoint
      */
     sim::PlatformKind backend = sim::PlatformKind::CharonNmp;
 
+    // Fleet knobs (multi-tenant simulation; src/fleet).  All three
+    // default to the single-tenant "not a fleet point" state and emit
+    // no str() token there, so journals written before the axes
+    // existed resume with zero re-evaluated cells.
+    /** Tenant heaps sharing the node; 0 = single-tenant evaluation. */
+    int tenants = 0;
+    /** Arbitration policy token: "fcfs", "fair", or "deadline". */
+    std::string arbPolicy = "fcfs";
+    /** Pause-deadline SLO handed to the arbiter, ms; 0 = none. */
+    double fleetSloMs = 0;
+
     /** Canonical text form: the point's identity in journals and
      *  reports. */
     std::string str() const;

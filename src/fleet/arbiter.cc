@@ -1,0 +1,167 @@
+#include "arbiter.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace charon::fleet
+{
+
+const char *
+arbPolicyName(ArbPolicy policy)
+{
+    switch (policy) {
+      case ArbPolicy::Fcfs:
+        return "fcfs";
+      case ArbPolicy::FairShare:
+        return "fair";
+      case ArbPolicy::DeadlineAware:
+        return "deadline";
+    }
+    return "?";
+}
+
+bool
+parseArbPolicy(const std::string &name, ArbPolicy &out)
+{
+    for (int i = 0; i < kNumArbPolicies; ++i) {
+        auto policy = static_cast<ArbPolicy>(i);
+        if (name == arbPolicyName(policy)) {
+            out = policy;
+            return true;
+        }
+    }
+    return false;
+}
+
+Arbiter::Arbiter(ArbPolicy policy, int slots)
+    : policy_(policy), capacity_(slots)
+{
+    CHARON_ASSERT(slots >= 0, "negative arbiter capacity");
+}
+
+void
+Arbiter::killSlots(int n)
+{
+    capacity_ = std::max(0, capacity_ - n);
+    // In-flight collections finish on already-granted slots; busy_
+    // may exceed capacity_ until they complete, after which grants
+    // respect the reduced capacity.
+}
+
+void
+Arbiter::enqueue(GcRequest req)
+{
+    req.seq = nextSeq_++;
+    if (static_cast<std::size_t>(req.tenant) >= tenantUnitSec_.size())
+        tenantUnitSec_.resize(req.tenant + 1, 0.0);
+    pending_.push_back(req);
+}
+
+bool
+Arbiter::ranksBefore(const GcRequest &a, const GcRequest &b) const
+{
+    switch (policy_) {
+      case ArbPolicy::Fcfs:
+        break;
+      case ArbPolicy::FairShare: {
+        double ua = tenantUnitSec_[a.tenant];
+        double ub = tenantUnitSec_[b.tenant];
+        if (ua != ub)
+            return ua < ub;
+        break;
+      }
+      case ArbPolicy::DeadlineAware:
+        if (a.deadline != b.deadline)
+            return a.deadline < b.deadline;
+        break;
+    }
+    return a.seq < b.seq; // admission order: the universal tie-break
+}
+
+std::vector<Dispatch>
+Arbiter::dispatch(sim::Tick now)
+{
+    std::vector<Dispatch> out;
+    if (pending_.empty())
+        return out;
+
+    // Policy-ranked view of the queue (stable and deterministic: the
+    // comparator ends in the admission sequence).
+    std::sort(pending_.begin(), pending_.end(),
+              [this](const GcRequest &a, const GcRequest &b) {
+                  return ranksBefore(a, b);
+              });
+
+    // Slot grants first.
+    std::size_t granted = 0;
+    while (granted < pending_.size() && busy_ < capacity_) {
+        GcRequest &req = pending_[granted];
+        tenantUnitSec_[req.tenant] += req.unitSec;
+        ++busy_;
+        busyUntil_.push_back(now + req.accelTicks);
+        out.push_back(Dispatch{req, false});
+        ++granted;
+    }
+
+    if (capacity_ == 0) {
+        // No surviving offload engine: every policy runs collections
+        // host-side (there is nothing to wait for).
+        for (std::size_t i = granted; i < pending_.size(); ++i) {
+            ++fallbacks_;
+            out.push_back(Dispatch{pending_[i], true});
+        }
+        pending_.clear();
+        return out;
+    }
+
+    if (policy_ != ArbPolicy::DeadlineAware) {
+        pending_.erase(pending_.begin(), pending_.begin() + granted);
+        return out;
+    }
+
+    // Deadline policy: bail out requests whose accelerated path can
+    // no longer meet the SLO.  Project the schedule ahead: every
+    // in-flight collection frees its slot at a known tick, and each
+    // kept request occupies the soonest-free slot for its accelerated
+    // duration.  When a request's projected completion overruns its
+    // deadline and the host path finishes no later, waiting only
+    // deepens the miss — run it host-side now.
+    std::vector<sim::Tick> frees = busyUntil_;
+    std::vector<GcRequest> keep;
+    keep.reserve(pending_.size() - granted);
+    for (std::size_t i = granted; i < pending_.size(); ++i) {
+        const GcRequest &req = pending_[i];
+        auto slot = std::min_element(frees.begin(), frees.end());
+        sim::Tick start =
+            slot == frees.end() ? now : std::max(now, *slot);
+        sim::Tick est_wait = start - now;
+        bool misses_slo =
+            req.deadline != sim::maxTick
+            && start + req.accelTicks > req.deadline;
+        bool host_no_later = req.hostTicks <= est_wait + req.accelTicks;
+        if (misses_slo && host_no_later) {
+            ++fallbacks_;
+            out.push_back(Dispatch{req, true});
+        } else {
+            keep.push_back(req);
+            if (slot != frees.end())
+                *slot = start + req.accelTicks;
+        }
+    }
+    pending_ = std::move(keep);
+    return out;
+}
+
+void
+Arbiter::complete()
+{
+    CHARON_ASSERT(busy_ > 0, "arbiter completion with no busy slot");
+    --busy_;
+    // Completion events fire in time order, so the collection that
+    // just finished is the one with the earliest projected end.
+    busyUntil_.erase(
+        std::min_element(busyUntil_.begin(), busyUntil_.end()));
+}
+
+} // namespace charon::fleet

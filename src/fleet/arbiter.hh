@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The GC arbiter: mediates tenant collections contending for the
+ * shared offload engine's slots.
+ *
+ * The shared 4-cube HMC can accelerate a bounded number of
+ * collections at once (accel::concurrentOffloadSlots — one per cube
+ * for near-memory Charon).  When more tenants collect than slots
+ * exist, somebody waits, and the waiting policy is exactly what this
+ * class models:
+ *
+ *  - fcfs:     grant slots in admission order.  The naive runtime;
+ *              convoys under spike arrivals push the pause tail out.
+ *  - fair:     grant to the tenant with the least accumulated
+ *              unit-seconds (long-term device share), admission order
+ *              breaking ties.  Protects light tenants from heavy ones.
+ *  - deadline: earliest-deadline-first over pause SLO deadlines, and
+ *              a request that can no longer make its deadline on the
+ *              accelerated path — the estimated queue ahead of it
+ *              already overruns the SLO — bails out to the tenant's
+ *              own host-side collector, which needs no slot.  The
+ *              host pause is longer than an *unqueued* accelerated
+ *              one, but bounded; under convoys that trade caps the
+ *              p99.9.
+ *
+ * Capacity can shrink mid-run (unit-death faults): killSlots() is
+ * wired to the PR 5 fault grammar by the fleet simulator.  With zero
+ * surviving slots every policy routes collections to the host path —
+ * that is physics, not policy.
+ *
+ * Determinism: pure data-structure logic, tie-broken by admission
+ * sequence number; no randomness, no wall clock.
+ */
+
+#ifndef CHARON_FLEET_ARBITER_HH
+#define CHARON_FLEET_ARBITER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace charon::fleet
+{
+
+enum class ArbPolicy : std::uint8_t
+{
+    Fcfs,
+    FairShare,
+    DeadlineAware,
+};
+
+constexpr int kNumArbPolicies = 3;
+
+/** Lowercase token: "fcfs", "fair", "deadline" (the DSE axis values). */
+const char *arbPolicyName(ArbPolicy policy);
+bool parseArbPolicy(const std::string &name, ArbPolicy &out);
+
+/** One tenant collection waiting for (or granted) the device. */
+struct GcRequest
+{
+    int tenant = 0;
+    std::uint64_t seq = 0;       ///< admission order (assigned here)
+    sim::Tick enqueued = 0;
+    sim::Tick deadline = sim::maxTick; ///< pause SLO boundary
+    sim::Tick accelTicks = 0;    ///< duration on the offload engine
+    sim::Tick hostTicks = 0;     ///< duration on the host fallback
+    double unitSec = 0;          ///< device demand (fair-share charge)
+    bool major = false;
+};
+
+/** A dispatch decision: run @p req now, on the device or the host. */
+struct Dispatch
+{
+    GcRequest req;
+    bool hostFallback = false;
+};
+
+class Arbiter
+{
+  public:
+    Arbiter(ArbPolicy policy, int slots);
+
+    ArbPolicy policy() const { return policy_; }
+    int capacity() const { return capacity_; }
+    int busy() const { return busy_; }
+    std::size_t pendingCount() const { return pending_.size(); }
+
+    /** Permanently remove @p n slots (unit-death faults). */
+    void killSlots(int n);
+
+    /** Admit one collection; assigns its sequence number. */
+    void enqueue(GcRequest req);
+
+    /**
+     * Everything dispatchable at @p now, in decision order: slot
+     * grants up to the free capacity (policy-ranked) plus, for the
+     * deadline policy, host-fallback bail-outs.  Call again whenever
+     * a slot frees (after complete()).
+     */
+    std::vector<Dispatch> dispatch(sim::Tick now);
+
+    /** A slot-granted collection finished; frees its slot. */
+    void complete();
+
+    /** Accumulated device unit-seconds charged per tenant. */
+    const std::vector<double> &tenantUnitSeconds() const
+    {
+        return tenantUnitSec_;
+    }
+
+    std::uint64_t hostFallbacks() const { return fallbacks_; }
+
+  private:
+    /** Rank of @p a before @p b under the active policy. */
+    bool ranksBefore(const GcRequest &a, const GcRequest &b) const;
+
+    ArbPolicy policy_;
+    int capacity_;
+    int busy_ = 0;
+    /**
+     * Projected completion tick of every in-flight collection.  The
+     * deadline policy projects each waiting request's start time from
+     * these plus the queue ahead of it; completions erase the minimum,
+     * which is exact because the event queue fires completions in time
+     * order.
+     */
+    std::vector<sim::Tick> busyUntil_;
+    std::uint64_t nextSeq_ = 0;
+    std::vector<GcRequest> pending_;
+    std::vector<double> tenantUnitSec_;
+    std::uint64_t fallbacks_ = 0;
+};
+
+} // namespace charon::fleet
+
+#endif // CHARON_FLEET_ARBITER_HH

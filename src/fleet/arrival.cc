@@ -1,0 +1,97 @@
+#include "arrival.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace charon::fleet
+{
+
+const char *
+arrivalCurveName(ArrivalCurve curve)
+{
+    switch (curve) {
+      case ArrivalCurve::Steady:
+        return "steady";
+      case ArrivalCurve::Diurnal:
+        return "diurnal";
+      case ArrivalCurve::Spike:
+        return "spike";
+    }
+    return "?";
+}
+
+bool
+parseArrivalCurve(const std::string &name, ArrivalCurve &out)
+{
+    for (int i = 0; i < kNumArrivalCurves; ++i) {
+        auto curve = static_cast<ArrivalCurve>(i);
+        if (name == arrivalCurveName(curve)) {
+            out = curve;
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+ArrivalConfig::rate(double t) const
+{
+    switch (curve) {
+      case ArrivalCurve::Steady:
+        return meanRps;
+      case ArrivalCurve::Diurnal:
+        return meanRps
+               * (1.0
+                  + diurnalDepth
+                        * std::sin(2.0 * M_PI * t / diurnalPeriodSec));
+      case ArrivalCurve::Spike: {
+        double phase = std::fmod(t, spikePeriodSec);
+        return phase < spikeLenSec ? meanRps * spikeFactor : meanRps;
+      }
+    }
+    return meanRps;
+}
+
+double
+ArrivalConfig::peakRate() const
+{
+    switch (curve) {
+      case ArrivalCurve::Steady:
+        return meanRps;
+      case ArrivalCurve::Diurnal:
+        return meanRps * (1.0 + diurnalDepth);
+      case ArrivalCurve::Spike:
+        return meanRps * spikeFactor;
+    }
+    return meanRps;
+}
+
+std::vector<sim::Tick>
+generateArrivals(const ArrivalConfig &cfg, std::uint64_t seed)
+{
+    CHARON_ASSERT(cfg.meanRps > 0 && cfg.horizonSec > 0,
+                  "arrival process needs positive rate and horizon");
+    sim::Rng rng(seed);
+    const double peak = cfg.peakRate();
+    std::vector<sim::Tick> arrivals;
+    arrivals.reserve(
+        static_cast<std::size_t>(cfg.meanRps * cfg.horizonSec * 2));
+
+    // Lewis-Shedler thinning: candidate gaps are Exp(peak); a
+    // candidate at time t survives with probability rate(t)/peak.
+    double t = 0;
+    for (;;) {
+        double u = rng.uniform();
+        // uniform() is in [0, 1); flip to (0, 1] so log() is finite.
+        t += -std::log(1.0 - u) / peak;
+        if (t >= cfg.horizonSec)
+            break;
+        if (rng.uniform() * peak <= cfg.rate(t))
+            arrivals.push_back(sim::secondsToTicks(t));
+    }
+    return arrivals;
+}
+
+} // namespace charon::fleet

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Seeded open-loop arrival processes for the fleet simulator.
+ *
+ * Each tenant's request stream is a non-homogeneous Poisson process,
+ * pre-generated from an explicit seed before the simulation starts:
+ * open-loop (arrivals do not slow down when the tenant saturates, so
+ * queueing delay is visible in the latency distribution, not hidden
+ * by backpressure) and deterministic (the tick sequence is a pure
+ * function of the config and seed, independent of --jobs or wall
+ * clock).
+ *
+ * Three rate curves:
+ *  - steady:  constant rate, the calibration baseline;
+ *  - diurnal: sinusoidal day/night swing around the mean;
+ *  - spike:   constant base rate with periodic short windows at a
+ *             multiple of it — the regime where GC arbitration
+ *             policies separate (convoys form when many tenants
+ *             collect at once).
+ */
+
+#ifndef CHARON_FLEET_ARRIVAL_HH
+#define CHARON_FLEET_ARRIVAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace charon::fleet
+{
+
+enum class ArrivalCurve : std::uint8_t
+{
+    Steady,
+    Diurnal,
+    Spike,
+};
+
+constexpr int kNumArrivalCurves = 3;
+
+/** Lowercase token: "steady", "diurnal", "spike". */
+const char *arrivalCurveName(ArrivalCurve curve);
+bool parseArrivalCurve(const std::string &name, ArrivalCurve &out);
+
+/** Shape of one tenant's arrival process. */
+struct ArrivalConfig
+{
+    ArrivalCurve curve = ArrivalCurve::Steady;
+    /** Base request rate (steady rate; diurnal mean; spike floor). */
+    double meanRps = 2000;
+    /** Simulated horizon: arrivals stop here, queues then drain. */
+    double horizonSec = 1.0;
+
+    // Diurnal: rate(t) = mean * (1 + depth * sin(2*pi*t / period)).
+    double diurnalPeriodSec = 0.5;
+    double diurnalDepth = 0.6;
+
+    // Spike: every @p spikePeriodSec, a window of @p spikeLenSec at
+    // meanRps * spikeFactor; base rate elsewhere.
+    double spikePeriodSec = 0.25;
+    double spikeLenSec = 0.03;
+    double spikeFactor = 8.0;
+
+    /** Instantaneous rate at time @p t (requests per second). */
+    double rate(double t) const;
+
+    /** Upper bound of rate() over the horizon (thinning envelope). */
+    double peakRate() const;
+};
+
+/**
+ * The full arrival tick sequence for one tenant: Lewis-Shedler
+ * thinning of a homogeneous Poisson process at peakRate(), strictly
+ * increasing, all < horizon.  Pure function of (config, seed).
+ */
+std::vector<sim::Tick> generateArrivals(const ArrivalConfig &cfg,
+                                        std::uint64_t seed);
+
+} // namespace charon::fleet
+
+#endif // CHARON_FLEET_ARRIVAL_HH

@@ -1,5 +1,6 @@
 #include "result_sink.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -8,6 +9,20 @@
 
 namespace charon::harness
 {
+
+bool
+usableSample(double v)
+{
+    return std::isfinite(v) && v > 0;
+}
+
+std::string
+ratioCell(double numerator, double denominator)
+{
+    if (!usableSample(denominator) || !std::isfinite(numerator))
+        return "-";
+    return report::times(numerator / denominator);
+}
 
 ResultSink::ResultSink(std::string id, std::string title,
                        std::vector<std::string> headers)

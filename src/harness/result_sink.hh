@@ -23,6 +23,18 @@
 namespace charon::harness
 {
 
+/**
+ * Speedup-style table cell: @p numerator / @p denominator rendered
+ * via report::times(), or "-" when the ratio is undefined — a
+ * zero-GC cell (denominator 0) or a non-finite operand.  Benches use
+ * this instead of dividing inline so an empty distribution can never
+ * leak "inf"/"nan" into a diffed table or a geomean input.
+ */
+std::string ratioCell(double numerator, double denominator);
+
+/** True when @p v is a usable sample: finite and > 0. */
+bool usableSample(double v);
+
 class ResultSink
 {
   public:

@@ -368,7 +368,11 @@ PlatformSim::simulate(const gc::RunTrace &trace)
     glueSecondsTotal_ = 0;
 
     for (const auto &gc : trace.gcs) {
+        double unit_before = backend_ ? backend_->unitBusySeconds() : 0;
         GcTiming timing = simulateGc(gc);
+        if (backend_)
+            timing.unitSeconds =
+                backend_->unitBusySeconds() - unit_before;
         result.gcs.push_back(timing);
         result.gcSeconds += timing.seconds;
         if (timing.major) {

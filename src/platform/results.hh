@@ -58,6 +58,10 @@ struct GcTiming
 {
     bool major = false;
     double seconds = 0;          ///< pause wall-clock
+    /** Processing-unit busy-seconds this collection consumed on the
+     *  offload backend (0 on pure-host platforms): the per-GC demand
+     *  the fleet arbiter charges against the shared device. */
+    double unitSeconds = 0;
     PrimBreakdown breakdown;     ///< summed thread time
     gc::GcRollup rollup;         ///< per-phase primitive roll-up
 };

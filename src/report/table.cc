@@ -1,6 +1,7 @@
 #include "table.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "sim/logging.hh"
@@ -72,6 +73,11 @@ Table::printCsv(std::ostream &os) const
 std::string
 num(double value, int decimals)
 {
+    // A zero-GC or empty-distribution cell yields inf/NaN ratios
+    // upstream; render them as the "no data" dash rather than letting
+    // "inf"/"nan" leak into diffed tables.
+    if (!std::isfinite(value))
+        return "-";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
     return buf;
@@ -80,6 +86,8 @@ num(double value, int decimals)
 std::string
 times(double value, int decimals)
 {
+    if (!std::isfinite(value))
+        return "-";
     return num(value, decimals) + "x";
 }
 

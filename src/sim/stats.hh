@@ -109,6 +109,64 @@ class Histogram
 };
 
 /**
+ * Exact streaming quantile accumulator.
+ *
+ * Tail-latency reporting (the fleet benches' p50/p99/p99.9) must be
+ * *exact* and *deterministic*: sketches (t-digest, GK) trade those
+ * away for memory, and this simulator's sample sets — one sample per
+ * GC pause or per served request — are small enough (10^4..10^6) to
+ * keep whole.  Samples are stored as added; the sorted view is built
+ * lazily and invalidated by add()/merge(), so streaming inserts stay
+ * O(1) amortized and a report touching several quantiles sorts once.
+ *
+ * merge() appends the other accumulator's samples in their insertion
+ * order, so merging a fixed sequence of accumulators (e.g. per-tenant
+ * in tenant order) is deterministic and independent of how the work
+ * that filled them was scheduled.
+ */
+class QuantileAccumulator
+{
+  public:
+    QuantileAccumulator() = default;
+    QuantileAccumulator(StatGroup *group, std::string name,
+                        std::string desc);
+
+    void
+    add(double v)
+    {
+        samples_.push_back(v);
+        sorted_ = false;
+    }
+
+    /** Append every sample of @p other (other is unchanged). */
+    void merge(const QuantileAccumulator &other);
+
+    /**
+     * Exact quantile by the nearest-rank method: the smallest sample
+     * s such that at least ceil(q * count) samples are <= s.  @p q is
+     * clamped to [0, 1]; an empty accumulator returns 0.
+     */
+    double quantile(double q) const;
+
+    std::uint64_t count() const { return samples_.size(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+    double sum() const;
+    void reset();
+    const std::string &name() const { return name_; }
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::vector<double> samples_;
+    /** Sorted shadow of samples_, rebuilt on demand. */
+    mutable std::vector<double> view_;
+    mutable bool sorted_ = false;
+};
+
+/**
  * A named collection of statistics belonging to one simulated component.
  *
  * Groups form a flat registry keyed by the group name; dump() prints
@@ -125,6 +183,7 @@ class StatGroup
     void add(Counter *c) { counters_.push_back(c); }
     void add(Average *a) { averages_.push_back(a); }
     void add(Histogram *h) { histograms_.push_back(h); }
+    void add(QuantileAccumulator *q) { quantiles_.push_back(q); }
 
     /** Reset every stat in this group. */
     void resetAll();
@@ -140,6 +199,7 @@ class StatGroup
     std::vector<Counter *> counters_;
     std::vector<Average *> averages_;
     std::vector<Histogram *> histograms_;
+    std::vector<QuantileAccumulator *> quantiles_;
 };
 
 /** Geometric mean of a vector (ignores non-positive entries). */

@@ -145,17 +145,89 @@ workloadCatalog()
     return catalog;
 }
 
-const WorkloadParams &
-findWorkload(const std::string &name)
+const std::vector<WorkloadParams> &
+serviceCatalog()
+{
+    using sim::kMiB;
+    static const std::vector<WorkloadParams> catalog = [] {
+        std::vector<WorkloadParams> v;
+
+        // --- request-serving tenants: the latency-sensitive half of
+        //     a consolidated node.  Unlike the batch workloads the
+        //     allocation is dominated by per-request garbage that
+        //     dies within the iteration, over a modest resident
+        //     session cache.
+        {
+            WorkloadParams p;
+            p.name = "SRV";
+            p.framework = "Service";
+            p.description = "request server (short-lived response "
+                            "bursts over a session cache)";
+            p.heapBytes = 96 * kMiB;
+            p.minHeapBytes = 9 * kMiB;   // measured OOM threshold
+            p.iterations = 40;
+            p.requestsPerIter = 4000;
+            p.requestRespMinBytes = 256;
+            p.requestRespMaxBytes = 4096;
+            p.sessionsPerIter = 160;
+            p.sessionEvictPerIter = 150;
+            p.sessionElems = 2048;      // 2 KiB byte[] per session
+            p.smallPerIter = 3000;
+            p.smallHoldProb = 0.10;
+            p.instrPerWord = 14.0;      // services compute more per byte
+            v.push_back(p);
+        }
+        {
+            WorkloadParams p;
+            p.name = "SES";
+            p.framework = "Service";
+            p.description = "session-heavy server with humongous "
+                            "bulk-reply spikes";
+            p.heapBytes = 128 * kMiB;
+            p.minHeapBytes = 50 * kMiB;  // measured OOM threshold
+            p.iterations = 40;
+            p.requestsPerIter = 2000;
+            p.requestRespMinBytes = 512;
+            p.requestRespMaxBytes = 8192;
+            p.sessionsPerIter = 400;
+            p.sessionEvictPerIter = 360;
+            p.sessionElems = 8192;      // 8 KiB byte[] per session
+            p.humongousSpikeProb = 0.25;
+            p.humongousElems = 512 * 1024; // 4 MiB double[] bulk reply
+            p.smallPerIter = 2000;
+            p.smallHoldProb = 0.10;
+            p.instrPerWord = 12.0;
+            v.push_back(p);
+        }
+        return v;
+    }();
+    return catalog;
+}
+
+const WorkloadParams *
+findWorkloadOrNull(const std::string &name)
 {
     std::string upper = name;
     std::transform(upper.begin(), upper.end(), upper.begin(),
                    [](unsigned char c) { return std::toupper(c); });
     for (const auto &w : workloadCatalog()) {
         if (w.name == upper)
-            return w;
+            return &w;
     }
-    sim::fatal("unknown workload '%s' (expected BS/KM/LR/CC/PR/ALS)",
+    for (const auto &w : serviceCatalog()) {
+        if (w.name == upper)
+            return &w;
+    }
+    return nullptr;
+}
+
+const WorkloadParams &
+findWorkload(const std::string &name)
+{
+    if (const WorkloadParams *w = findWorkloadOrNull(name))
+        return *w;
+    sim::fatal("unknown workload '%s' (expected BS/KM/LR/CC/PR/ALS "
+               "or service SRV/SES)",
                name.c_str());
 }
 

@@ -81,15 +81,52 @@ struct WorkloadParams
     /** Factor-matrix elements reallocated per iteration. */
     std::uint64_t factorElems = 0;
 
+    // --- service-style request traffic ----------------------------
+    // A "request" is a short-lived burst: a response buffer plus a
+    // couple of context objects that die as soon as the reply is
+    // sent.  Sessions are the medium-lived middle class a request
+    // server keeps (auth tokens, per-user caches); the humongous
+    // spike models the occasional bulk reply / export blob that
+    // bypasses the young generation entirely.
+    /** Requests served per iteration (one iteration = one arrival
+     *  batch window); 0 = not a service workload. */
+    std::uint64_t requestsPerIter = 0;
+    /** Response-buffer size range, bytes (uniform per request). */
+    std::uint64_t requestRespMinBytes = 128;
+    std::uint64_t requestRespMaxBytes = 2048;
+    /** Session-cache entries inserted per iteration. */
+    int sessionsPerIter = 0;
+    /** Session-cache entries evicted (FIFO) per iteration. */
+    int sessionEvictPerIter = 0;
+    /** Session payload size (byte[] elements). */
+    std::uint64_t sessionElems = 2048;
+    /** Per-iteration probability of one humongous allocation. */
+    double humongousSpikeProb = 0;
+    /** Elements of the spike's double[] (0 disables spikes). */
+    std::uint64_t humongousElems = 0;
+
     /** Mutator compute intensity: instructions per allocated word. */
     double instrPerWord = 6.0;
 };
 
-/** All six paper workloads. */
+/** All six paper workloads (Table 3). */
 const std::vector<WorkloadParams> &workloadCatalog();
 
-/** Look up by (case-insensitive) short name; fatal if unknown. */
+/**
+ * The request-driven service-style family (beyond-paper): non-batch
+ * tenants for the fleet simulator.  Kept out of workloadCatalog() so
+ * every pre-existing bench grid, golden figure, and perf digest —
+ * all built from the Table 3 list — is byte-identical; findWorkload()
+ * resolves both families.
+ */
+const std::vector<WorkloadParams> &serviceCatalog();
+
+/** Look up by (case-insensitive) short name in the paper catalog or
+ *  the service family; fatal if unknown. */
 const WorkloadParams &findWorkload(const std::string &name);
+
+/** Non-fatal lookup across both catalogs; nullptr when unknown. */
+const WorkloadParams *findWorkloadOrNull(const std::string &name);
 
 /**
  * The shared klass registry every mutator allocates from: the

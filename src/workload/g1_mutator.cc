@@ -282,7 +282,70 @@ G1Mutator::runIteration()
         }
     }
 
+    serveRequests();
+
     allocSmallTemps();
+}
+
+void
+G1Mutator::serveRequests()
+{
+    // Same service-style traffic as Mutator::serveRequests(): the
+    // two mutators must provoke comparable demography so per-tenant
+    // collector choice stays an apples-to-apples axis.
+    const std::uint64_t resp_span =
+        params_.requestRespMaxBytes > params_.requestRespMinBytes
+            ? params_.requestRespMaxBytes - params_.requestRespMinBytes
+            : 0;
+    for (std::uint64_t r = 0; r < params_.requestsPerIter && !oom_;
+         ++r) {
+        std::uint64_t resp_bytes =
+            params_.requestRespMinBytes
+            + (resp_span ? rng_.below(resp_span + 1) : 0);
+        Addr resp = allocate(klasses_.table.byteArrayId(), resp_bytes);
+        if (resp == 0)
+            return;
+        RootSlot pin = addRoot(resp);
+        Addr ctx = allocate(klasses_.partMeta);
+        if (ctx != 0)
+            heap_->storeRef(ctx, 0, rootAt(pin));
+        removeRoot(pin);
+        if (ctx != 0 && rng_.chance(0.05))
+            holdTemp(ctx);
+        result_.mutatorInstructions += resp_bytes / 2 + 150;
+    }
+
+    for (int s = 0; s < params_.sessionsPerIter && !oom_; ++s) {
+        Addr payload = allocate(klasses_.table.byteArrayId(),
+                                params_.sessionElems);
+        if (payload == 0)
+            return;
+        RootSlot pin = addRoot(payload);
+        Addr sess = allocate(klasses_.partMeta);
+        if (sess == 0) {
+            removeRoot(pin);
+            return;
+        }
+        heap_->storeRef(sess, 0, rootAt(pin));
+        removeRoot(pin);
+        sessions_.push_back(addRoot(sess));
+        result_.mutatorInstructions += params_.sessionElems / 4 + 80;
+    }
+    for (int e = 0;
+         e < params_.sessionEvictPerIter && !sessions_.empty(); ++e) {
+        removeRoot(sessions_.front());
+        sessions_.pop_front();
+    }
+
+    if (params_.humongousElems > 0 && !oom_
+        && rng_.chance(params_.humongousSpikeProb)) {
+        Addr blob = allocate(klasses_.table.doubleArrayId(),
+                             params_.humongousElems);
+        if (blob != 0) {
+            holdBigTemp(blob);
+            result_.mutatorInstructions += params_.humongousElems;
+        }
+    }
 }
 
 G1Mutator::RunResult

@@ -66,6 +66,7 @@ class G1Mutator
     mem::Addr randomGraphNode();
     void buildGraph();
     void runIteration();
+    void serveRequests();
     void allocSmallTemps();
 
     WorkloadParams params_;
@@ -85,6 +86,7 @@ class G1Mutator
     RootSlot factorSlot_ = 0;
     bool factorSlotValid_ = false;
     std::deque<RootSlot> cache_;
+    std::deque<RootSlot> sessions_;
     std::vector<RootSlot> tempRing_;
     std::size_t tempCursor_ = 0;
     std::vector<RootSlot> bigTempRing_;

@@ -252,6 +252,73 @@ Mutator::allocSmallTemps()
 }
 
 void
+Mutator::serveRequests()
+{
+    // --- service-style request traffic: each request is a response
+    // buffer plus a couple of context objects, all dead as soon as
+    // the reply is sent (held only through the temp ring).  A slice
+    // of requests refreshes the session cache, the FIFO middle class
+    // that promotes and becomes old-generation garbage on eviction.
+    const std::uint64_t resp_span =
+        params_.requestRespMaxBytes > params_.requestRespMinBytes
+            ? params_.requestRespMaxBytes - params_.requestRespMinBytes
+            : 0;
+    for (std::uint64_t r = 0; r < params_.requestsPerIter && !oom_;
+         ++r) {
+        std::uint64_t resp_bytes =
+            params_.requestRespMinBytes
+            + (resp_span ? rng_.below(resp_span + 1) : 0);
+        Addr resp = allocate(klasses_.table.byteArrayId(), resp_bytes);
+        if (resp == 0)
+            return;
+        RootSlot pin = addRoot(resp); // pin across the context alloc
+        Addr ctx = allocate(klasses_.partMeta);
+        if (ctx != 0)
+            heap_->storeRef(ctx, 0, rootAt(pin));
+        removeRoot(pin);
+        if (ctx != 0 && rng_.chance(0.05))
+            holdTemp(ctx); // slow request: survives into the next GC
+        result_.mutatorInstructions += resp_bytes / 2 + 150;
+    }
+
+    // --- session-cache churn (insert then FIFO-evict).
+    for (int s = 0; s < params_.sessionsPerIter && !oom_; ++s) {
+        Addr payload = allocate(klasses_.table.byteArrayId(),
+                                params_.sessionElems);
+        if (payload == 0)
+            return;
+        RootSlot pin = addRoot(payload);
+        Addr sess = allocate(klasses_.partMeta);
+        if (sess == 0) {
+            removeRoot(pin);
+            return;
+        }
+        heap_->storeRef(sess, 0, rootAt(pin));
+        removeRoot(pin);
+        sessions_.push_back(addRoot(sess));
+        result_.mutatorInstructions += params_.sessionElems / 4 + 80;
+    }
+    for (int e = 0;
+         e < params_.sessionEvictPerIter && !sessions_.empty(); ++e) {
+        removeRoot(sessions_.front());
+        sessions_.pop_front();
+    }
+
+    // --- occasional humongous bulk reply / export blob: bypasses
+    // the young generation entirely (direct-to-old via the
+    // humongous path) and dies within a few iterations.
+    if (params_.humongousElems > 0 && !oom_
+        && rng_.chance(params_.humongousSpikeProb)) {
+        Addr blob = allocate(klasses_.table.doubleArrayId(),
+                             params_.humongousElems);
+        if (blob != 0) {
+            holdBigTemp(blob);
+            result_.mutatorInstructions += params_.humongousElems;
+        }
+    }
+}
+
+void
 Mutator::runIteration(int iteration)
 {
     (void)iteration;
@@ -351,6 +418,8 @@ Mutator::runIteration(int iteration)
             result_.mutatorInstructions += params_.factorElems * 3;
         }
     }
+
+    serveRequests();
 
     allocSmallTemps();
 }

@@ -104,6 +104,7 @@ class Mutator
 
     void buildGraph();
     void runIteration(int iteration);
+    void serveRequests();
     void allocSmallTemps();
     mem::Addr randomGraphNode();
 
@@ -125,6 +126,7 @@ class Mutator
     RootSlot factorSlot_ = 0;     ///< ALS factor of the last iteration
     bool factorSlotValid_ = false;
     std::deque<RootSlot> cache_;  ///< retained RDD partitions (FIFO)
+    std::deque<RootSlot> sessions_; ///< service session cache (FIFO)
     std::vector<RootSlot> tempRing_;
     std::size_t tempCursor_ = 0;
     std::vector<RootSlot> bigTempRing_;

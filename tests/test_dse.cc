@@ -136,6 +136,45 @@ TEST(ParamSpace, BackendTokenOmittedOnDefaultForJournalBackCompat)
     EXPECT_FALSE(applyAxisValue(p, "backend", "fpga", &error));
 }
 
+TEST(ParamSpace, FleetAxesOmittedOnDefaultForJournalBackCompat)
+{
+    // The fleet axes (tenants / arb / slo-ms) follow the same
+    // off-default-only emission rule as the backend axis: a default
+    // point's identity is unchanged, so pre-fleet journals resume
+    // with zero re-evaluated cells.
+    EXPECT_EQ(DsePoint().str(),
+              "KM/h0/s1/t8/c4/ct256/cs8/bc8/sp8/tsv320/link80/uni");
+
+    std::string error;
+    DsePoint p;
+    ASSERT_TRUE(applyAxisValue(p, "tenants", "0", &error)) << error;
+    ASSERT_TRUE(applyAxisValue(p, "arb", "fcfs", &error)) << error;
+    ASSERT_TRUE(applyAxisValue(p, "slo-ms", "0", &error)) << error;
+    EXPECT_EQ(p.str(), DsePoint().str());
+
+    ASSERT_TRUE(applyAxisValue(p, "tenants", "6", &error)) << error;
+    EXPECT_NE(p.str().find("/ft6/"), std::string::npos) << p.str();
+    ASSERT_TRUE(applyAxisValue(p, "arb", "deadline", &error)) << error;
+    EXPECT_NE(p.str().find("/arb-deadline/"), std::string::npos);
+    ASSERT_TRUE(applyAxisValue(p, "slo-ms", "2.5", &error)) << error;
+    EXPECT_NE(p.str().find("/slo2.5/"), std::string::npos);
+
+    // Bad values are rejected at registration, not mid-sweep.
+    EXPECT_FALSE(applyAxisValue(p, "arb", "lifo", &error));
+    EXPECT_FALSE(applyAxisValue(p, "tenants", "65", &error));
+    EXPECT_FALSE(applyAxisValue(p, "slo-ms", "-1", &error));
+}
+
+TEST(ParamSpace, ServiceWorkloadsAreValidAxisValues)
+{
+    ParamSpace space;
+    ASSERT_TRUE(space.axisSpec("workload=srv,ses"));
+    auto points = space.enumerate();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].workload, "SRV");
+    EXPECT_EQ(points[1].workload, "SES");
+}
+
 TEST(ParamSpace, SampleIsSeededSubsetInEnumerationOrder)
 {
     ParamSpace space;
