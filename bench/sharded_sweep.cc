@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Robustness bench for the sweep supervisor: the smoke grid is
+ * evaluated unsharded (in-process Explorer), sharded at several
+ * widths, and sharded under injected worker SIGKILLs, each pass into
+ * its own journal.  The wall time of every pass is reported, and the
+ * bench *gates* on the supervisor's core invariant: every canonical
+ * journal must be byte-identical to the unsharded one (after the
+ * same canonicalising merge), and the chaos pass must re-evaluate
+ * zero committed cells.  Any violation exits non-zero, so CI can run
+ * this binary as a correctness check, not just a stopwatch.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bench_common.hh"
+#include "dse/explorer.hh"
+#include "dse/journal.hh"
+#include "dse/presets.hh"
+#include "dse/supervisor.hh"
+
+using namespace charon;
+using namespace charon::bench;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::Options opt;
+    opt.helpHeader = "sharded_sweep: supervisor overhead and "
+                     "shard-count invariance of the smoke sweep";
+    int shards = 4;
+    int killAfter = 2;
+    opt.flag("--shards", &shards, "widest sharded pass (default 4)");
+    opt.flag("--kill-after",
+             &killAfter,
+             "chaos pass: SIGKILL each worker after N fresh cells "
+             "(0 disables the chaos pass)");
+    if (!harness::parseOptions(argc, argv, opt))
+        return 2;
+
+    auto dir = std::filesystem::temp_directory_path()
+               / "charon-sharded-sweep-bench";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string cache = opt.noCache
+                                  ? (dir / "cache").string()
+                                  : opt.runnerConfig().cacheDir;
+
+    auto points = dse::smokeSpace().enumerate();
+    auto pc = dse::pointCells(points, 0);
+    std::vector<std::vector<std::size_t>> units;
+    for (std::size_t i = 0; i + 1 < pc.cells.size(); i += 2)
+        units.push_back({i, i + 1});
+
+    Report report(opt);
+    auto &table = report.table(
+        "sharded_sweep",
+        "Sweep supervisor: wall time and journal invariance "
+        "(smoke grid)",
+        {"mode", "wall s", "committed", "restarts", "crashes",
+         "re-evaluated", "journal"});
+
+    // Unsharded reference: plain Explorer, then the canonicalising
+    // merge every sharded pass ends with.
+    const std::string ref = (dir / "ref.dse.jsonl").string();
+    auto t0 = std::chrono::steady_clock::now();
+    {
+        dse::SweepJournal journal(ref);
+        harness::RunnerConfig rc;
+        rc.jobs = opt.jobs;
+        rc.cacheDir = cache;
+        ExperimentRunner runner(rc);
+        dse::Explorer explorer(runner, journal);
+        auto records = explorer.runCells(pc.cells, pc.keys);
+        for (const auto &r : records)
+            if (!r.ok) {
+                std::fprintf(stderr,
+                             "sharded_sweep: reference cell failed: "
+                             "%s\n",
+                             r.error.c_str());
+                return 1;
+            }
+    }
+    double refWall = secondsSince(t0);
+    std::string error;
+    if (!dse::SweepJournal::mergeJournals(ref, {}, &error)) {
+        std::fprintf(stderr, "sharded_sweep: merge failed: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    const std::string golden = slurp(ref);
+    table.addRow({"unsharded", report::num(refWall, 2), "-", "-",
+                  "-", "-", "reference"});
+
+    bool ok = true;
+    auto runPass = [&](const std::string &mode, int width,
+                       bool chaos) {
+        const std::string journal =
+            (dir / (mode + ".dse.jsonl")).string();
+        dse::SupervisorConfig cfg;
+        cfg.shards = width;
+        cfg.journalPath = journal;
+        cfg.runner.jobs = opt.jobs;
+        cfg.runner.cacheDir = cache;
+        cfg.restartsPerShard = chaos ? 16 : 2;
+        cfg.backoffBaseSec = 0.01;
+        cfg.quiet = true;
+        if (chaos)
+            ::setenv("CHARON_TEST_CRASH_AFTER_SIGKILL",
+                     std::to_string(killAfter).c_str(), 1);
+        auto passT0 = std::chrono::steady_clock::now();
+        auto res =
+            dse::runShardedSweep(pc.cells, pc.keys, units, cfg);
+        double wall = secondsSince(passT0);
+        if (chaos)
+            ::unsetenv("CHARON_TEST_CRASH_AFTER_SIGKILL");
+
+        std::string verdict = "identical";
+        if (!res.ok) {
+            verdict = "FAILED: " + res.error;
+            ok = false;
+        } else if (slurp(journal) != golden) {
+            verdict = "DIVERGED from unsharded";
+            ok = false;
+        }
+        if (res.reEvaluatedCells != 0) {
+            verdict += " + re-evaluated cells";
+            ok = false;
+        }
+        table.addRow({mode, report::num(wall, 2),
+                      std::to_string(res.unitsCommitted),
+                      std::to_string(res.restarts),
+                      std::to_string(res.workerCrashes),
+                      std::to_string(res.reEvaluatedCells),
+                      verdict});
+    };
+
+    for (int width = 1; width <= shards; width *= 2)
+        runPass("shards-" + std::to_string(width), width, false);
+    // Chaos at half width so every worker owns several units: a kill
+    // after the last unit of a queue needs no restart and would make
+    // the pass vacuous.
+    const int chaosWidth = std::max(1, shards / 2);
+    if (killAfter > 0)
+        runPass("chaos-" + std::to_string(chaosWidth), chaosWidth,
+                true);
+
+    table.note(ok ? "every sharded journal is byte-identical to the "
+                    "unsharded reference"
+                  : "INVARIANT VIOLATED -- see the journal column");
+    std::filesystem::remove_all(dir);
+    int rc = report.finish(std::cout);
+    return ok ? rc : 1;
+}

@@ -214,13 +214,12 @@ Explorer::runCells(const std::vector<harness::Cell> &cells,
     return records;
 }
 
-std::vector<PointEval>
-Explorer::evaluate(const std::vector<DsePoint> &points, int screenGcs)
+PointCells
+pointCells(const std::vector<DsePoint> &points, int screenGcs)
 {
-    std::vector<harness::Cell> cells;
-    std::vector<std::string> keys;
-    cells.reserve(points.size() * 2);
-    keys.reserve(points.size() * 2);
+    PointCells out;
+    out.cells.reserve(points.size() * 2);
+    out.keys.reserve(points.size() * 2);
     for (const auto &point : points) {
         auto fk = harness::ExperimentRunner::resolve(
             point.functionalKey());
@@ -242,10 +241,17 @@ Explorer::evaluate(const std::vector<DsePoint> &points, int screenGcs)
                         trace.mutatorInstructions.resize(cap);
                 };
             }
-            keys.push_back(cellKey(c, screenGcs));
-            cells.push_back(std::move(c));
+            out.keys.push_back(cellKey(c, screenGcs));
+            out.cells.push_back(std::move(c));
         }
     }
+    return out;
+}
+
+std::vector<PointEval>
+Explorer::evaluate(const std::vector<DsePoint> &points, int screenGcs)
+{
+    auto [cells, keys] = pointCells(points, screenGcs);
 
     auto records = runCells(cells, keys, screenGcs);
 
@@ -271,13 +277,18 @@ Explorer::evaluate(const std::vector<DsePoint> &points, int screenGcs)
 }
 
 std::vector<PointEval>
-successiveHalving(Explorer &explorer, std::vector<DsePoint> points,
-                  int screenGcs, std::size_t finalists)
+successiveHalving(
+    Explorer &explorer, std::vector<DsePoint> points, int screenGcs,
+    std::size_t finalists,
+    const std::function<void(const std::vector<DsePoint> &, int)>
+        &preEvaluate)
 {
     if (finalists == 0)
         finalists = 1;
     int gcs = screenGcs > 0 ? screenGcs : 1;
     while (points.size() > finalists) {
+        if (preEvaluate)
+            preEvaluate(points, gcs);
         auto evals = explorer.evaluate(points, gcs);
         std::vector<std::size_t> order(points.size());
         std::iota(order.begin(), order.end(), std::size_t{0});
@@ -305,6 +316,8 @@ successiveHalving(Explorer &explorer, std::vector<DsePoint> points,
         points = std::move(next);
         gcs *= 2;
     }
+    if (preEvaluate)
+        preEvaluate(points, 0);
     return explorer.evaluate(points, 0);
 }
 

@@ -23,6 +23,7 @@
 #define CHARON_DSE_EXPLORER_HH
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -115,6 +116,22 @@ struct PointEval
     }
 };
 
+/**
+ * The harness cells (and their journal keys) that evaluating
+ * @p points would run: two per point — the DDR4 host baseline first,
+ * then the point's backend — in point order.  Explorer::evaluate is
+ * defined in terms of this expansion; the sweep supervisor uses the
+ * same expansion to partition a sweep across worker processes, so a
+ * sharded sweep and an unsharded one agree cell-for-cell.
+ */
+struct PointCells
+{
+    std::vector<harness::Cell> cells;
+    std::vector<std::string> keys; ///< cellKey() per cell, aligned
+};
+PointCells pointCells(const std::vector<DsePoint> &points,
+                      int screenGcs = 0);
+
 class Explorer
 {
   public:
@@ -184,11 +201,20 @@ class Explorer
  * @p finalists survive; those get full evaluations.  Returns the
  * finalists' full PointEvals in enumeration order.  Every screen and
  * the final runs are journalled, so a halving sweep resumes too.
+ *
+ * @p preEvaluate, when set, runs before each round's evaluate() with
+ * that round's surviving points and screen depth (the final full
+ * round passes screenGcs=0).  The sweep supervisor hooks this to farm
+ * the round's cells out to worker shards and merge their journals
+ * first, after which the in-process evaluate() is pure journal hits —
+ * halving stays adaptive (each round's survivors depend on global
+ * results) while the cell work itself is sharded.
  */
-std::vector<PointEval> successiveHalving(Explorer &explorer,
-                                         std::vector<DsePoint> points,
-                                         int screenGcs,
-                                         std::size_t finalists);
+std::vector<PointEval> successiveHalving(
+    Explorer &explorer, std::vector<DsePoint> points, int screenGcs,
+    std::size_t finalists,
+    const std::function<void(const std::vector<DsePoint> &, int)>
+        &preEvaluate = {});
 
 } // namespace charon::dse
 

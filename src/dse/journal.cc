@@ -5,7 +5,10 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include <fcntl.h>
@@ -248,6 +251,23 @@ SweepJournal::SweepJournal(std::string path) : path_(std::move(path))
     std::string content((std::istreambuf_iterator<char>(is)),
                         std::istreambuf_iterator<char>());
     endsWithNewline_ = content.empty() || content.back() == '\n';
+    if (!endsWithNewline_) {
+        // Repair the torn tail now, not on the next append: other
+        // readers (merges, sibling shards) must see a well-formed
+        // file even if this journal never appends again.
+        int fd = ::open(path_.c_str(),
+                        O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+        if (fd >= 0) {
+            ssize_t n;
+            do {
+                n = ::write(fd, "\n", 1);
+            } while (n < 0 && errno == EINTR);
+            ::close(fd);
+            if (n == 1)
+                endsWithNewline_ = true;
+            // On failure (read-only fs) append() repairs lazily.
+        }
+    }
     std::istringstream lines(content);
     std::string line;
     while (std::getline(lines, line)) {
@@ -312,6 +332,140 @@ SweepJournal::append(const JournalRecord &record)
         left -= static_cast<std::size_t>(n);
     }
     endsWithNewline_ = true;
+    return true;
+}
+
+std::size_t
+SweepJournal::seedFrom(const std::string &path)
+{
+    if (path.empty())
+        return 0;
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return 0;
+    std::size_t inserted = 0;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        JournalRecord rec;
+        if (!parseLine(line, rec))
+            continue; // torn / foreign line: not a seed
+        if (records_.emplace(rec.key, rec).second)
+            ++inserted;
+    }
+    return inserted;
+}
+
+void
+SweepJournal::seedRecord(const JournalRecord &record)
+{
+    records_.emplace(record.key, record);
+}
+
+bool
+SweepJournal::mergeJournals(const std::string &dst,
+                            const std::vector<std::string> &srcs,
+                            std::string *error, MergeStats *stats)
+{
+    MergeStats local;
+    MergeStats &st = stats ? *stats : local;
+    st = MergeStats{};
+
+    // First-writer-wins in read order: dst's own lines, then each
+    // source's lines, in the order each file wrote them.  Keeping the
+    // first copy of a key honours the journal contract that a shard
+    // never re-commits a cell it already owns.
+    std::map<std::string, std::string> lines; // key -> formatted line
+    auto readFile = [&](const std::string &path) {
+        std::ifstream is(path, std::ios::binary);
+        if (!is)
+            return false;
+        ++st.sources;
+        std::string line;
+        while (std::getline(is, line)) {
+            if (line.empty())
+                continue;
+            JournalRecord rec;
+            if (!parseLine(line, rec)) {
+                ++st.tornLines;
+                continue;
+            }
+            // Re-format rather than keep the raw line so the merged
+            // file is canonical even across journal cosmetic drift.
+            if (!lines.emplace(rec.key, formatLine(rec)).second)
+                ++st.duplicates;
+        }
+        return true;
+    };
+    readFile(dst);
+    for (const auto &src : srcs) {
+        if (src == dst)
+            continue;
+        readFile(src);
+    }
+    st.records = lines.size();
+
+    // Write sorted-by-key (std::map iteration order) to a temp file,
+    // fsync, rename over dst, fsync the directory: the TraceCache
+    // publish idiom.  A crash leaves either the old dst or the new
+    // one, never a torn mixture.
+    namespace fs = std::filesystem;
+    fs::path dstPath(dst);
+    fs::path dir = dstPath.parent_path();
+    if (dir.empty())
+        dir = ".";
+    std::string tmp = dst + ".merge." + std::to_string(::getpid())
+                      + ".tmp";
+    int fd = ::open(tmp.c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        if (error)
+            *error = "open " + tmp + ": " + std::strerror(errno);
+        return false;
+    }
+    std::string body;
+    for (const auto &[key, line] : lines) {
+        body += line;
+        body += '\n';
+    }
+    const char *p = body.data();
+    std::size_t left = body.size();
+    bool writeOk = true;
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            writeOk = false;
+            break;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    if (writeOk && ::fsync(fd) != 0)
+        writeOk = false;
+    ::close(fd);
+    if (!writeOk) {
+        if (error)
+            *error = "write " + tmp + ": " + std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, dstPath, ec);
+    if (ec) {
+        if (error)
+            *error = "rename " + tmp + " -> " + dst + ": "
+                     + ec.message();
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    int dirFd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dirFd >= 0) {
+        ::fsync(dirFd); // best-effort: durability of the rename itself
+        ::close(dirFd);
+    }
     return true;
 }
 

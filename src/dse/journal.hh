@@ -20,8 +20,10 @@
 #ifndef CHARON_DSE_JOURNAL_HH
 #define CHARON_DSE_JOURNAL_HH
 
+#include <cstddef>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace charon::dse
 {
@@ -64,7 +66,17 @@ struct JournalRecord
 class SweepJournal
 {
   public:
-    /** Load @p path if it exists (missing file = empty journal). */
+    /**
+     * Load @p path if it exists (missing file = empty journal).
+     *
+     * A file that ends mid-line (a crash tore the final append) is
+     * repaired immediately: a terminating newline is written at open,
+     * so every *other* reader — a merge, a sibling sweep shard, a
+     * plain `grep` — sees a well-formed file without having to wait
+     * for this journal's next append.  On a read-only filesystem the
+     * repair degrades gracefully to the old behaviour (the newline
+     * goes in front of the first successful append instead).
+     */
     explicit SweepJournal(std::string path);
 
     bool enabled() const { return !path_.empty(); }
@@ -88,6 +100,50 @@ class SweepJournal
      * last completed cell.
      */
     bool append(const JournalRecord &record);
+
+    /**
+     * Load the records of another journal file into memory only —
+     * nothing is written anywhere.  Keys already present (from this
+     * journal's own file or earlier seeds) win, so a sweep shard can
+     * absorb its siblings' results for lookup without ever adopting a
+     * record that contradicts its own committed history.  Torn or
+     * malformed lines are skipped, a missing file is an empty seed.
+     * Returns the number of records actually inserted.
+     */
+    std::size_t seedFrom(const std::string &path);
+
+    /**
+     * Insert @p record into the in-memory map only (no file write),
+     * and only when its key is absent.  The supervisor uses this to
+     * overlay session-local verdicts — e.g. "quarantined poison
+     * point" failure records — without poisoning the durable journal:
+     * a later resume retries those points from scratch.
+     */
+    void seedRecord(const JournalRecord &record);
+
+    /**
+     * Merge journal files: @p dst (if it exists) plus every readable
+     * file of @p srcs, deduplicated first-writer-wins in that order
+     * (dst's lines first, then each source's, line order within each
+     * file).  The result replaces @p dst atomically — records sorted
+     * by key, one line each, fsync-before-rename like the trace
+     * cache — so the merged file is deterministic: any set of shard
+     * journals holding the same records merges to identical bytes,
+     * and re-merging is idempotent.  Torn tails in any input are
+     * dropped (they are uncommitted by contract).  Missing sources
+     * are skipped silently; only an unwritable @p dst fails.
+     */
+    struct MergeStats
+    {
+        std::size_t records = 0;    ///< records in the merged file
+        std::size_t duplicates = 0; ///< later copies of a seen key
+        std::size_t tornLines = 0;  ///< unparseable lines dropped
+        std::size_t sources = 0;    ///< input files actually read
+    };
+    static bool mergeJournals(const std::string &dst,
+                              const std::vector<std::string> &srcs,
+                              std::string *error = nullptr,
+                              MergeStats *stats = nullptr);
 
     ~SweepJournal();
     SweepJournal(const SweepJournal &) = delete;

@@ -101,18 +101,56 @@ frontierSpace()
     return space;
 }
 
-void
-runFig13Preset(Explorer &explorer, harness::Report &report)
+PointCells
+fig13Cells()
 {
     const sim::PlatformKind kinds[] = {sim::PlatformKind::HostDdr4,
                                        sim::PlatformKind::HostHmc,
                                        sim::PlatformKind::CharonNmp};
-    const auto workloads = allWorkloads();
-    std::vector<harness::Cell> cells;
-    for (const auto &name : workloads)
+    PointCells out;
+    for (const auto &name : allWorkloads())
         for (auto kind : kinds)
-            cells.push_back(benchCell(name, kind));
-    auto records = explorer.runCells(cells, cellKeys(cells));
+            out.cells.push_back(benchCell(name, kind));
+    out.keys = cellKeys(out.cells);
+    return out;
+}
+
+PointCells
+fig15Cells()
+{
+    const int thread_counts[] = {1, 2, 4, 8, 16};
+    const std::string workloads[] = {"KM", "CC"};
+    PointCells out;
+    for (const auto &name : workloads) {
+        for (int threads : thread_counts) {
+            auto cfg = sim::SystemConfig::threadScaling(threads);
+
+            harness::Cell ddr4 = benchCell(
+                name, sim::PlatformKind::HostDdr4, 0, 1, threads);
+            ddr4.config = cfg;
+            out.cells.push_back(ddr4);
+
+            harness::Cell uni = benchCell(
+                name, sim::PlatformKind::CharonNmp, 0, 1, threads);
+            uni.config = cfg;
+            out.cells.push_back(uni);
+
+            harness::Cell dist = uni;
+            dist.config.charon.distributedStructures = true;
+            dist.label += " (distributed)";
+            out.cells.push_back(dist);
+        }
+    }
+    out.keys = cellKeys(out.cells);
+    return out;
+}
+
+void
+runFig13Preset(Explorer &explorer, harness::Report &report)
+{
+    const auto workloads = allWorkloads();
+    auto [cells, keys] = fig13Cells();
+    auto records = explorer.runCells(cells, keys);
 
     auto &table = report.table(
         "fig13",
@@ -150,28 +188,8 @@ runFig15Preset(Explorer &explorer, harness::Report &report)
     const int thread_counts[] = {1, 2, 4, 8, 16};
     const std::string workloads[] = {"KM", "CC"};
 
-    std::vector<harness::Cell> cells;
-    for (const auto &name : workloads) {
-        for (int threads : thread_counts) {
-            auto cfg = sim::SystemConfig::threadScaling(threads);
-
-            harness::Cell ddr4 = benchCell(
-                name, sim::PlatformKind::HostDdr4, 0, 1, threads);
-            ddr4.config = cfg;
-            cells.push_back(ddr4);
-
-            harness::Cell uni = benchCell(
-                name, sim::PlatformKind::CharonNmp, 0, 1, threads);
-            uni.config = cfg;
-            cells.push_back(uni);
-
-            harness::Cell dist = uni;
-            dist.config.charon.distributedStructures = true;
-            dist.label += " (distributed)";
-            cells.push_back(dist);
-        }
-    }
-    auto records = explorer.runCells(cells, cellKeys(cells));
+    auto [cells, keys] = fig15Cells();
+    auto records = explorer.runCells(cells, keys);
 
     std::size_t i = 0;
     harness::ResultSink *last = nullptr;

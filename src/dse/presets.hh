@@ -41,6 +41,16 @@ ParamSpace smokeSpace();
  */
 ParamSpace frontierSpace();
 
+/**
+ * The exact cell grid (and journal keys) a fig13 / fig15 preset run
+ * evaluates, exposed so the sweep supervisor can farm the same cells
+ * out to worker shards before the preset renders — the render pass is
+ * then pure journal hits and stays byte-identical to the bench
+ * binary.
+ */
+PointCells fig13Cells();
+PointCells fig15Cells();
+
 /** Figure 13 sweep (TSV vs. off-chip bandwidth), bench-identical. */
 void runFig13Preset(Explorer &explorer, harness::Report &report);
 

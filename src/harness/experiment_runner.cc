@@ -244,6 +244,8 @@ ExperimentRunner::run(const std::vector<Cell> &cells)
             else
                 key_error[keys[i].str()] = e.what();
         }
+        if (onProgress_)
+            onProgress_();
     });
 
     // Phase 2: replay every cell on the pool; a private PlatformSim
@@ -255,6 +257,9 @@ ExperimentRunner::run(const std::vector<Cell> &cells)
     parallelFor(jobs_, cells.size(), [&](std::size_t i) {
         const Cell &cell = cells[i];
         CellResult &res = results[i];
+        // Inner lambda so the early returns (functional failure, OOM,
+        // replay-less cells) still reach the progress tick below.
+        [&] {
         try {
             if (cell.customRun) {
                 auto it = custom.find(i);
@@ -303,6 +308,9 @@ ExperimentRunner::run(const std::vector<Cell> &cells)
             res.ok = false;
             res.error = e.what();
         }
+        }();
+        if (onProgress_)
+            onProgress_();
     });
     for (auto &tl : tls)
         timelines_.push_back(std::move(tl));
@@ -700,6 +708,8 @@ ExperimentRunner::runIsolated(const std::vector<Cell> &cells)
             int status = 0;
             ::waitpid(c.pid, &status, 0);
             classify(c, status);
+            if (onProgress_)
+                onProgress_();
             fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(k));
             active.erase(active.begin()
                          + static_cast<std::ptrdiff_t>(k));

@@ -18,6 +18,7 @@
 #ifndef CHARON_HARNESS_EXPERIMENT_RUNNER_HH
 #define CHARON_HARNESS_EXPERIMENT_RUNNER_HH
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -93,6 +94,19 @@ class ExperimentRunner
     int jobs() const { return jobs_; }
 
     /**
+     * Liveness hook: called after every unit of runner progress — a
+     * functional key recorded, a cell replayed, an isolated child
+     * reaped.  The sweep supervisor's workers use it to tick their
+     * heartbeat pipe, so a slow cell still counts as progress.  May
+     * be invoked concurrently from pool threads; keep it
+     * async-friendly (a 1-byte write(2) qualifies).
+     */
+    void setProgressHook(std::function<void()> hook)
+    {
+        onProgress_ = std::move(hook);
+    }
+
+    /**
      * Per-cell timelines collected so far, in cell-submission order
      * across every run() call (empty unless RunnerConfig::timeline).
      * Failed or replay-less cells leave a null entry so indices still
@@ -125,6 +139,7 @@ class ExperimentRunner
     bool timeline_;
     double cellTimeoutSec_;
     int cellRetries_;
+    std::function<void()> onProgress_;
     TraceCache cache_;
     std::mutex memoMutex_;
     std::map<std::string, std::shared_ptr<const FunctionalRun>> memo_;
